@@ -1,0 +1,44 @@
+// Appendix A: why p-rule lookup must happen in the parser, not in
+// match-action stages. Reproduces the RMT resource-waste arithmetic.
+#include <iostream>
+
+#include "baselines/rmt.h"
+#include "util/table.h"
+
+int main() {
+  using namespace elmo;
+  using util::TextTable;
+
+  std::cout << "Appendix A strawman: p-rule lookup via match-action stages "
+               "on an RMT chip\n\n";
+
+  TextTable tcam{{"p-rules", "id bits", "TCAM blocks", "entries used/provided",
+                  "waste"}};
+  for (const auto& [rules, bits] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {10, 11}, {30, 11}, {10, 14}, {30, 14}}) {
+    const auto cost = baselines::tcam_prule_lookup_cost(rules, bits);
+    tcam.add_row({std::to_string(rules), std::to_string(bits),
+                  std::to_string(cost.blocks_needed),
+                  std::to_string(cost.entries_used) + "/" +
+                      std::to_string(cost.entries_provided),
+                  TextTable::fmt_pct(cost.waste_fraction, 2)});
+  }
+  std::cout << "TCAM (wildcard) variant:\n" << tcam.render();
+
+  TextTable sram{{"p-rules", "stages needed", "fits 16-stage ingress?",
+                  "per-block waste"}};
+  for (const std::size_t rules : {5u, 10u, 16u, 30u}) {
+    const auto cost = baselines::sram_prule_lookup_cost(rules);
+    sram.add_row({std::to_string(rules), std::to_string(cost.stages_needed),
+                  cost.feasible ? "yes" : "NO",
+                  TextTable::fmt_pct(cost.waste_fraction, 2)});
+  }
+  std::cout << "\nSRAM (exact-match, one rule per stage) variant:\n"
+            << sram.render();
+  std::cout << "paper: 10 p-rules burn 3 TCAM blocks at 99.5% waste; the "
+               "SRAM variant wastes 99.9% and cannot fit 30 rules in 16 "
+               "stages. Elmo's parser match-and-set uses zero match-action "
+               "resources.\n";
+  return 0;
+}

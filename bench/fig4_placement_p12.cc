@@ -1,0 +1,33 @@
+// Figure 4: clustered placement (P = 12 VMs of a tenant per rack).
+// Left: groups covered with non-default p-rules vs R.
+// Center: s-rules installed per switch (+ Li et al. baseline).
+// Right: traffic overhead vs ideal multicast (+ unicast/overlay baselines).
+//
+// Scale via env: ELMO_GROUPS (default 50,000; paper: 1,000,000),
+// ELMO_PODS (default 12 = 27,648 hosts), ELMO_TENANTS, ELMO_SEED.
+#include <iostream>
+
+#include "figlib.h"
+
+int main(int argc, char** argv) {
+  using namespace elmo;
+  const util::Flags flags{argc, argv};
+  const auto scale = benchx::Scale::from_flags(flags);
+
+  const topo::ClosTopology topology{scale.topo_params()};
+  util::Rng rng{scale.seed};
+  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/12), rng};
+  cloud::WorkloadParams wp;
+  wp.total_groups = scale.groups;
+  const cloud::GroupWorkload workload{cloud, wp, rng};
+
+  std::cout << "fabric: " << topology.num_hosts() << " hosts, "
+            << topology.num_leaves() << " leaves, " << cloud.tenants().size()
+            << " tenants, " << workload.groups().size()
+            << " groups (WVE sizes), placement P=12\n";
+
+  EncoderConfig config;  // 325-byte budget, Hmax derived (~30 leaf p-rules)
+  benchx::print_figure("Figure 4: P=12 placement, WVE group sizes", topology,
+                       workload, config, {0, 6, 12});
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 5: fully dispersed placement (P = 1 VM of a tenant per rack).
+// Same three panels as Figure 4; dispersal makes trees wider, shifting
+// coverage from p-rules to s-rules at low R.
+#include <iostream>
+
+#include "figlib.h"
+
+int main(int argc, char** argv) {
+  using namespace elmo;
+  const util::Flags flags{argc, argv};
+  const auto scale = benchx::Scale::from_flags(flags);
+
+  const topo::ClosTopology topology{scale.topo_params()};
+  util::Rng rng{scale.seed};
+  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/1), rng};
+  cloud::WorkloadParams wp;
+  wp.total_groups = scale.groups;
+  const cloud::GroupWorkload workload{cloud, wp, rng};
+
+  std::cout << "fabric: " << topology.num_hosts() << " hosts, "
+            << topology.num_leaves() << " leaves, " << cloud.tenants().size()
+            << " tenants, " << workload.groups().size()
+            << " groups (WVE sizes), placement P=1\n";
+
+  EncoderConfig config;
+  benchx::print_figure("Figure 5: P=1 placement, WVE group sizes", topology,
+                       workload, config, {0, 6, 12});
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 6: ZeroMQ-style publish-subscribe, unicast vs Elmo.
+// Left panel: requests/sec at subscribers vs number of subscribers.
+// Right panel: publisher CPU utilization.
+// Messages really flow through the packet-level fabric; rates come from the
+// calibrated host model (see apps/pubsub.h).
+#include <iostream>
+
+#include "apps/pubsub.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+#include <algorithm>
+
+int main(int argc, char** argv) {
+  using namespace elmo;
+  using util::TextTable;
+  const util::Flags flags{argc, argv};
+
+  // 384-host pod fabric: enough for 256 subscribers on distinct hosts.
+  const topo::ClosTopology topology{topo::ClosParams{.pods = 4,
+                                                     .leaves_per_pod = 8,
+                                                     .spines_per_pod = 2,
+                                                     .cores_per_plane = 4,
+                                                     .hosts_per_leaf = 12}};
+  Controller controller{topology, EncoderConfig{}};
+  sim::Fabric fabric{topology};
+  util::Rng rng{static_cast<std::uint64_t>(flags.get_int("seed", 6))};
+
+  const std::size_t message_bytes = 100;  // the paper's message size
+  const apps::HostModel model;
+  const double offered_rps = 185'000.0;
+
+  // The CPU panel uses a fixed 3K rps offered load (the paper's publisher
+  // serves a constant application rate while subscribers are added): unicast
+  // CPU grows linearly in N and saturates, Elmo stays flat.
+  const double cpu_panel_rps = 3000.0;
+  TextTable table{{"subscribers", "unicast rps", "Elmo rps",
+                   "unicast CPU % @3Krps", "Elmo CPU % @max",
+                   "delivered (sim)"}};
+
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    std::vector<topo::HostId> subscribers;
+    subscribers.reserve(n);
+    for (const auto h : rng.sample_indices(topology.num_hosts() - 1, n)) {
+      subscribers.push_back(static_cast<topo::HostId>(h + 1));  // skip pub
+    }
+    apps::PubSubSystem pubsub{fabric, controller, /*tenant=*/3,
+                              /*publisher=*/0, subscribers};
+    const auto uni = pubsub.run(apps::TransportMode::kUnicast, message_bytes,
+                                /*sample_messages=*/2, model, offered_rps);
+    const auto elmo_metrics =
+        pubsub.run(apps::TransportMode::kElmo, message_bytes, 2, model,
+                   offered_rps);
+    const double unicast_cpu_fixed = std::min(
+        1.0, cpu_panel_rps * static_cast<double>(n) *
+                 model.unicast_copy_cost_sec);
+    table.add_row(
+        {std::to_string(n), TextTable::fmt_si(uni.throughput_rps, 1),
+         TextTable::fmt_si(elmo_metrics.throughput_rps, 1),
+         TextTable::fmt(unicast_cpu_fixed * 100, 1),
+         TextTable::fmt(elmo_metrics.publisher_cpu_fraction * 100, 1),
+         std::to_string(uni.messages_delivered) + "+" +
+             std::to_string(elmo_metrics.messages_delivered) + "/2+2"});
+  }
+  std::cout << "Figure 6: pub-sub over " << topology.num_hosts()
+            << "-host fabric, 100-byte messages\n"
+            << table.render()
+            << "paper shape: unicast collapses ~1/N (185K -> ~0.3K @256) and "
+               "saturates CPU; Elmo holds 185K rps at ~4.9% CPU.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// §5.2.2: sFlow host telemetry — agent egress bandwidth vs collector count.
+// Paper: unicast grows linearly to 370.4 Kbps at 64 collectors; Elmo stays
+// ~5.8 Kbps (one stream) regardless of collector count.
+#include <iostream>
+
+#include "apps/telemetry.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace elmo;
+  using util::TextTable;
+  const util::Flags flags{argc, argv};
+
+  const topo::ClosTopology topology{topo::ClosParams{.pods = 4,
+                                                     .leaves_per_pod = 8,
+                                                     .spines_per_pod = 2,
+                                                     .cores_per_plane = 4,
+                                                     .hosts_per_leaf = 12}};
+  Controller controller{topology, EncoderConfig{}};
+  sim::Fabric fabric{topology};
+  util::Rng rng{static_cast<std::uint64_t>(flags.get_int("seed", 11))};
+
+  const apps::TelemetryConfig config;  // 5 samples/s x 94 B ~ 5.76 Kbps/stream
+
+  TextTable table{{"collectors", "unicast egress Kbps", "Elmo egress Kbps",
+                   "delivered (sim)"}};
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::vector<topo::HostId> collectors;
+    for (const auto h : rng.sample_indices(topology.num_hosts() - 1, n)) {
+      collectors.push_back(static_cast<topo::HostId>(h + 1));
+    }
+    apps::TelemetrySystem system{fabric, controller, /*tenant=*/1,
+                                 /*agent=*/0, collectors};
+    const auto uni = system.run(/*use_elmo=*/false, config, 2);
+    const auto elmo_metrics = system.run(/*use_elmo=*/true, config, 2);
+    table.add_row({std::to_string(n),
+                   TextTable::fmt(uni.agent_egress_bps / 1000.0, 1),
+                   TextTable::fmt(elmo_metrics.agent_egress_bps / 1000.0, 1),
+                   std::to_string(uni.datagrams_delivered) + "+" +
+                       std::to_string(elmo_metrics.datagrams_delivered)});
+  }
+  std::cout << "sFlow telemetry egress at the agent host\n"
+            << table.render()
+            << "paper: 370.4 Kbps @64 collectors unicast vs ~5.8 Kbps "
+               "constant with Elmo.\n";
+  return 0;
+}

@@ -1,0 +1,205 @@
+#include "figlib.h"
+
+#include <iostream>
+
+#include "net/headers.h"
+#include "util/rng.h"
+
+namespace elmo::benchx {
+
+Scale Scale::from_flags(const util::Flags& flags) {
+  Scale scale;
+  scale.pods = static_cast<std::size_t>(flags.get_int("pods", 12));
+  scale.groups = static_cast<std::size_t>(flags.get_int("groups", 50'000));
+  scale.tenants = static_cast<std::size_t>(flags.get_int(
+      "tenants",
+      std::max<std::int64_t>(
+          20, static_cast<std::int64_t>(3000.0 * scale.groups / 1e6))));
+  scale.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2019));
+  return scale;
+}
+
+cloud::CloudParams Scale::cloud_params(std::size_t colocation) const {
+  cloud::CloudParams params;  // the paper's tenant distribution
+  params.tenants = tenants;
+  params.colocation = colocation;
+  return params;
+}
+
+topo::ClosParams Scale::topo_params() const {
+  auto params = topo::ClosParams::facebook_fabric();
+  params.pods = pods;
+  return params;
+}
+
+double FigureResult::overhead(std::size_t payload) const {
+  const auto per_hop = net::kOuterHeaderBytes + payload;
+  const double elmo_bytes =
+      static_cast<double>(elmo_transmissions * per_hop +
+                          elmo_header_wire_bytes);
+  const double ideal_bytes =
+      static_cast<double>(ideal_transmissions * per_hop);
+  return ideal_bytes > 0 ? elmo_bytes / ideal_bytes : 1.0;
+}
+
+double FigureResult::unicast_ratio(std::size_t payload) const {
+  (void)payload;  // unicast and ideal carry the same per-packet bytes
+  return ideal_transmissions > 0
+             ? static_cast<double>(unicast_transmissions) /
+                   static_cast<double>(ideal_transmissions)
+             : 1.0;
+}
+
+double FigureResult::overlay_ratio(std::size_t payload) const {
+  (void)payload;
+  return ideal_transmissions > 0
+             ? static_cast<double>(overlay_transmissions) /
+                   static_cast<double>(ideal_transmissions)
+             : 1.0;
+}
+
+double FigureResult::overhead_without_popping(std::size_t payload) const {
+  // Every hop would carry the full source header (mean over groups is a
+  // fair stand-in because transmissions dominate large groups either way).
+  const auto per_hop = net::kOuterHeaderBytes + payload;
+  const double full_header = header_bytes.mean();
+  const double elmo_bytes = static_cast<double>(elmo_transmissions) *
+                            (static_cast<double>(per_hop) + full_header);
+  const double ideal_bytes =
+      static_cast<double>(ideal_transmissions * per_hop);
+  return ideal_bytes > 0 ? elmo_bytes / ideal_bytes : 1.0;
+}
+
+FigureResult run_figure(const FigureInputs& inputs) {
+  const auto& topology = inputs.topology;
+  const elmo::GroupEncoder encoder{topology, inputs.config};
+  elmo::SRuleSpace space{topology, inputs.config.srule_capacity};
+  const elmo::TrafficEvaluator evaluator{topology};
+  util::Rng rng{inputs.seed};
+
+  FigureResult result;
+  result.groups_total = inputs.workload.groups().size();
+
+  for (const auto& group : inputs.workload.groups()) {
+    const elmo::MulticastTree tree{topology, group.member_hosts};
+    const auto encoding = encoder.encode(tree, &space);
+
+    if (!encoding.uses_default() && encoding.s_rule_count() == 0) {
+      ++result.covered_p_rules_only;  // the Fig. 4/5 left-panel metric
+    }
+    if (!encoding.uses_default()) ++result.covered_without_default;
+    if (encoding.s_rule_count() > 0) ++result.groups_with_srules;
+
+    const auto sender =
+        group.member_hosts[rng.index(group.member_hosts.size())];
+    // payload 0: report factors as transmissions + header bytes, so any
+    // packet size can be derived afterwards.
+    const auto report =
+        evaluator.evaluate(tree, encoding, sender, /*payload=*/0, rng());
+    if (!report.delivery.exactly_once()) ++result.delivery_failures;
+
+    result.elmo_transmissions += report.elmo_link_transmissions;
+    result.elmo_header_wire_bytes +=
+        report.elmo_wire_bytes -
+        report.elmo_link_transmissions * net::kOuterHeaderBytes;
+    result.ideal_transmissions += report.ideal_link_transmissions;
+    result.header_bytes.add(
+        static_cast<double>(report.header_bytes_at_source));
+
+    const auto unicast = baselines::unicast_traffic(
+        topology, group.member_hosts, sender, 1);
+    const auto overlay = baselines::overlay_traffic(
+        topology, group.member_hosts, sender, 1);
+    result.unicast_transmissions += unicast.link_transmissions;
+    result.overlay_transmissions += overlay.link_transmissions;
+
+    if (inputs.li != nullptr) {
+      inputs.li->install(inputs.li->build_tree(tree, rng()));
+    }
+    // Keep the s-rule reservations: the occupancy after all groups is the
+    // figure's center panel. (Encodings themselves are discarded.)
+  }
+
+  result.leaf_srules = space.leaf_stats();
+  result.spine_srules = space.spine_stats();
+  {
+    std::vector<double> leaf_occ;
+    leaf_occ.reserve(space.leaf_occupancies().size());
+    for (const auto o : space.leaf_occupancies()) {
+      leaf_occ.push_back(static_cast<double>(o));
+    }
+    result.leaf_srule_p95 = util::percentile(leaf_occ, 95);
+  }
+  return result;
+}
+
+void print_figure(const std::string& title,
+                  const topo::ClosTopology& topology,
+                  const cloud::GroupWorkload& workload,
+                  const elmo::EncoderConfig& base_config,
+                  const std::vector<std::size_t>& redundancy_values) {
+  using util::TextTable;
+  std::cout << "=== " << title << " ===\n";
+
+  baselines::LiMulticast li{topology};
+  bool li_done = false;
+
+  TextTable table{{"R", "groups p-rule-only", "s-rules/leaf mean (p95,max)",
+                   "s-rules/spine mean (max)", "hdr bytes mean (min,max)",
+                   "overhead 1500B", "overhead 64B"}};
+
+  for (const auto r : redundancy_values) {
+    auto config = base_config;
+    config.redundancy_limit = r;
+    FigureInputs inputs{topology, workload, config,
+                        li_done ? nullptr : &li, /*seed=*/7};
+    const auto result = run_figure(inputs);
+    li_done = true;
+
+    if (result.delivery_failures > 0) {
+      std::cout << "!! delivery failures: " << result.delivery_failures
+                << "\n";
+    }
+    table.add_row(
+        {std::to_string(r),
+         TextTable::fmt_count(result.covered_p_rules_only) + " (" +
+             TextTable::fmt_pct(
+                 static_cast<double>(result.covered_p_rules_only) /
+                 static_cast<double>(result.groups_total)) +
+             "), no-dflt " +
+             TextTable::fmt_pct(
+                 static_cast<double>(result.covered_without_default) /
+                 static_cast<double>(result.groups_total)),
+         TextTable::fmt(result.leaf_srules.mean(), 1) + " (" +
+             TextTable::fmt(result.leaf_srule_p95, 0) + ", " +
+             TextTable::fmt(result.leaf_srules.max(), 0) + ")",
+         TextTable::fmt(result.spine_srules.mean(), 1) + " (" +
+             TextTable::fmt(result.spine_srules.max(), 0) + ")",
+         TextTable::fmt(result.header_bytes.mean(), 1) + " (" +
+             TextTable::fmt(result.header_bytes.min(), 0) + ", " +
+             TextTable::fmt(result.header_bytes.max(), 0) + ")",
+         TextTable::fmt(result.overhead(1500), 3),
+         TextTable::fmt(result.overhead(64), 3)});
+
+    if (r == redundancy_values.back()) {
+      std::cout << table.render();
+      std::cout << "baselines (transmission ratio vs ideal): unicast="
+                << TextTable::fmt(result.unicast_ratio(64), 2)
+                << "  overlay=" << TextTable::fmt(result.overlay_ratio(64), 2)
+                << "\n";
+      std::cout << "Li et al. group-table entries/leaf: mean="
+                << TextTable::fmt(li.leaf_entries().mean(), 1)
+                << " max=" << TextTable::fmt(li.leaf_entries().max(), 0)
+                << " | /spine mean="
+                << TextTable::fmt(li.spine_entries().mean(), 1)
+                << " | /core mean="
+                << TextTable::fmt(li.core_entries().mean(), 1) << "\n";
+      std::cout << "D2d ablation, no per-hop popping: overhead(1500B)="
+                << TextTable::fmt(result.overhead_without_popping(1500), 3)
+                << " vs with popping "
+                << TextTable::fmt(result.overhead(1500), 3) << "\n\n";
+    }
+  }
+}
+
+}  // namespace elmo::benchx

@@ -1,0 +1,86 @@
+// Shared experiment harness for the paper's evaluation figures/tables.
+//
+// One pass over a group workload computes, per encoder configuration:
+//   * how many groups are covered by non-default p-rules (Fig. 4/5 left),
+//   * s-rule usage across leaf and spine switches (Fig. 4/5 center),
+//   * traffic overhead vs ideal multicast for any packet size (Fig. 4/5
+//     right) — the evaluator walk is payload-independent (transmissions +
+//     header bytes), so 64 B and 1,500 B numbers come from the same walk,
+//   * unicast / overlay baselines and the Li et al. group-table baseline,
+//   * header-size distribution at the source.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "baselines/hostcast.h"
+#include "baselines/li_multicast.h"
+#include "cloud/cloud.h"
+#include "elmo/encoder.h"
+#include "elmo/evaluator.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace elmo::benchx {
+
+// Scale knobs (env ELMO_* overrides; see README).
+struct Scale {
+  std::size_t pods = 12;
+  std::size_t groups = 50'000;
+  std::size_t tenants = 3000;
+  std::uint64_t seed = 2019;
+
+  static Scale from_flags(const util::Flags& flags);
+  // Tenant population scaled to the group count so reduced runs stay
+  // representative (1M groups <-> 3000 tenants in the paper).
+  cloud::CloudParams cloud_params(std::size_t colocation) const;
+  topo::ClosParams topo_params() const;
+};
+
+struct FigureResult {
+  std::size_t groups_total = 0;
+  std::size_t covered_p_rules_only = 0;   // no s-rules, no default (Fig. 4 left)
+  std::size_t covered_without_default = 0;
+  std::size_t groups_with_srules = 0;
+
+  util::OnlineStats leaf_srules;   // per-switch occupancy after all groups
+  util::OnlineStats spine_srules;
+  double leaf_srule_p95 = 0;
+
+  util::OnlineStats header_bytes;  // serialized size at the source
+
+  // Payload-independent accounting (summed over one sender per group).
+  std::uint64_t elmo_transmissions = 0;
+  std::uint64_t elmo_header_wire_bytes = 0;  // sum of per-hop Elmo bytes
+  std::uint64_t ideal_transmissions = 0;
+  std::uint64_t unicast_transmissions = 0;
+  std::uint64_t overlay_transmissions = 0;
+  std::size_t delivery_failures = 0;  // must stay 0
+
+  double overhead(std::size_t payload) const;
+  double unicast_ratio(std::size_t payload) const;
+  double overlay_ratio(std::size_t payload) const;
+  // D2d ablation: traffic overhead if p-rules were NOT popped hop by hop.
+  double overhead_without_popping(std::size_t payload) const;
+};
+
+struct FigureInputs {
+  const topo::ClosTopology& topology;
+  const cloud::GroupWorkload& workload;
+  elmo::EncoderConfig config;
+  // When set, also feed every group's tree into the Li et al. baseline.
+  baselines::LiMulticast* li = nullptr;
+  std::uint64_t seed = 1;
+};
+
+FigureResult run_figure(const FigureInputs& inputs);
+
+// Renders the three Fig. 4/5 panels for a set of R values.
+void print_figure(const std::string& title, const topo::ClosTopology& topology,
+                  const cloud::GroupWorkload& workload,
+                  const elmo::EncoderConfig& base_config,
+                  const std::vector<std::size_t>& redundancy_values);
+
+}  // namespace elmo::benchx

@@ -1,0 +1,46 @@
+// Table 3: comparison between Elmo and related multicast approaches under a
+// group-table budget of 5,000 rules and a header budget of 325 bytes.
+// Arithmetic limits (BIER bit-string, SGM address list, table-derived group
+// counts) are computed from the budgets; see baselines/schemes.cc.
+#include <iostream>
+
+#include "baselines/schemes.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace elmo;
+  using util::TextTable;
+  const util::Flags flags{argc, argv};
+
+  baselines::ComparisonBudget budget;
+  budget.group_table_entries =
+      static_cast<std::size_t>(flags.get_int("group_table", 5000));
+  budget.header_budget_bytes =
+      static_cast<std::size_t>(flags.get_int("budget", 325));
+
+  const auto rows = baselines::comparison_table(budget);
+  TextTable table{{"scheme", "#groups", "group-table", "flow-table",
+                   "group-size limit", "network-size limit", "unorthodox sw",
+                   "line rate", "addr isolation", "multipath",
+                   "control ovh", "traffic ovh", "host replication"}};
+  auto yn = [](bool b) { return b ? std::string{"yes"} : std::string{"no"}; };
+  for (const auto& row : rows) {
+    table.add_row({row.name, row.groups, row.group_table_usage,
+                   row.flow_table_usage, row.group_size_limit,
+                   row.network_size_limit, yn(row.unorthodox_switch),
+                   yn(row.line_rate), yn(row.address_space_isolation),
+                   row.multipath, row.control_overhead, row.traffic_overhead,
+                   yn(row.end_host_replication)});
+  }
+  std::cout << "Table 3: schemes at " << budget.group_table_entries
+            << " group-table entries and " << budget.header_budget_bytes
+            << "-byte headers, " << budget.hosts << " hosts\n"
+            << table.render();
+  std::cout << "derived: BIER bit-string caps the network at "
+            << baselines::bier_max_hosts(budget)
+            << " hosts; SGM fits "
+            << baselines::sgm_max_group_size(budget)
+            << " IPv4 members per header.\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// §5.1.3b: network failures. For sampled spine and core switches, fail the
+// switch, count the groups whose upstream rules must be recomputed and the
+// hypervisor updates the controller issues, then restore.
+// Paper: up to 12.3% of groups affected by one spine failure, up to 25.8% by
+// a core failure; hypervisor updates avg (max) 176.9 (1712) and 674.9 (1852)
+// per failure event; hypervisors reconfigure within ~25 ms.
+#include <iostream>
+
+#include "elmo/churn.h"
+#include "elmo/controller.h"
+#include "figlib.h"
+
+int main(int argc, char** argv) {
+  using namespace elmo;
+  using util::TextTable;
+  const util::Flags flags{argc, argv};
+  auto scale = benchx::Scale::from_flags(flags);
+  const auto group_count =
+      static_cast<std::size_t>(flags.get_int("churn_groups", 20'000));
+  scale.tenants = std::max<std::size_t>(
+      20, static_cast<std::size_t>(3000.0 * group_count / 1e6));
+
+  const topo::ClosTopology topology{scale.topo_params()};
+  util::Rng rng{scale.seed};
+  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/1), rng};
+  cloud::WorkloadParams wp;
+  wp.total_groups = group_count;
+  const cloud::GroupWorkload workload{cloud, wp, rng};
+
+  EncoderConfig config;
+  config.redundancy_limit = 12;  // the paper's operating point: most state
+                                 // in p-rules, few s-rules to churn
+  Controller controller{topology, config};
+  for (const auto& g : workload.groups()) {
+    std::vector<Member> members;
+    members.reserve(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      members.push_back(Member{g.member_hosts[i], g.member_vms[i],
+                               static_cast<MemberRole>(rng.index(3))});
+    }
+    controller.create_group(g.tenant, members);
+  }
+  std::cout << "loaded " << controller.num_groups() << " groups on "
+            << topology.num_hosts() << " hosts\n";
+
+  // Per-hypervisor update counts per failure event (the paper's metric:
+  // each hypervisor batches its own re-issued upstream rules; 80K updates/s
+  // per server -> the max determines the reconfiguration window).
+  CountingSink sink{topology};
+  controller.set_sink(&sink);
+
+  util::OnlineStats spine_affected_pct;
+  util::OnlineStats spine_avg_per_hv;
+  util::OnlineStats spine_max_per_hv;
+  const std::size_t spine_samples =
+      std::min<std::size_t>(topology.num_spines(), 16);
+  for (std::size_t i = 0; i < spine_samples; ++i) {
+    const auto spine = static_cast<topo::SpineId>(
+        i * topology.num_spines() / spine_samples);
+    sink.reset();
+    const auto impact = controller.fail_spine(spine);
+    controller.restore_spine(spine);
+    spine_affected_pct.add(100.0 *
+                           static_cast<double>(impact.groups_affected) /
+                           static_cast<double>(controller.num_groups()));
+    const auto rates = sink.hypervisor_rates(1.0);
+    spine_avg_per_hv.add(rates.avg);
+    spine_max_per_hv.add(rates.max);
+  }
+
+  util::OnlineStats core_affected_pct;
+  util::OnlineStats core_avg_per_hv;
+  util::OnlineStats core_max_per_hv;
+  const std::size_t core_samples =
+      std::min<std::size_t>(topology.num_cores(), 16);
+  for (std::size_t i = 0; i < core_samples; ++i) {
+    const auto core =
+        static_cast<topo::CoreId>(i * topology.num_cores() / core_samples);
+    sink.reset();
+    const auto impact = controller.fail_core(core);
+    controller.restore_core(core);
+    core_affected_pct.add(100.0 *
+                          static_cast<double>(impact.groups_affected) /
+                          static_cast<double>(controller.num_groups()));
+    const auto rates = sink.hypervisor_rates(1.0);
+    core_avg_per_hv.add(rates.avg);
+    core_max_per_hv.add(rates.max);
+  }
+
+  TextTable table{{"failure", "% groups affected avg (max)",
+                   "updates per hypervisor/event avg (max)", "paper: % groups",
+                   "paper: updates"}};
+  table.add_row({"spine switch",
+                 TextTable::fmt(spine_affected_pct.mean(), 1) + " (" +
+                     TextTable::fmt(spine_affected_pct.max(), 1) + ")",
+                 TextTable::fmt(spine_avg_per_hv.mean(), 2) + " (" +
+                     TextTable::fmt(spine_max_per_hv.max(), 0) + ")",
+                 "up to 12.3%", "176.9 (1712)"});
+  table.add_row({"core switch",
+                 TextTable::fmt(core_affected_pct.mean(), 1) + " (" +
+                     TextTable::fmt(core_affected_pct.max(), 1) + ")",
+                 TextTable::fmt(core_avg_per_hv.mean(), 2) + " (" +
+                     TextTable::fmt(core_max_per_hv.max(), 0) + ")",
+                 "up to 25.8%", "674.9 (1852)"});
+  std::cout << table.render();
+  std::cout << "shape: core failures affect more groups than spine failures; "
+               "all recovery lands on hypervisors (network switches are "
+               "untouched).\nAt 80K batched updates/s per hypervisor server, "
+               "the measured update counts reconfigure within tens of ms.\n";
+  return 0;
+}

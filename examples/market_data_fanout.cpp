@@ -1,0 +1,66 @@
+// Market-data fan-out: the financial-services workload from the paper's
+// introduction (stock tickers delivered to many trading VMs with tight
+// latency/throughput needs).
+//
+// A ticker publisher streams quotes to a growing set of subscriber VMs of
+// one tenant, first over unicast (what public clouds force today), then
+// over an Elmo multicast group, comparing publisher egress and fan-out
+// behaviour on the simulated fabric.
+//
+//   $ ./build/examples/market_data_fanout
+#include <iostream>
+
+#include "apps/pubsub.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace elmo;
+
+int main() {
+  const topo::ClosTopology topology{topo::ClosParams{.pods = 4,
+                                                     .leaves_per_pod = 8,
+                                                     .spines_per_pod = 2,
+                                                     .cores_per_plane = 4,
+                                                     .hosts_per_leaf = 12}};
+  Controller controller{topology, EncoderConfig{}};
+  sim::Fabric fabric{topology};
+  util::Rng rng{2024};
+
+  constexpr std::size_t kQuoteBytes = 192;  // a typical ITCH-style burst
+  const apps::HostModel host_model;         // calibrated in apps/pubsub.h
+
+  util::TextTable table{{"trading VMs", "unicast quotes/s", "Elmo quotes/s",
+                         "unicast egress Mbps", "Elmo egress Mbps"}};
+
+  for (const std::size_t desks : {8u, 32u, 128u}) {
+    std::vector<topo::HostId> subscribers;
+    for (const auto h : rng.sample_indices(topology.num_hosts() - 1, desks)) {
+      subscribers.push_back(static_cast<topo::HostId>(h + 1));
+    }
+    apps::PubSubSystem ticker{fabric, controller, /*tenant=*/42,
+                              /*publisher=*/0, subscribers};
+
+    const auto unicast = ticker.run(apps::TransportMode::kUnicast,
+                                    kQuoteBytes, /*samples=*/3, host_model,
+                                    /*offered=*/150'000.0);
+    const auto elmo_run = ticker.run(apps::TransportMode::kElmo, kQuoteBytes,
+                                     3, host_model, 150'000.0);
+
+    if (unicast.messages_delivered != 3 || elmo_run.messages_delivered != 3) {
+      std::cerr << "delivery failure!\n";
+      return 1;
+    }
+    table.add_row({std::to_string(desks),
+                   util::TextTable::fmt_si(unicast.throughput_rps, 1),
+                   util::TextTable::fmt_si(elmo_run.throughput_rps, 1),
+                   util::TextTable::fmt(unicast.publisher_egress_bps / 1e6, 1),
+                   util::TextTable::fmt(elmo_run.publisher_egress_bps / 1e6, 1)});
+  }
+
+  std::cout << "Market-data fan-out on a " << topology.num_hosts()
+            << "-host fabric (" << kQuoteBytes << "-byte quotes)\n"
+            << table.render()
+            << "Elmo sustains the full quote rate at constant publisher "
+               "egress; unicast collapses as desks subscribe.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Host telemetry fan-out: the sFlow scenario from §5.2.2.
+//
+// Multiple teams attach collectors to a host agent's metric stream. With
+// Elmo, adding a collector costs the agent nothing: one multicast datagram
+// serves them all, and the network replicates at line rate.
+//
+//   $ ./build/examples/telemetry_fanout
+#include <iostream>
+
+#include "apps/telemetry.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace elmo;
+
+int main() {
+  const topo::ClosTopology topology{topo::ClosParams{.pods = 4,
+                                                     .leaves_per_pod = 8,
+                                                     .spines_per_pod = 2,
+                                                     .cores_per_plane = 4,
+                                                     .hosts_per_leaf = 12}};
+  Controller controller{topology, EncoderConfig{}};
+  sim::Fabric fabric{topology};
+  util::Rng rng{7};
+
+  const apps::TelemetryConfig config;  // 5 samples/s of 94-byte records
+
+  util::TextTable table{
+      {"collectors", "unicast agent egress", "Elmo agent egress",
+       "datagrams delivered"}};
+  for (const std::size_t teams : {2u, 8u, 24u, 64u}) {
+    std::vector<topo::HostId> collectors;
+    for (const auto h : rng.sample_indices(topology.num_hosts() - 1, teams)) {
+      collectors.push_back(static_cast<topo::HostId>(h + 1));
+    }
+    apps::TelemetrySystem sflow{fabric, controller, /*tenant=*/9,
+                                /*agent=*/0, collectors};
+    const auto unicast = sflow.run(/*use_elmo=*/false, config, 2);
+    const auto elmo_run = sflow.run(/*use_elmo=*/true, config, 2);
+    table.add_row(
+        {std::to_string(teams),
+         util::TextTable::fmt(unicast.agent_egress_bps / 1000.0, 1) + " Kbps",
+         util::TextTable::fmt(elmo_run.agent_egress_bps / 1000.0, 1) + " Kbps",
+         std::to_string(unicast.datagrams_delivered) + " / " +
+             std::to_string(elmo_run.datagrams_delivered)});
+  }
+  std::cout << "sFlow-style telemetry from one agent host\n" << table.render();
+  std::cout << "unicast egress grows with every team; Elmo stays one stream "
+               "(paper: 370.4 Kbps vs 5.8 Kbps at 64 collectors).\n";
+  return 0;
+}

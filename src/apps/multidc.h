@@ -1,0 +1,59 @@
+// Multi-datacenter multicast (paper §7): "the source hypervisor switch in
+// Elmo can send a unicast packet to a hypervisor in the target datacenter,
+// which will then multicast it using the group's p- and s-rules for that
+// datacenter."
+//
+// Each datacenter runs its own fabric and controller; a multi-DC group is a
+// collection of per-DC groups plus one designated relay host per DC. A send
+// performs the local multicast, one WAN unicast per remote DC, and the
+// relay's local re-multicast.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elmo/controller.h"
+#include "sim/fabric.h"
+
+namespace elmo::apps {
+
+struct Datacenter {
+  sim::Fabric* fabric = nullptr;
+  elmo::Controller* controller = nullptr;
+};
+
+class MultiDcGroup {
+ public:
+  // `members_per_dc[d]` are the member hosts inside datacenter d (every
+  // member may send and receive). Each DC with members gets its own group
+  // and the first member doubles as the WAN relay.
+  MultiDcGroup(std::vector<Datacenter> dcs, std::uint32_t tenant,
+               const std::vector<std::vector<topo::HostId>>& members_per_dc);
+  ~MultiDcGroup();
+
+  MultiDcGroup(const MultiDcGroup&) = delete;
+  MultiDcGroup& operator=(const MultiDcGroup&) = delete;
+
+  struct SendReport {
+    std::size_t hosts_reached = 0;     // across all DCs, excluding sender
+    std::size_t wan_unicasts = 0;      // inter-DC copies the source emitted
+    std::uint64_t intra_dc_wire_bytes = 0;
+    std::uint64_t wan_wire_bytes = 0;  // modelled: one WAN hop per copy
+  };
+
+  SendReport send(std::size_t src_dc, topo::HostId src,
+                  std::size_t payload_bytes);
+
+  std::size_t num_dcs() const noexcept { return dcs_.size(); }
+  topo::HostId relay_of(std::size_t dc) const { return relays_.at(dc); }
+
+ private:
+  std::vector<Datacenter> dcs_;
+  std::vector<std::vector<topo::HostId>> members_;
+  std::vector<elmo::GroupId> groups_;   // per DC; kInvalid if no members
+  std::vector<topo::HostId> relays_;
+
+  static constexpr elmo::GroupId kInvalid = ~elmo::GroupId{0};
+};
+
+}  // namespace elmo::apps

@@ -1,0 +1,76 @@
+#include "apps/reliable.h"
+
+namespace elmo::apps {
+
+ReliableMulticastSession::ReliableMulticastSession(sim::Fabric& fabric,
+                                                   elmo::Controller& controller,
+                                                   elmo::GroupId group,
+                                                   topo::HostId source)
+    : fabric_{&fabric},
+      controller_{&controller},
+      group_{group},
+      source_{source} {
+  for (const auto host : controller.group(group).receiver_hosts()) {
+    if (host != source) receivers_.push_back(host);
+  }
+}
+
+ReliableReport ReliableMulticastSession::publish(std::size_t messages,
+                                                 std::size_t payload_bytes,
+                                                 std::size_t max_rounds) {
+  ReliableReport report;
+  report.messages = messages;
+  const auto address = controller_->group(group_).address;
+
+  // received[host] = set of sequence numbers held.
+  std::unordered_map<topo::HostId, std::unordered_set<std::size_t>> received;
+  for (const auto host : receivers_) received[host] = {};
+
+  // --- original data path: best-effort multicast ---------------------------
+  for (std::size_t seq = 0; seq < messages; ++seq) {
+    const auto result = fabric_->send(source_, address, payload_bytes);
+    report.wire_bytes += result.total_wire_bytes;
+    ++report.data_multicasts;
+    for (const auto host : receivers_) {
+      if (result.host_copies.contains(host)) received[host].insert(seq);
+    }
+  }
+
+  // --- NAK / repair rounds --------------------------------------------------
+  constexpr std::size_t kNakBytes = 32;  // seq-range request
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool any_missing = false;
+    for (const auto host : receivers_) {
+      std::vector<std::size_t> missing;
+      for (std::size_t seq = 0; seq < messages; ++seq) {
+        if (!received[host].contains(seq)) missing.push_back(seq);
+      }
+      if (missing.empty()) continue;
+      any_missing = true;
+
+      // One NAK per receiver per round (PGM aggregates ranges).
+      const auto nak = fabric_->send_unicast(host, source_, kNakBytes);
+      report.wire_bytes += nak.total_wire_bytes;
+      ++report.naks;
+      if (!nak.host_copies.contains(source_)) continue;  // NAK itself lost
+
+      for (const auto seq : missing) {
+        const auto repair =
+            fabric_->send_unicast(source_, host, payload_bytes);
+        report.wire_bytes += repair.total_wire_bytes;
+        ++report.retransmissions;
+        if (repair.host_copies.contains(host)) received[host].insert(seq);
+      }
+    }
+    ++report.repair_rounds;
+    if (!any_missing) break;
+  }
+
+  report.all_delivered = true;
+  for (const auto host : receivers_) {
+    if (received[host].size() != messages) report.all_delivered = false;
+  }
+  return report;
+}
+
+}  // namespace elmo::apps

@@ -1,0 +1,56 @@
+// sFlow-style host telemetry over the fabric (paper §5.2.2).
+//
+// An agent exports periodic performance-metric datagrams to N collector
+// nodes set up by different tenants/teams. With unicast the agent's egress
+// bandwidth grows linearly in N; with Elmo it stays flat at one stream.
+// The paper's numbers (370.4 Kbps at 64 collectors unicast vs a constant
+// 5.8 Kbps with Elmo) imply a ~5.79 Kbps per-collector stream; the defaults
+// below reproduce that stream rate exactly (5 samples/sec of 94-byte sFlow
+// records + 50-byte VXLAN outer = 5.76 Kbps on the wire).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elmo/controller.h"
+#include "sim/fabric.h"
+
+namespace elmo::apps {
+
+struct TelemetryConfig {
+  double samples_per_second = 5.0;
+  std::size_t sample_bytes = 94;  // sFlow counter record payload
+};
+
+struct TelemetryMetrics {
+  std::size_t collectors = 0;
+  double agent_egress_bps = 0.0;
+  double per_collector_ingress_bps = 0.0;
+  std::size_t datagrams_delivered = 0;  // validated through the simulator
+};
+
+class TelemetrySystem {
+ public:
+  TelemetrySystem(sim::Fabric& fabric, elmo::Controller& controller,
+                  std::uint32_t tenant, topo::HostId agent,
+                  std::vector<topo::HostId> collectors);
+  ~TelemetrySystem();
+
+  TelemetrySystem(const TelemetrySystem&) = delete;
+  TelemetrySystem& operator=(const TelemetrySystem&) = delete;
+
+  // Exports `sample_count` datagrams through the fabric; converts the
+  // observed per-datagram wire bytes at the agent's uplink into sustained
+  // bandwidth at `config.samples_per_second`.
+  TelemetryMetrics run(bool use_elmo, const TelemetryConfig& config,
+                       std::size_t sample_count);
+
+ private:
+  sim::Fabric* fabric_;
+  elmo::Controller* controller_;
+  topo::HostId agent_;
+  std::vector<topo::HostId> collectors_;
+  elmo::GroupId group_;
+};
+
+}  // namespace elmo::apps

@@ -1,0 +1,67 @@
+#include "baselines/hostcast.h"
+
+#include <map>
+#include <vector>
+
+namespace elmo::baselines {
+
+std::size_t unicast_hops(const topo::ClosTopology& topology, topo::HostId a,
+                         topo::HostId b) {
+  if (a == b) return 0;
+  if (topology.leaf_of_host(a) == topology.leaf_of_host(b)) return 2;
+  if (topology.pod_of_host(a) == topology.pod_of_host(b)) return 4;
+  return 6;
+}
+
+HostcastReport unicast_traffic(const topo::ClosTopology& topology,
+                               std::span<const topo::HostId> members,
+                               topo::HostId sender, std::size_t packet_bytes) {
+  HostcastReport report;
+  for (const auto member : members) {
+    if (member == sender) continue;
+    const auto hops = unicast_hops(topology, sender, member);
+    report.link_transmissions += hops;
+    report.wire_bytes += hops * packet_bytes;
+    ++report.sender_copies;
+  }
+  return report;
+}
+
+HostcastReport overlay_traffic(const topo::ClosTopology& topology,
+                               std::span<const topo::HostId> members,
+                               topo::HostId sender, std::size_t packet_bytes) {
+  // Group members by leaf.
+  std::map<topo::LeafId, std::vector<topo::HostId>> by_leaf;
+  for (const auto member : members) {
+    if (member == sender) continue;
+    by_leaf[topology.leaf_of_host(member)].push_back(member);
+  }
+
+  HostcastReport report;
+  const auto sender_leaf = topology.leaf_of_host(sender);
+  auto copy = [&](std::size_t hops) {
+    report.link_transmissions += hops;
+    report.wire_bytes += hops * packet_bytes;
+  };
+
+  for (const auto& [leaf, hosts] : by_leaf) {
+    if (leaf == sender_leaf) {
+      // The source hypervisor serves its own rack directly.
+      for (const auto host : hosts) {
+        copy(unicast_hops(topology, sender, host));
+        ++report.sender_copies;
+      }
+      continue;
+    }
+    // One copy to the relay, then rack-local fan-out by the relay.
+    const auto relay = hosts.front();
+    copy(unicast_hops(topology, sender, relay));
+    ++report.sender_copies;
+    for (std::size_t i = 1; i < hosts.size(); ++i) {
+      copy(2);  // relay -> leaf -> member
+    }
+  }
+  return report;
+}
+
+}  // namespace elmo::baselines

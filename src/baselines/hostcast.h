@@ -1,0 +1,38 @@
+// Host-based replication baselines (paper §5.1.2, Figures 4/5 right panels).
+//
+// * Unicast: the source hypervisor sends one VXLAN copy per receiver; every
+//   copy travels the full unicast path (2 hops within a rack, 4 within a
+//   pod, 6 across pods).
+// * Overlay multicast: the source hypervisor sends one copy to a relay host
+//   under each participating leaf; the relay re-unicasts to the remaining
+//   member hosts under that leaf (2 hops each). Members under the source's
+//   own leaf are served directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "topology/clos.h"
+
+namespace elmo::baselines {
+
+struct HostcastReport {
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t link_transmissions = 0;
+  std::uint64_t sender_copies = 0;  // packets the source host must emit
+};
+
+// Hop count of the unicast path between two hosts (0 if same host).
+std::size_t unicast_hops(const topo::ClosTopology& topology, topo::HostId a,
+                         topo::HostId b);
+
+// `packet_bytes` is the full on-wire packet (outer headers + payload).
+HostcastReport unicast_traffic(const topo::ClosTopology& topology,
+                               std::span<const topo::HostId> members,
+                               topo::HostId sender, std::size_t packet_bytes);
+
+HostcastReport overlay_traffic(const topo::ClosTopology& topology,
+                               std::span<const topo::HostId> members,
+                               topo::HostId sender, std::size_t packet_bytes);
+
+}  // namespace elmo::baselines

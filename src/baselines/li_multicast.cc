@@ -1,0 +1,76 @@
+#include "baselines/li_multicast.h"
+
+#include <algorithm>
+#include <set>
+
+namespace elmo::baselines {
+
+LiMulticast::LiMulticast(const topo::ClosTopology& topology)
+    : topo_{&topology},
+      leaf_entries_(topology.num_leaves(), 0),
+      spine_entries_(topology.num_spines(), 0),
+      core_entries_(topology.num_cores(), 0) {}
+
+LiTree LiMulticast::build_tree(const elmo::MulticastTree& tree,
+                               std::uint64_t hash) const {
+  LiTree out;
+  for (const auto& leaf : tree.leaves()) out.leaves.push_back(leaf.leaf);
+  const auto plane = hash % topo_->params().spines_per_pod;
+  for (const auto& pod : tree.pods()) {
+    out.spines.push_back(topo_->spine_at(pod.pod, plane));
+  }
+  if (tree.spans_multiple_pods()) {
+    out.core = topo_->core_at(plane, (hash >> 8) % topo_->spine_up_ports());
+  }
+  return out;
+}
+
+void LiMulticast::install(const LiTree& tree) {
+  for (const auto leaf : tree.leaves) ++leaf_entries_.at(leaf);
+  for (const auto spine : tree.spines) ++spine_entries_.at(spine);
+  if (tree.core) ++core_entries_.at(*tree.core);
+}
+
+void LiMulticast::remove(const LiTree& tree) {
+  for (const auto leaf : tree.leaves) --leaf_entries_.at(leaf);
+  for (const auto spine : tree.spines) --spine_entries_.at(spine);
+  if (tree.core) --core_entries_.at(*tree.core);
+}
+
+namespace {
+util::OnlineStats stats_of(std::span<const std::uint32_t> entries) {
+  util::OnlineStats stats;
+  for (const auto e : entries) stats.add(e);
+  return stats;
+}
+}  // namespace
+
+util::OnlineStats LiMulticast::leaf_entries() const {
+  return stats_of(leaf_entries_);
+}
+util::OnlineStats LiMulticast::spine_entries() const {
+  return stats_of(spine_entries_);
+}
+util::OnlineStats LiMulticast::core_entries() const {
+  return stats_of(core_entries_);
+}
+
+LiMulticast::UpdateCounts LiMulticast::updates_for_change(
+    const LiTree& before, const LiTree& after) {
+  UpdateCounts updates;
+  auto union_of = [](std::span<const std::uint32_t> a,
+                     std::span<const std::uint32_t> b) {
+    std::set<std::uint32_t> all{a.begin(), a.end()};
+    all.insert(b.begin(), b.end());
+    return std::vector<std::uint32_t>{all.begin(), all.end()};
+  };
+  updates.leaves = union_of(before.leaves, after.leaves);
+  updates.spines = union_of(before.spines, after.spines);
+  std::set<std::uint32_t> cores;
+  if (before.core) cores.insert(*before.core);
+  if (after.core) cores.insert(*after.core);
+  updates.cores.assign(cores.begin(), cores.end());
+  return updates;
+}
+
+}  // namespace elmo::baselines

@@ -1,0 +1,69 @@
+// Baseline: Li & Freedman, "Scaling IP Multicast on Datacenter Topologies"
+// (CoNEXT'13) — the SDN multicast scheme the paper compares against.
+//
+// Model: every group gets a physical multicast tree (member leaves, one
+// hash-chosen spine per member pod, one hash-chosen core for multi-pod
+// groups) and a group-table entry in every tree switch. A membership change
+// recomputes the tree and reinstalls state on every switch whose ports
+// changed — plus, because the scheme aggregates similar groups to fit the
+// limited group tables, an update to one group can cascade to the switches
+// of every group sharing the aggregated entry. The aggregation factor is the
+// knob Table 3 cites (~30x for Li et al., ~100x for aggressive rule
+// aggregation, both trading traffic leakage for state).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "elmo/tree.h"
+#include "topology/clos.h"
+#include "util/stats.h"
+
+namespace elmo::baselines {
+
+struct LiTree {
+  std::vector<topo::LeafId> leaves;
+  std::vector<topo::SpineId> spines;  // one per member pod
+  std::optional<topo::CoreId> core;   // multi-pod groups only
+
+  std::size_t switch_count() const noexcept {
+    return leaves.size() + spines.size() + (core ? 1 : 0);
+  }
+};
+
+class LiMulticast {
+ public:
+  explicit LiMulticast(const topo::ClosTopology& topology);
+
+  // Physical tree for a group (hash picks the spine plane and core index).
+  LiTree build_tree(const elmo::MulticastTree& tree, std::uint64_t hash) const;
+
+  // Installs group-table entries for the tree (one per tree switch).
+  void install(const LiTree& tree);
+  void remove(const LiTree& tree);
+
+  // Group-table occupancy across switches.
+  util::OnlineStats leaf_entries() const;
+  util::OnlineStats spine_entries() const;
+  util::OnlineStats core_entries() const;
+
+  // Per-event switch updates for a membership change: the scheme reinstalls
+  // the group's tree, touching every switch in old-tree union new-tree.
+  struct UpdateCounts {
+    std::vector<std::uint32_t> leaves;
+    std::vector<std::uint32_t> spines;
+    std::vector<std::uint32_t> cores;
+  };
+  static UpdateCounts updates_for_change(const LiTree& before,
+                                         const LiTree& after);
+
+ private:
+  const topo::ClosTopology* topo_;
+  std::vector<std::uint32_t> leaf_entries_;
+  std::vector<std::uint32_t> spine_entries_;
+  std::vector<std::uint32_t> core_entries_;
+};
+
+}  // namespace elmo::baselines

@@ -1,0 +1,32 @@
+#include "baselines/rmt.h"
+
+namespace elmo::baselines {
+
+TcamCost tcam_prule_lookup_cost(std::size_t num_prules,
+                                std::size_t prule_id_bits,
+                                const RmtParams& params) {
+  TcamCost cost;
+  const std::size_t match_width = num_prules * prule_id_bits;
+  cost.blocks_needed =
+      (match_width + params.tcam_width_bits - 1) / params.tcam_width_bits;
+  cost.entries_provided = params.tcam_entries;  // ganging widens, not deepens
+  cost.entries_used = num_prules;
+  if (cost.entries_provided > 0) {
+    cost.waste_fraction =
+        1.0 - static_cast<double>(cost.entries_used) /
+                  static_cast<double>(cost.entries_provided);
+  }
+  return cost;
+}
+
+SramCost sram_prule_lookup_cost(std::size_t num_prules,
+                                const RmtParams& params) {
+  SramCost cost;
+  cost.stages_needed = num_prules;  // one exact-match lookup per stage
+  cost.feasible = cost.stages_needed <= params.ingress_stages;
+  cost.waste_fraction =
+      1.0 - 1.0 / static_cast<double>(params.sram_entries);
+  return cost;
+}
+
+}  // namespace elmo::baselines

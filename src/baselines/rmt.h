@@ -1,0 +1,48 @@
+// Appendix A strawman: cost of matching p-rules with match-action stages on
+// an RMT-like chip, versus Elmo's parser-based match-and-set.
+//
+// RMT per-stage resources (Bosshart et al., SIGCOMM'13):
+//   106 SRAM blocks of 1000 entries x 112 bits,
+//   16 TCAM blocks of 2000 entries x 40 bits.
+// Matching N p-rules in a table means matching on the concatenation of all
+// N p-rule identifiers with wildcards (TCAM) or one rule per stage (SRAM);
+// both waste essentially the whole table. These calculators reproduce the
+// appendix's 99.5% / 99.9% waste numbers.
+#pragma once
+
+#include <cstddef>
+
+namespace elmo::baselines {
+
+struct RmtParams {
+  std::size_t sram_blocks = 106;
+  std::size_t sram_entries = 1000;
+  std::size_t sram_width_bits = 112;
+  std::size_t tcam_blocks = 16;
+  std::size_t tcam_entries = 2000;
+  std::size_t tcam_width_bits = 40;
+  std::size_t ingress_stages = 16;
+};
+
+struct TcamCost {
+  std::size_t blocks_needed = 0;    // TCAM blocks ganged for the match width
+  std::size_t entries_provided = 0; // entries the ganged table holds
+  std::size_t entries_used = 0;     // == number of p-rules
+  double waste_fraction = 0.0;      // unused entries / provided
+};
+
+// Match N p-rules, each `prule_id_bits` wide, in one wildcard table.
+TcamCost tcam_prule_lookup_cost(std::size_t num_prules,
+                                std::size_t prule_id_bits,
+                                const RmtParams& params = {});
+
+struct SramCost {
+  std::size_t stages_needed = 0;  // one exact-match stage per p-rule
+  bool feasible = false;          // fits the chip's ingress stages?
+  double waste_fraction = 0.0;    // 1 used entry per 1000-entry block
+};
+
+SramCost sram_prule_lookup_cost(std::size_t num_prules,
+                                const RmtParams& params = {});
+
+}  // namespace elmo::baselines

@@ -1,0 +1,153 @@
+#include "baselines/schemes.h"
+
+#include "util/table.h"
+
+namespace elmo::baselines {
+
+std::size_t ip_multicast_max_groups(const ComparisonBudget& b) {
+  // One group-table entry per group in every switch the tree crosses; the
+  // bottleneck switch caps the fabric at its table size.
+  return b.group_table_entries;
+}
+
+std::size_t li_et_al_max_groups(const ComparisonBudget& b) {
+  // Li et al. aggregate ~30 similar groups per shared tree entry (CoNEXT'13
+  // reports 5K entries serving 150K groups at ~30% bandwidth overhead).
+  return b.group_table_entries * 30;
+}
+
+std::size_t rule_aggregation_max_groups(const ComparisonBudget& b) {
+  // Aggressive aggregation (their most lossy configuration): ~100x, at the
+  // cost of significant leaked traffic.
+  return b.group_table_entries * 100;
+}
+
+std::size_t bier_max_hosts(const ComparisonBudget& b) {
+  // BIER identifies each destination with one bit of the in-packet bit
+  // string: network size is capped by the header budget in bits.
+  return b.header_budget_bytes * 8;
+}
+
+std::size_t sgm_max_group_size(const ComparisonBudget& b) {
+  // SGM carries an explicit list of IPv4 member addresses.
+  return b.header_budget_bytes / 4;
+}
+
+std::vector<SchemeRow> comparison_table(const ComparisonBudget& b) {
+  using util::TextTable;
+  std::vector<SchemeRow> rows;
+
+  rows.push_back(SchemeRow{
+      .name = "IP Multicast",
+      .groups = TextTable::fmt_si(static_cast<double>(ip_multicast_max_groups(b)), 0),
+      .group_table_usage = "high",
+      .flow_table_usage = "none",
+      .group_size_limit = "none",
+      .network_size_limit = "none",
+      .unorthodox_switch = false,
+      .line_rate = true,
+      .address_space_isolation = false,
+      .multipath = "no",
+      .control_overhead = "high",
+      .traffic_overhead = "none",
+      .end_host_replication = false,
+  });
+  rows.push_back(SchemeRow{
+      .name = "Li et al.",
+      .groups = TextTable::fmt_si(static_cast<double>(li_et_al_max_groups(b)), 0),
+      .group_table_usage = "high",
+      .flow_table_usage = "mod",
+      .group_size_limit = "none",
+      .network_size_limit = "none",
+      .unorthodox_switch = false,
+      .line_rate = true,
+      .address_space_isolation = false,
+      .multipath = "lim",
+      .control_overhead = "low",
+      .traffic_overhead = "none",
+      .end_host_replication = false,
+  });
+  rows.push_back(SchemeRow{
+      .name = "Rule aggr.",
+      .groups = TextTable::fmt_si(
+          static_cast<double>(rule_aggregation_max_groups(b)), 0),
+      .group_table_usage = "mod",
+      .flow_table_usage = "high",
+      .group_size_limit = "none",
+      .network_size_limit = "none",
+      .unorthodox_switch = false,
+      .line_rate = true,
+      .address_space_isolation = false,
+      .multipath = "lim",
+      .control_overhead = "mod",
+      .traffic_overhead = "low",
+      .end_host_replication = false,
+  });
+  rows.push_back(SchemeRow{
+      .name = "App. Layer",
+      .groups = "1M+",
+      .group_table_usage = "none",
+      .flow_table_usage = "none",
+      .group_size_limit = "none",
+      .network_size_limit = "none",
+      .unorthodox_switch = false,
+      .line_rate = false,
+      .address_space_isolation = true,
+      .multipath = "yes",
+      .control_overhead = "none",
+      .traffic_overhead = "high",
+      .end_host_replication = true,
+  });
+  rows.push_back(SchemeRow{
+      .name = "BIER",
+      .groups = "1M+",
+      .group_table_usage = "low",
+      .flow_table_usage = "none",
+      .group_size_limit =
+          TextTable::fmt_si(static_cast<double>(bier_max_hosts(b)), 1),
+      .network_size_limit =
+          TextTable::fmt_si(static_cast<double>(bier_max_hosts(b)), 1),
+      .unorthodox_switch = true,
+      .line_rate = true,
+      .address_space_isolation = true,
+      .multipath = "yes",
+      .control_overhead = "low",
+      .traffic_overhead = "low",
+      .end_host_replication = false,
+  });
+  rows.push_back(SchemeRow{
+      .name = "SGM",
+      .groups = "1M+",
+      .group_table_usage = "none",
+      .flow_table_usage = "none",
+      // 81 addresses fit 325 bytes; the paper rounds this to "<100".
+      .group_size_limit = "<=" + std::to_string(sgm_max_group_size(b)),
+      .network_size_limit = "none",
+      .unorthodox_switch = true,
+      .line_rate = false,
+      .address_space_isolation = true,
+      .multipath = "yes",
+      .control_overhead = "low",
+      .traffic_overhead = "none",
+      .end_host_replication = false,
+  });
+  rows.push_back(SchemeRow{
+      .name = "Elmo",
+      .groups = TextTable::fmt_si(
+                    static_cast<double>(b.elmo_groups_supported), 0) + "+",
+      .group_table_usage = "low",
+      .flow_table_usage = "none",
+      .group_size_limit = "none",
+      .network_size_limit = "none",
+      .unorthodox_switch = false,
+      .line_rate = true,
+      .address_space_isolation = true,
+      .multipath = "yes",
+      .control_overhead = "low",
+      .traffic_overhead = "low",
+      .end_host_replication = false,
+  });
+  return rows;
+}
+
+}  // namespace elmo::baselines

@@ -1,0 +1,50 @@
+// Feasibility models behind Table 3: how many groups / members / hosts each
+// multicast scheme supports under a fixed switch group-table size and packet
+// header budget, plus the qualitative properties the table lists.
+//
+// Where a limit is arithmetic we derive it from the actual budgets (e.g.
+// BIER's bit-string bound and SGM's address-list bound come straight from
+// the header budget); where it reflects a published design constant (rule
+// aggregation ratios) we encode the constant with its provenance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elmo::baselines {
+
+struct ComparisonBudget {
+  std::size_t group_table_entries = 5000;  // per switch
+  std::size_t header_budget_bytes = 325;
+  std::size_t hosts = 27'648;
+  // Measured by the Fig. 4/5 benches: groups Elmo supports at this scale.
+  std::size_t elmo_groups_supported = 1'000'000;
+};
+
+struct SchemeRow {
+  std::string name;
+  std::string groups;            // e.g. "5K", "1M+"
+  std::string group_table_usage; // none / low / mod / high
+  std::string flow_table_usage;
+  std::string group_size_limit;  // none or a number
+  std::string network_size_limit;
+  bool unorthodox_switch = false;
+  bool line_rate = false;
+  bool address_space_isolation = false;
+  std::string multipath;  // yes / lim / no
+  std::string control_overhead;
+  std::string traffic_overhead;
+  bool end_host_replication = false;
+};
+
+// Derived limits, exposed for unit tests.
+std::size_t ip_multicast_max_groups(const ComparisonBudget& b);
+std::size_t li_et_al_max_groups(const ComparisonBudget& b);      // ~30x aggregation
+std::size_t rule_aggregation_max_groups(const ComparisonBudget& b);  // ~100x
+std::size_t bier_max_hosts(const ComparisonBudget& b);   // bit-string bits
+std::size_t sgm_max_group_size(const ComparisonBudget& b);  // IPv4 list
+
+std::vector<SchemeRow> comparison_table(const ComparisonBudget& budget);
+
+}  // namespace elmo::baselines

@@ -1,0 +1,127 @@
+// Multi-tenant cloud model: tenants, VM placement, multicast group workloads.
+//
+// Reproduces the evaluation setup of §5.1.1:
+//   * 3,000 tenants; VMs per tenant follow a (truncated, shifted) exponential
+//     distribution with min=10, mean=178.77, max=5,000;
+//   * at most 20 VMs per host; a tenant's VMs never share a physical host;
+//   * placement picks a pod uniformly at random, then a random leaf in that
+//     pod, and packs up to P VMs of the tenant under that leaf (P = 1 fully
+//     dispersed .. P = 12 clustered), retrying other leaves/pods when full;
+//   * one million multicast groups assigned to tenants proportionally to
+//     tenant size, with group sizes drawn from the IBM WebSphere Virtual
+//     Enterprise (WVE) trace distribution or a Uniform distribution, scaled
+//     (capped) by tenant size; minimum group size 5.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topology/clos.h"
+#include "util/rng.h"
+
+namespace elmo::cloud {
+
+using TenantId = std::uint32_t;
+
+struct CloudParams {
+  std::size_t tenants = 3000;
+  std::size_t min_vms_per_tenant = 10;
+  std::size_t max_vms_per_tenant = 5000;
+  double mean_vms_per_tenant = 178.77;
+  std::size_t max_vms_per_host = 20;
+  // P: max VMs of one tenant packed under a single leaf (rack).
+  std::size_t colocation = 12;
+
+  // A scaled-down workload for fast tests (same shape, smaller counts).
+  static CloudParams small_test() {
+    return CloudParams{.tenants = 40,
+                       .min_vms_per_tenant = 4,
+                       .max_vms_per_tenant = 30,
+                       .mean_vms_per_tenant = 8.0,
+                       .max_vms_per_host = 20,
+                       .colocation = 2};
+  }
+};
+
+struct Tenant {
+  TenantId id = 0;
+  // vm index -> physical host; all hosts distinct within a tenant.
+  std::vector<topo::HostId> vm_hosts;
+
+  std::size_t size() const noexcept { return vm_hosts.size(); }
+};
+
+class Cloud {
+ public:
+  // Generates tenants and places their VMs. Throws std::runtime_error if the
+  // fabric lacks capacity for the requested tenant population.
+  Cloud(const topo::ClosTopology& topology, const CloudParams& params,
+        util::Rng& rng);
+
+  const topo::ClosTopology& topology() const noexcept { return *topology_; }
+  const CloudParams& params() const noexcept { return params_; }
+  std::span<const Tenant> tenants() const noexcept { return tenants_; }
+  std::size_t total_vms() const noexcept { return total_vms_; }
+
+  // VMs currently placed on a host (for capacity assertions in tests).
+  std::size_t vms_on_host(topo::HostId host) const {
+    return host_load_.at(host);
+  }
+
+ private:
+  std::size_t sample_tenant_size(util::Rng& rng) const;
+  void place_tenant(Tenant& tenant, std::size_t vm_count, util::Rng& rng);
+
+  const topo::ClosTopology* topology_;
+  CloudParams params_;
+  std::vector<Tenant> tenants_;
+  std::vector<std::uint16_t> host_load_;
+  std::vector<std::uint32_t> leaf_free_slots_;
+  std::size_t total_vms_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Multicast group workload
+// ---------------------------------------------------------------------------
+
+enum class GroupSizeDist : std::uint8_t {
+  kWve,      // fitted to the IBM WebSphere Virtual Enterprise trace
+  kUniform,  // uniform in [min_size, tenant size]
+};
+
+// Samples a group size from the WVE-trace-shaped distribution:
+//   ~80% of groups <= 61 members, ~0.6% > 700 members, mean ~= 60, min 5.
+std::size_t sample_wve_group_size(util::Rng& rng);
+
+struct Group {
+  TenantId tenant = 0;
+  // Member VM hosts; hosts are distinct because a tenant's VMs never share a
+  // host. Index into the tenant's vm list kept alongside for churn.
+  std::vector<topo::HostId> member_hosts;
+  std::vector<std::uint32_t> member_vms;  // tenant-local VM indices
+
+  std::size_t size() const noexcept { return member_hosts.size(); }
+};
+
+struct WorkloadParams {
+  std::size_t total_groups = 1'000'000;
+  GroupSizeDist size_dist = GroupSizeDist::kWve;
+  std::size_t min_group_size = 5;
+};
+
+class GroupWorkload {
+ public:
+  GroupWorkload(const Cloud& cloud, const WorkloadParams& params,
+                util::Rng& rng);
+
+  std::span<const Group> groups() const noexcept { return groups_; }
+  const WorkloadParams& params() const noexcept { return params_; }
+
+ private:
+  WorkloadParams params_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace elmo::cloud

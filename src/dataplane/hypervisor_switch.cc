@@ -1,0 +1,90 @@
+#include "dataplane/hypervisor_switch.h"
+
+#include <cstring>
+
+namespace elmo::dp {
+
+void HypervisorSwitch::install_flow(net::Ipv4Address group, GroupFlow flow) {
+  flows_.insert_or_assign(group.value, std::move(flow));
+}
+
+void HypervisorSwitch::remove_flow(net::Ipv4Address group) {
+  flows_.erase(group.value);
+}
+
+std::optional<net::Packet> HypervisorSwitch::encapsulate(
+    net::Ipv4Address group, std::span<const std::uint8_t> payload) {
+  const auto it = flows_.find(group.value);
+  if (it == flows_.end()) return std::nullopt;
+  const auto& flow = it->second;
+
+  // Build the full outer header (including the Elmo template) once, then
+  // prepend with a single copy — the "one header, one write" fast path.
+  net::EthernetHeader eth;
+  eth.src = host_mac(host_);
+  eth.dst = fabric_mac();
+
+  net::Ipv4Header ip;
+  ip.src = host_address(host_);
+  ip.dst = group;
+  ip.total_length = static_cast<std::uint16_t>(
+      net::Ipv4Header::kSize + net::UdpHeader::kSize + net::VxlanHeader::kSize +
+      flow.elmo_header.size() + payload.size());
+
+  net::UdpHeader udp;
+  udp.src_port = static_cast<std::uint16_t>(0xc000 | (host_ & 0x3fff));
+  udp.length = static_cast<std::uint16_t>(
+      net::UdpHeader::kSize + net::VxlanHeader::kSize +
+      flow.elmo_header.size() + payload.size());
+
+  net::VxlanHeader vxlan;
+  vxlan.vni = flow.vni;
+  vxlan.elmo_present = !flow.elmo_header.empty();
+
+  std::vector<std::uint8_t> header;
+  header.reserve(net::kOuterHeaderBytes + flow.elmo_header.size());
+  for (const auto& part :
+       {eth.serialize(), ip.serialize(), udp.serialize(), vxlan.serialize()}) {
+    header.insert(header.end(), part.begin(), part.end());
+  }
+  header.insert(header.end(), flow.elmo_header.begin(),
+                flow.elmo_header.end());
+
+  net::Packet packet{payload};
+  packet.push_front(header);
+  ++stats_.sent;
+  return packet;
+}
+
+std::vector<HypervisorSwitch::Delivery> HypervisorSwitch::receive(
+    const net::Packet& packet) {
+  ++stats_.received;
+  const auto bytes = packet.bytes();
+  const auto ip =
+      net::Ipv4Header::parse(bytes.subspan(net::EthernetHeader::kSize));
+  const auto it = flows_.find(ip.dst.value);
+  if (it == flows_.end() || it->second.local_vms.empty()) {
+    ++stats_.discarded;
+    return {};
+  }
+  // Elmo-capable leaves strip all p-rules at egress; behind a legacy leaf
+  // (§7) the header survives and the VXLAN flag tells us to skip it.
+  const auto vxlan = net::VxlanHeader::parse(
+      bytes.subspan(net::EthernetHeader::kSize + net::Ipv4Header::kSize +
+                    net::UdpHeader::kSize));
+  std::size_t elmo_bytes = 0;
+  if (vxlan.elmo_present) {
+    elmo_bytes = codec_.header_length(bytes.subspan(net::kOuterHeaderBytes));
+  }
+  const std::size_t payload_bytes =
+      bytes.size() - net::kOuterHeaderBytes - elmo_bytes;
+  std::vector<Delivery> deliveries;
+  deliveries.reserve(it->second.local_vms.size());
+  for (const auto vm : it->second.local_vms) {
+    deliveries.push_back(Delivery{vm, payload_bytes});
+    ++stats_.delivered_to_vms;
+  }
+  return deliveries;
+}
+
+}  // namespace elmo::dp

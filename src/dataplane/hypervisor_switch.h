@@ -1,0 +1,77 @@
+// PISCES-style hypervisor (vswitch) model (paper §4.2).
+//
+// The hypervisor switch intercepts multicast packets from local VMs, looks
+// the group up in its flow table, and encapsulates: outer Ethernet + IPv4 +
+// UDP + VXLAN plus the group's precomputed Elmo header template, written as
+// ONE contiguous header in a single copy — the paper's key software-switch
+// optimization (one DMA write instead of one per p-rule; Figure 7 measures
+// exactly this path). On receive it decapsulates and delivers to the local
+// member VMs; packets for groups with no local members are discarded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/common.h"
+#include "elmo/header.h"
+#include "net/headers.h"
+#include "net/packet.h"
+#include "topology/clos.h"
+
+namespace elmo::dp {
+
+struct HypervisorStats {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t delivered_to_vms = 0;
+  std::uint64_t discarded = 0;  // no local members for the group
+  std::uint64_t unicast_fallback = 0;
+};
+
+class HypervisorSwitch {
+ public:
+  HypervisorSwitch(const topo::ClosTopology& topology, topo::HostId host)
+      : topo_{&topology}, codec_{topology}, host_{host} {}
+
+  topo::HostId host() const noexcept { return host_; }
+
+  struct GroupFlow {
+    std::uint32_t vni = 0;                   // tenant id
+    std::vector<std::uint8_t> elmo_header;   // template; empty for receive-only
+    std::vector<std::uint32_t> local_vms;    // tenant-local VM indices here
+  };
+
+  void install_flow(net::Ipv4Address group, GroupFlow flow);
+  void remove_flow(net::Ipv4Address group);
+  bool has_flow(net::Ipv4Address group) const {
+    return flows_.contains(group.value);
+  }
+  std::size_t flow_count() const noexcept { return flows_.size(); }
+
+  // VM -> network: returns the encapsulated packet, or nullopt if this host
+  // has no flow for the group (non-members cannot source into a group).
+  std::optional<net::Packet> encapsulate(net::Ipv4Address group,
+                                         std::span<const std::uint8_t> payload);
+
+  // Network -> VMs: decapsulate and deliver to local members.
+  struct Delivery {
+    std::uint32_t vm = 0;
+    std::size_t payload_bytes = 0;
+  };
+  std::vector<Delivery> receive(const net::Packet& packet);
+
+  const HypervisorStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = HypervisorStats{}; }
+
+ private:
+  const topo::ClosTopology* topo_;
+  elmo::HeaderCodec codec_;  // to skip unstripped p-rules (legacy leaves, §7)
+  topo::HostId host_;
+  std::unordered_map<std::uint32_t, GroupFlow> flows_;
+  HypervisorStats stats_;
+};
+
+}  // namespace elmo::dp

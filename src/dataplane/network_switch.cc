@@ -1,0 +1,240 @@
+#include "dataplane/network_switch.h"
+
+#include <stdexcept>
+
+namespace elmo::dp {
+
+NetworkSwitch::NetworkSwitch(const topo::ClosTopology& topology,
+                             topo::Layer layer, std::uint32_t id)
+    : topo_{&topology}, codec_{topology}, layer_{layer}, id_{id} {
+  switch (layer) {
+    case topo::Layer::kLeaf:
+      match_id_ = id;  // global leaf id
+      break;
+    case topo::Layer::kSpine:
+      match_id_ = topology.pod_of_spine(id);  // logical spine == pod
+      break;
+    case topo::Layer::kCore:
+      match_id_ = 0;  // single logical core, no identifier needed
+      break;
+    case topo::Layer::kHost:
+      throw std::invalid_argument{"NetworkSwitch: host is not a switch"};
+  }
+  uplink_load_.assign(upstream_ports(), 0);
+}
+
+std::size_t NetworkSwitch::pick_uplink(std::uint64_t hash) {
+  if (multipath_mode_ == MultipathMode::kEcmp || uplink_load_.empty()) {
+    return layer_ == topo::Layer::kLeaf ? hash % upstream_ports()
+                                        : (hash >> 8) % upstream_ports();
+  }
+  // HULA-style: least observed utilization, hash breaks ties.
+  std::size_t best = hash % uplink_load_.size();
+  for (std::size_t p = 0; p < uplink_load_.size(); ++p) {
+    if (uplink_load_[p] < uplink_load_[best]) best = p;
+  }
+  return best;
+}
+
+void NetworkSwitch::install_srule(net::Ipv4Address group,
+                                  net::PortBitmap ports) {
+  group_table_.insert_or_assign(group.value, std::move(ports));
+}
+
+void NetworkSwitch::remove_srule(net::Ipv4Address group) {
+  group_table_.erase(group.value);
+}
+
+std::size_t NetworkSwitch::downstream_ports() const noexcept {
+  switch (layer_) {
+    case topo::Layer::kLeaf:
+      return topo_->leaf_down_ports();
+    case topo::Layer::kSpine:
+      return topo_->spine_down_ports();
+    default:
+      return topo_->core_ports();
+  }
+}
+
+std::size_t NetworkSwitch::upstream_ports() const noexcept {
+  switch (layer_) {
+    case topo::Layer::kLeaf:
+      return topo_->leaf_up_ports();
+    case topo::Layer::kSpine:
+      return topo_->spine_up_ports();
+    default:
+      return 0;
+  }
+}
+
+NetworkSwitch::ParseResult NetworkSwitch::parse(
+    const net::Packet& packet) const {
+  const auto bytes = packet.bytes();
+  if (bytes.size() < net::kOuterHeaderBytes) {
+    throw std::invalid_argument{"NetworkSwitch: runt packet"};
+  }
+  ParseResult result;
+
+  const auto eth = net::EthernetHeader::parse(bytes);
+  if (eth.ether_type != net::kEtherTypeIpv4) {
+    throw std::invalid_argument{"NetworkSwitch: not IPv4"};
+  }
+  const auto ip =
+      net::Ipv4Header::parse(bytes.subspan(net::EthernetHeader::kSize));
+  result.outer_src = ip.src;
+  result.outer_dst = ip.dst;
+  // (UDP/VXLAN validated structurally by the offsets below.)
+
+  const auto elmo_span = bytes.subspan(net::kOuterHeaderBytes);
+  result.sections = codec_.scan_sections(elmo_span);
+  const auto header = codec_.parse(elmo_span);
+
+  switch (layer_) {
+    case topo::Layer::kLeaf:
+      result.upstream = header.u_leaf;
+      result.default_rule = header.leaf_default;
+      for (const auto& rule : header.leaf_rules) {
+        for (const auto rid : rule.switch_ids) {
+          if (rid == match_id_) {
+            result.matched = rule.bitmap;
+            break;
+          }
+        }
+        if (result.matched) break;  // parser skips remaining p-rules
+      }
+      break;
+    case topo::Layer::kSpine:
+      result.upstream = header.u_spine;
+      result.default_rule = header.spine_default;
+      for (const auto& rule : header.spine_rules) {
+        for (const auto rid : rule.switch_ids) {
+          if (rid == match_id_) {
+            result.matched = rule.bitmap;
+            break;
+          }
+        }
+        if (result.matched) break;
+      }
+      break;
+    case topo::Layer::kCore:
+      result.core_bitmap = header.core_pods;
+      break;
+    case topo::Layer::kHost:
+      break;
+  }
+  return result;
+}
+
+std::size_t NetworkSwitch::pop_offset(
+    const std::vector<elmo::SectionExtent>& sections,
+    elmo::SectionTag first_needed) const {
+  for (const auto& e : sections) {
+    if (e.tag == elmo::SectionTag::kEnd ||
+        static_cast<int>(e.tag) >= static_cast<int>(first_needed)) {
+      return e.begin;
+    }
+  }
+  return 0;
+}
+
+net::Packet NetworkSwitch::make_copy(
+    const net::Packet& packet, std::size_t drop_bytes, bool strip_all,
+    const std::vector<elmo::SectionExtent>& sections) const {
+  net::Packet copy = packet;
+  if (strip_all) {
+    copy.erase(net::kOuterHeaderBytes, sections.back().end);
+    // Deparser also clears the VXLAN "Elmo present" flag (offset 42).
+    copy.mutable_bytes()[net::EthernetHeader::kSize + net::Ipv4Header::kSize +
+                         net::UdpHeader::kSize] &= ~std::uint8_t{0x01};
+  } else if (drop_bytes > 0) {
+    copy.erase(net::kOuterHeaderBytes, drop_bytes);
+  }
+  return copy;
+}
+
+std::vector<OutputCopy> NetworkSwitch::process(const net::Packet& packet) {
+  ++stats_.packets_in;
+
+  if (legacy_) {
+    // A legacy chip: ordinary IP-multicast group-table lookup on the outer
+    // destination, no Elmo parsing, no header popping.
+    const auto bytes = packet.bytes();
+    const auto ip =
+        net::Ipv4Header::parse(bytes.subspan(net::EthernetHeader::kSize));
+    std::vector<OutputCopy> out;
+    if (const auto it = group_table_.find(ip.dst.value);
+        it != group_table_.end()) {
+      ++stats_.srule_matches;
+      it->second.for_each_set([&](std::size_t port) {
+        out.push_back(OutputCopy{port, packet});
+      });
+    } else {
+      ++stats_.drops;
+    }
+    stats_.copies_out += out.size();
+    return out;
+  }
+
+  const auto pr = parse(packet);
+  const auto hash = flow_hash(pr.outer_src, pr.outer_dst);
+
+  std::vector<OutputCopy> out;
+
+  // Where do downstream copies point, and which section does the next hop
+  // still need?
+  const bool down_to_hosts = layer_ == topo::Layer::kLeaf;
+  const auto down_needed = layer_ == topo::Layer::kCore
+                               ? elmo::SectionTag::kSpineRules
+                               : elmo::SectionTag::kLeafRules;
+  auto emit_down = [&](const net::PortBitmap& bitmap) {
+    const std::size_t drop = pop_offset(pr.sections, down_needed);
+    bitmap.for_each_set([&](std::size_t port) {
+      out.push_back(OutputCopy{
+          port, make_copy(packet, drop, down_to_hosts, pr.sections)});
+    });
+  };
+
+  if (pr.upstream) {
+    ++stats_.upstream_matches;
+    emit_down(pr.upstream->down);
+    // Upward copies: everything before the *next layer's* upstream/core
+    // section is invalidated.
+    const auto up_needed = layer_ == topo::Layer::kLeaf
+                               ? elmo::SectionTag::kUSpine
+                               : elmo::SectionTag::kCore;
+    const std::size_t drop = pop_offset(pr.sections, up_needed);
+    const std::size_t base = downstream_ports();
+    if (pr.upstream->multipath) {
+      const std::size_t pick = pick_uplink(hash);
+      uplink_load_[pick] += packet.size();
+      out.push_back(
+          OutputCopy{base + pick, make_copy(packet, drop, false, pr.sections)});
+    } else {
+      pr.upstream->up.for_each_set([&](std::size_t port) {
+        if (port < uplink_load_.size()) uplink_load_[port] += packet.size();
+        out.push_back(OutputCopy{
+            base + port, make_copy(packet, drop, false, pr.sections)});
+      });
+    }
+  } else if (layer_ == topo::Layer::kCore && pr.core_bitmap) {
+    ++stats_.prule_matches;
+    emit_down(*pr.core_bitmap);
+  } else if (pr.matched) {
+    ++stats_.prule_matches;
+    emit_down(*pr.matched);
+  } else if (const auto it = group_table_.find(pr.outer_dst.value);
+             it != group_table_.end()) {
+    ++stats_.srule_matches;
+    emit_down(it->second);
+  } else if (pr.default_rule) {
+    ++stats_.default_matches;
+    emit_down(*pr.default_rule);
+  } else {
+    ++stats_.drops;
+  }
+
+  stats_.copies_out += out.size();
+  return out;
+}
+
+}  // namespace elmo::dp

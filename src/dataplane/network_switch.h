@@ -1,0 +1,131 @@
+// Software model of an Elmo-capable programmable network switch (paper §4.1).
+//
+// The pipeline mirrors a PISA chip running the Elmo P4 program:
+//
+//   1. *Parser* — walks the outer headers, then the Elmo sections, and does
+//      match-and-set over p-rules: when it scans this switch's layer section
+//      it compares each rule's identifier list against the switch's own id,
+//      storing the matched bitmap (and the default bitmap) as metadata. No
+//      match-action stage is spent on p-rule lookup (see Appendix A for why
+//      that would be prohibitively expensive).
+//   2. *Ingress* — control flow: upstream rule if the packet still carries
+//      this layer's upstream section; otherwise matched p-rule bitmap;
+//      otherwise group-table (s-rule) lookup on the outer destination IP;
+//      otherwise the default p-rule; otherwise drop.
+//   3. *Queue manager* — `bitmap_port_select`: replicates the packet to the
+//      ports set in the chosen bitmap.
+//   4. *Egress/deparser* — invalidates consumed sections per output copy:
+//      everything before the next hop's layer section is removed; copies
+//      headed to hosts lose the entire Elmo header.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/common.h"
+#include "elmo/header.h"
+#include "net/bitmap.h"
+#include "net/packet.h"
+#include "topology/clos.h"
+
+namespace elmo::dp {
+
+struct OutputCopy {
+  std::size_t out_port = 0;
+  net::Packet packet;
+};
+
+// Underlying multipath scheme the Elmo multipath flag defers to (paper D2b:
+// "the configured underlying multipathing scheme (e.g., ECMP, CONGA, or
+// HULA)"). kEcmp hashes the outer flow; kLeastLoaded is a HULA-style local
+// choice of the least-utilized uplink.
+enum class MultipathMode : std::uint8_t { kEcmp, kLeastLoaded };
+
+struct SwitchStats {
+  std::uint64_t packets_in = 0;
+  std::uint64_t copies_out = 0;
+  std::uint64_t prule_matches = 0;   // forwarded via parser-matched p-rule
+  std::uint64_t upstream_matches = 0;
+  std::uint64_t srule_matches = 0;
+  std::uint64_t default_matches = 0;
+  std::uint64_t drops = 0;
+};
+
+class NetworkSwitch {
+ public:
+  // `layer` is kLeaf, kSpine or kCore; `id` the global switch id of that
+  // layer. The switch derives its p-rule match identifier (leaf id or pod
+  // id) and port geometry from the topology.
+  NetworkSwitch(const topo::ClosTopology& topology, topo::Layer layer,
+                std::uint32_t id);
+
+  topo::Layer layer() const noexcept { return layer_; }
+  std::uint32_t id() const noexcept { return id_; }
+
+  void set_multipath_mode(MultipathMode mode) noexcept { multipath_mode_ = mode; }
+  MultipathMode multipath_mode() const noexcept { return multipath_mode_; }
+  // Bytes sent up each uplink since reset (HULA-style utilization estimate).
+  std::uint64_t uplink_load(std::size_t up_port) const {
+    return uplink_load_.at(up_port);
+  }
+
+  // Legacy mode (paper §7, incremental deployment): the switch cannot parse
+  // Elmo headers. It forwards multicast packets purely from its group table
+  // (s-rules installed for every group crossing it) and never pops p-rules.
+  void set_legacy(bool legacy) noexcept { legacy_ = legacy; }
+  bool is_legacy() const noexcept { return legacy_; }
+
+  // Group table (s-rules). Capacity policing is the controller's job
+  // (SRuleSpace); the switch itself is a dumb table.
+  void install_srule(net::Ipv4Address group, net::PortBitmap ports);
+  void remove_srule(net::Ipv4Address group);
+  std::size_t srule_count() const noexcept { return group_table_.size(); }
+
+  // Full pipeline for one received packet.
+  std::vector<OutputCopy> process(const net::Packet& packet);
+
+  const SwitchStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = SwitchStats{}; }
+
+ private:
+  struct ParseResult {
+    std::optional<elmo::UpstreamRule> upstream;  // this layer's u-rule
+    std::optional<net::PortBitmap> matched;      // p-rule bitmap for this switch
+    std::optional<net::PortBitmap> default_rule;
+    std::optional<net::PortBitmap> core_bitmap;  // core layer only
+    std::vector<elmo::SectionExtent> sections;   // relative to elmo offset
+    net::Ipv4Address outer_src;
+    net::Ipv4Address outer_dst;
+  };
+
+  ParseResult parse(const net::Packet& packet) const;
+
+  // Bytes (from the start of the Elmo header) to drop so the copy starts at
+  // the first section the receiver still needs.
+  std::size_t pop_offset(const std::vector<elmo::SectionExtent>& sections,
+                         elmo::SectionTag first_needed) const;
+
+  net::Packet make_copy(const net::Packet& packet, std::size_t drop_bytes,
+                        bool strip_all,
+                        const std::vector<elmo::SectionExtent>& sections) const;
+
+  std::size_t downstream_ports() const noexcept;
+  std::size_t upstream_ports() const noexcept;
+
+  const topo::ClosTopology* topo_;
+  elmo::HeaderCodec codec_;
+  topo::Layer layer_;
+  std::uint32_t id_;
+  std::uint32_t match_id_;  // leaf id at leaves, pod id at spines
+  std::size_t pick_uplink(std::uint64_t hash);
+
+  std::unordered_map<std::uint32_t, net::PortBitmap> group_table_;
+  SwitchStats stats_;
+  bool legacy_ = false;
+  MultipathMode multipath_mode_ = MultipathMode::kEcmp;
+  std::vector<std::uint64_t> uplink_load_;
+};
+
+}  // namespace elmo::dp

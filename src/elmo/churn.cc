@@ -1,0 +1,146 @@
+#include "elmo/churn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace elmo {
+
+CountingSink::CountingSink(const topo::ClosTopology& topology)
+    : hypervisor_(topology.num_hosts(), 0),
+      leaf_(topology.num_leaves(), 0),
+      spine_(topology.num_spines(), 0),
+      core_(topology.num_cores(), 0) {}
+
+void CountingSink::hypervisor_update(topo::HostId host) {
+  ++hypervisor_.at(host);
+}
+
+void CountingSink::network_switch_update(topo::Layer layer, std::uint32_t id) {
+  switch (layer) {
+    case topo::Layer::kLeaf:
+      ++leaf_.at(id);
+      break;
+    case topo::Layer::kSpine:
+      ++spine_.at(id);
+      break;
+    case topo::Layer::kCore:
+      ++core_.at(id);
+      break;
+    case topo::Layer::kHost:
+      throw std::invalid_argument{"CountingSink: host is not a network switch"};
+  }
+}
+
+void CountingSink::reset() {
+  std::fill(hypervisor_.begin(), hypervisor_.end(), 0);
+  std::fill(leaf_.begin(), leaf_.end(), 0);
+  std::fill(spine_.begin(), spine_.end(), 0);
+  std::fill(core_.begin(), core_.end(), 0);
+}
+
+CountingSink::Rates CountingSink::rates_of(
+    std::span<const std::uint64_t> counts, double seconds) {
+  Rates rates;
+  if (counts.empty() || seconds <= 0.0) return rates;
+  std::uint64_t peak = 0;
+  for (const auto c : counts) {
+    rates.total += c;
+    peak = std::max(peak, c);
+  }
+  rates.avg = static_cast<double>(rates.total) /
+              static_cast<double>(counts.size()) / seconds;
+  rates.max = static_cast<double>(peak) / seconds;
+  return rates;
+}
+
+CountingSink::Rates CountingSink::hypervisor_rates(double seconds) const {
+  return rates_of(hypervisor_, seconds);
+}
+CountingSink::Rates CountingSink::leaf_rates(double seconds) const {
+  return rates_of(leaf_, seconds);
+}
+CountingSink::Rates CountingSink::spine_rates(double seconds) const {
+  return rates_of(spine_, seconds);
+}
+CountingSink::Rates CountingSink::core_rates(double seconds) const {
+  return rates_of(core_, seconds);
+}
+
+ChurnSimulator::ChurnSimulator(Controller& controller,
+                               const cloud::Cloud& cloud,
+                               std::span<const GroupId> groups)
+    : controller_{&controller},
+      cloud_{&cloud},
+      groups_{groups.begin(), groups.end()} {
+  membership_.reserve(groups_.size());
+  cumulative_weight_.reserve(groups_.size());
+  double cumulative = 0.0;
+  for (const auto id : groups_) {
+    const auto& g = controller.group(id);
+    std::unordered_set<std::uint32_t> vms;
+    vms.reserve(g.members.size() * 2);
+    for (const auto& m : g.members) vms.insert(m.vm);
+    membership_.push_back(std::move(vms));
+    cumulative += static_cast<double>(g.members.size());
+    cumulative_weight_.push_back(cumulative);
+  }
+  if (groups_.empty()) {
+    throw std::invalid_argument{"ChurnSimulator: no groups"};
+  }
+}
+
+double ChurnSimulator::run(const ChurnParams& params, util::Rng& rng) {
+  for (std::size_t e = 0; e < params.events; ++e) {
+    // Pick a group with probability proportional to its (initial) size.
+    const double target = rng.uniform(0.0, cumulative_weight_.back());
+    const auto it = std::lower_bound(cumulative_weight_.begin(),
+                                     cumulative_weight_.end(), target);
+    const auto gi =
+        static_cast<std::size_t>(it - cumulative_weight_.begin());
+    const auto id = groups_[gi];
+
+    const auto& g = controller_->group(id);
+    const auto tenant_size = cloud_->tenants()[g.tenant].size();
+    const bool can_grow = membership_[gi].size() < tenant_size;
+    const bool must_grow = g.members.size() <= params.min_group_size;
+
+    if ((must_grow || rng.bernoulli(0.5)) && can_grow) {
+      do_join(gi, rng);
+    } else if (g.members.size() > params.min_group_size) {
+      do_leave(gi, rng);
+    } else {
+      continue;  // group pinned at min size and tenant exhausted
+    }
+  }
+  return static_cast<double>(params.events) / params.events_per_second;
+}
+
+void ChurnSimulator::do_join(std::size_t gi, util::Rng& rng) {
+  const auto id = groups_[gi];
+  const auto& g = controller_->group(id);
+  const auto& tenant = cloud_->tenants()[g.tenant];
+
+  std::uint32_t vm;
+  do {
+    vm = static_cast<std::uint32_t>(rng.index(tenant.size()));
+  } while (membership_[gi].contains(vm));
+  membership_[gi].insert(vm);
+
+  Member member;
+  member.vm = vm;
+  member.host = tenant.vm_hosts[vm];
+  member.role = static_cast<MemberRole>(rng.index(3));
+  controller_->join(id, member);
+  ++joins_;
+}
+
+void ChurnSimulator::do_leave(std::size_t gi, util::Rng& rng) {
+  const auto id = groups_[gi];
+  const auto& g = controller_->group(id);
+  const auto& victim = g.members[rng.index(g.members.size())];
+  membership_[gi].erase(victim.vm);
+  controller_->leave(id, victim.host);
+  ++leaves_;
+}
+
+}  // namespace elmo

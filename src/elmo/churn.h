@@ -1,0 +1,86 @@
+// Group-membership churn driver and update-rate accounting (paper §5.1.3a,
+// Table 2).
+//
+// Join/leave events are generated with per-group frequency proportional to
+// group size; joining VMs are drawn uniformly from the tenant's VMs not in
+// the group, leaving members uniformly from current members; each member
+// carries a random role (sender / receiver / both). The CountingSink
+// attributes every controller-issued rule update to the switch that received
+// it so the bench can report average and maximum per-switch update rates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "cloud/cloud.h"
+#include "elmo/controller.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace elmo {
+
+class CountingSink final : public UpdateSink {
+ public:
+  explicit CountingSink(const topo::ClosTopology& topology);
+
+  void hypervisor_update(topo::HostId host) override;
+  void network_switch_update(topo::Layer layer, std::uint32_t id) override;
+
+  void reset();
+
+  struct Rates {
+    double avg = 0.0;  // mean updates/sec across all switches of the type
+    double max = 0.0;  // the busiest switch of the type
+    std::uint64_t total = 0;
+  };
+  // `seconds` is the simulated wall-clock the counted events span.
+  Rates hypervisor_rates(double seconds) const;
+  Rates leaf_rates(double seconds) const;
+  Rates spine_rates(double seconds) const;
+  Rates core_rates(double seconds) const;
+
+ private:
+  static Rates rates_of(std::span<const std::uint64_t> counts, double seconds);
+
+  std::vector<std::uint64_t> hypervisor_;
+  std::vector<std::uint64_t> leaf_;
+  std::vector<std::uint64_t> spine_;
+  std::vector<std::uint64_t> core_;
+};
+
+struct ChurnParams {
+  std::size_t events = 100'000;
+  double events_per_second = 1000.0;  // the paper's churn intensity
+  std::size_t min_group_size = 5;
+};
+
+class ChurnSimulator {
+ public:
+  // `groups` are controller group ids; `cloud` provides the tenant VM pools
+  // joins are drawn from.
+  ChurnSimulator(Controller& controller, const cloud::Cloud& cloud,
+                 std::span<const GroupId> groups);
+
+  // Runs `params.events` events; returns the simulated duration in seconds.
+  double run(const ChurnParams& params, util::Rng& rng);
+
+  std::size_t joins() const noexcept { return joins_; }
+  std::size_t leaves() const noexcept { return leaves_; }
+
+ private:
+  void do_join(std::size_t group_index, util::Rng& rng);
+  void do_leave(std::size_t group_index, util::Rng& rng);
+
+  Controller* controller_;
+  const cloud::Cloud* cloud_;
+  std::vector<GroupId> groups_;
+  // Tenant-local VM indices currently in each group (parallel to groups_).
+  std::vector<std::unordered_set<std::uint32_t>> membership_;
+  std::vector<double> cumulative_weight_;
+  std::size_t joins_ = 0;
+  std::size_t leaves_ = 0;
+};
+
+}  // namespace elmo

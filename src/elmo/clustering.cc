@@ -1,0 +1,181 @@
+#include "elmo/clustering.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace elmo {
+namespace {
+
+// A candidate p-rule under construction: an output bitmap plus the switches
+// it covers (with their original input bitmaps, needed for the redundancy
+// bound and for exact s-rule spills).
+struct ProtoRule {
+  net::PortBitmap bitmap;                       // OR of member inputs
+  std::vector<std::uint32_t> switch_ids;        // members
+  std::vector<const net::PortBitmap*> inputs;   // members' exact bitmaps
+  std::size_t min_pop = 0;                      // min popcount over inputs
+  std::size_t sum_pop = 0;                      // sum of popcounts
+
+  bool feasible_with(const net::PortBitmap& candidate_union,
+                     std::size_t extra_members, std::size_t extra_min_pop,
+                     std::size_t extra_sum_pop,
+                     const ClusteringLimits& limits) const {
+    const std::size_t union_pop = candidate_union.popcount();
+    switch (limits.mode) {
+      case RedundancyMode::kPerSwitch:
+        return union_pop - std::min(min_pop, extra_min_pop) <=
+               limits.redundancy_limit;
+      case RedundancyMode::kSumOverRule: {
+        const std::size_t members = switch_ids.size() + extra_members;
+        return union_pop * members - (sum_pop + extra_sum_pop) <=
+               limits.redundancy_limit;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<std::size_t> approx_min_k_union(
+    std::span<const net::PortBitmap> bitmaps, std::size_t seed,
+    std::size_t k) {
+  if (seed >= bitmaps.size()) {
+    throw std::out_of_range{"approx_min_k_union: bad seed"};
+  }
+  std::vector<std::size_t> chosen{seed};
+  std::vector<bool> used(bitmaps.size(), false);
+  used[seed] = true;
+  net::PortBitmap accumulated = bitmaps[seed];
+  while (chosen.size() < k) {
+    std::size_t best = bitmaps.size();
+    std::size_t best_union = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < bitmaps.size(); ++i) {
+      if (used[i]) continue;
+      const std::size_t union_size = (accumulated | bitmaps[i]).popcount();
+      if (union_size < best_union) {
+        best_union = union_size;
+        best = i;
+      }
+    }
+    if (best == bitmaps.size()) break;
+    used[best] = true;
+    chosen.push_back(best);
+    accumulated |= bitmaps[best];
+  }
+  return chosen;
+}
+
+// Algorithm 1, with bitmap sharing applied on demand (paper D3: sharing
+// exists "to further reduce header sizes"): exact rules are formed first
+// (identical bitmaps always share — zero redundancy), and only when the
+// layer overflows Hmax are overflow rules merged into the kept rules via
+// the greedy MIN-K-UNION step, subject to the redundancy bound R. Whatever
+// still does not fit spills to s-rules while Fmax allows, then to the
+// default p-rule.
+LayerEncoding cluster_layer(std::span<const LayerInput> inputs,
+                            const ClusteringLimits& limits,
+                            const SRuleReserver& reserve_srule) {
+  LayerEncoding out;
+  if (inputs.empty()) return out;
+  if (limits.kmax == 0) throw std::invalid_argument{"cluster_layer: kmax == 0"};
+
+  // --- Phase 1: exact rules; identical bitmaps share (in kmax chunks) -----
+  std::unordered_map<net::PortBitmap, std::vector<const LayerInput*>,
+                     net::PortBitmapHash>
+      identical;
+  for (const auto& input : inputs) {
+    identical[input.bitmap].push_back(&input);
+  }
+  std::vector<ProtoRule> rules;
+  rules.reserve(identical.size());
+  for (const auto& [bitmap, members] : identical) {
+    for (std::size_t at = 0; at < members.size(); at += limits.kmax) {
+      ProtoRule rule;
+      rule.bitmap = bitmap;
+      const auto take = std::min(limits.kmax, members.size() - at);
+      const auto pop = bitmap.popcount();
+      rule.min_pop = pop;
+      for (std::size_t i = 0; i < take; ++i) {
+        rule.switch_ids.push_back(members[at + i]->switch_id);
+        rule.inputs.push_back(&members[at + i]->bitmap);
+        rule.sum_pop += pop;
+      }
+      rules.push_back(std::move(rule));
+    }
+  }
+
+  // Densest rules first: they are the most valuable header residents and the
+  // most attractive merge targets.
+  std::sort(rules.begin(), rules.end(),
+            [](const ProtoRule& a, const ProtoRule& b) {
+              if (a.switch_ids.size() != b.switch_ids.size()) {
+                return a.switch_ids.size() > b.switch_ids.size();
+              }
+              return a.bitmap.popcount() < b.bitmap.popcount();
+            });
+
+  // --- Phase 2: merge overflow rules into the kept set under R ------------
+  const std::size_t kept = std::min(limits.hmax, rules.size());
+  std::vector<ProtoRule> overflow_spill;
+  for (std::size_t oi = kept; oi < rules.size(); ++oi) {
+    ProtoRule& overflow = rules[oi];
+    std::size_t best_base = kept;
+    std::size_t best_union = std::numeric_limits<std::size_t>::max();
+    net::PortBitmap best_bitmap;
+    for (std::size_t bi = 0; bi < kept && limits.redundancy_limit > 0; ++bi) {
+      ProtoRule& base = rules[bi];
+      if (base.switch_ids.size() + overflow.switch_ids.size() > limits.kmax) {
+        continue;
+      }
+      auto candidate = base.bitmap | overflow.bitmap;
+      const auto union_pop = candidate.popcount();
+      if (union_pop >= best_union) continue;
+      if (!base.feasible_with(candidate, overflow.switch_ids.size(),
+                              overflow.min_pop, overflow.sum_pop, limits)) {
+        continue;
+      }
+      best_union = union_pop;
+      best_base = bi;
+      best_bitmap = std::move(candidate);
+    }
+    if (best_base < kept) {
+      ProtoRule& base = rules[best_base];
+      base.bitmap = std::move(best_bitmap);
+      base.switch_ids.insert(base.switch_ids.end(),
+                             overflow.switch_ids.begin(),
+                             overflow.switch_ids.end());
+      base.inputs.insert(base.inputs.end(), overflow.inputs.begin(),
+                         overflow.inputs.end());
+      base.min_pop = std::min(base.min_pop, overflow.min_pop);
+      base.sum_pop += overflow.sum_pop;
+    } else {
+      overflow_spill.push_back(std::move(overflow));
+    }
+  }
+
+  // --- Phase 3: emit p-rules; spill the rest (Algorithm 1 lines 11-15) ----
+  for (std::size_t i = 0; i < kept; ++i) {
+    out.p_rules.push_back(
+        PRule{std::move(rules[i].bitmap), std::move(rules[i].switch_ids)});
+  }
+  for (const auto& spilled : overflow_spill) {
+    for (std::size_t m = 0; m < spilled.switch_ids.size(); ++m) {
+      const auto switch_id = spilled.switch_ids[m];
+      const auto& exact = *spilled.inputs[m];
+      if (reserve_srule && reserve_srule(switch_id)) {
+        out.s_rules.emplace_back(switch_id, exact);
+      } else {
+        if (!out.default_rule) {
+          out.default_rule = net::PortBitmap{exact.size()};
+        }
+        *out.default_rule |= exact;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace elmo

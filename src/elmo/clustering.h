@@ -1,0 +1,55 @@
+// Algorithm 1 (paper §3.2): expressing one downstream layer of a multicast
+// tree as p-rules, s-rules and a default p-rule.
+//
+// The p-rule sharing subproblem — pick K switches whose bitmaps' union has
+// minimum cardinality — is MIN-K-UNION, NP-hard; we use the standard greedy
+// approximation (seed with the most shareable bitmap, accrete the candidate
+// that grows the union least, subject to the redundancy bound R). Identical
+// bitmaps are hash-grouped first: sharing them is always free, and at R = 0
+// it is the only sharing the bound admits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "elmo/rules.h"
+#include "net/bitmap.h"
+
+namespace elmo {
+
+// One switch's forwarding requirement within a layer.
+struct LayerInput {
+  std::uint32_t switch_id = 0;  // logical id (pod id or global leaf id)
+  net::PortBitmap bitmap;       // required output ports
+};
+
+struct ClusteringLimits {
+  std::size_t hmax = 30;            // max p-rules for this layer
+  std::size_t kmax = 2;             // max switch ids per p-rule
+  std::size_t redundancy_limit = 0; // R
+  RedundancyMode mode = RedundancyMode::kSumOverRule;  // §3.2 prose
+};
+
+// Called when a switch spills out of the p-rule budget. Returns true if an
+// s-rule slot was reserved for `switch_id` (Fmax not yet exhausted there);
+// false maps the switch onto the default p-rule instead.
+using SRuleReserver = std::function<bool(std::uint32_t switch_id)>;
+
+// Runs Algorithm 1 for one layer. `inputs` need not be sorted. The returned
+// encoding preserves the invariant checked by tests: every input switch is
+// covered by exactly one of {p-rule, s-rule, default rule}, and each
+// covering bitmap is a superset of the input bitmap.
+LayerEncoding cluster_layer(std::span<const LayerInput> inputs,
+                            const ClusteringLimits& limits,
+                            const SRuleReserver& reserve_srule);
+
+// Greedy approximate MIN-K-UNION over `bitmaps`: returns indices of up to K
+// bitmaps whose union is (approximately) smallest, always including `seed`.
+// Exposed separately for unit testing.
+std::vector<std::size_t> approx_min_k_union(
+    std::span<const net::PortBitmap> bitmaps, std::size_t seed, std::size_t k);
+
+}  // namespace elmo

@@ -1,0 +1,134 @@
+// Logically-centralized Elmo controller (paper §2).
+//
+// Owns group membership, computes multicast trees and encodings, tracks
+// s-rule capacity, and emits rule updates towards hypervisor and network
+// switches through an UpdateSink. The sink abstraction is what Table 2
+// measures: every call corresponds to one switch needing a (batched) rule
+// update for one event — hypervisors absorb header-template changes, leaf
+// and spine switches only see s-rule changes, cores hold no multicast state
+// at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "elmo/encoder.h"
+#include "elmo/evaluator.h"
+#include "elmo/rules.h"
+#include "elmo/srule_space.h"
+#include "elmo/tree.h"
+#include "net/headers.h"
+#include "topology/clos.h"
+
+namespace elmo {
+
+using GroupId = std::uint32_t;
+
+enum class MemberRole : std::uint8_t { kSender, kReceiver, kBoth };
+
+inline bool can_send(MemberRole role) noexcept {
+  return role != MemberRole::kReceiver;
+}
+inline bool can_receive(MemberRole role) noexcept {
+  return role != MemberRole::kSender;
+}
+
+struct Member {
+  topo::HostId host = 0;
+  std::uint32_t vm = 0;  // tenant-local VM index
+  MemberRole role = MemberRole::kBoth;
+};
+
+// Receives the controller's rule updates. One call = one switch touched by
+// one reconfiguration event.
+class UpdateSink {
+ public:
+  virtual ~UpdateSink() = default;
+  virtual void hypervisor_update(topo::HostId /*host*/) {}
+  virtual void network_switch_update(topo::Layer /*layer*/,
+                                     std::uint32_t /*physical_switch_id*/) {}
+};
+
+struct GroupState {
+  std::uint32_t tenant = 0;
+  net::Ipv4Address address;
+  std::vector<Member> members;
+  std::unique_ptr<MulticastTree> tree;  // over receiving members
+  GroupEncoding encoding;
+
+  std::vector<topo::HostId> receiver_hosts() const;
+  std::vector<topo::HostId> sender_hosts() const;
+};
+
+class Controller {
+ public:
+  Controller(const topo::ClosTopology& topology, const EncoderConfig& config,
+             UpdateSink* sink = nullptr);
+
+  // Swap the update sink (e.g., attach counting only after initial load).
+  void set_sink(UpdateSink* sink) noexcept { sink_ = sink; }
+
+  // Incremental deployment (§7): mark leaves whose switches are legacy
+  // (group-table only). Affects groups encoded afterwards.
+  void set_legacy_leaves(std::vector<bool> legacy) {
+    legacy_leaves_ = std::move(legacy);
+  }
+  const std::vector<bool>& legacy_leaves() const noexcept {
+    return legacy_leaves_;
+  }
+
+  // --- group lifecycle (tenant-facing API, paper §2) ----------------------
+  GroupId create_group(std::uint32_t tenant, std::span<const Member> members);
+  void remove_group(GroupId group);
+  void join(GroupId group, const Member& member);
+  void leave(GroupId group, topo::HostId host);
+
+  // --- failure handling (§3.3) --------------------------------------------
+  // Marks the switch failed, recomputes upstream rules for affected groups
+  // (multipath off, explicit ports) and reports how many were affected and
+  // how many hypervisor updates were issued.
+  struct FailureImpact {
+    std::size_t groups_affected = 0;
+    std::size_t hypervisor_updates = 0;
+  };
+  FailureImpact fail_spine(topo::SpineId spine);
+  FailureImpact fail_core(topo::CoreId core);
+  void restore_spine(topo::SpineId spine);
+  void restore_core(topo::CoreId core);
+  const topo::FailureSet& failures() const noexcept { return failures_; }
+
+  // --- observers -----------------------------------------------------------
+  const GroupState& group(GroupId group) const;
+  bool has_group(GroupId group) const;
+  std::size_t num_groups() const noexcept { return live_groups_; }
+  const GroupEncoder& encoder() const noexcept { return encoder_; }
+  SRuleSpace& srule_space() noexcept { return srule_space_; }
+  const topo::ClosTopology& topology() const noexcept { return *topo_; }
+
+  // Serialized Elmo header a given sender's hypervisor would push.
+  std::vector<std::uint8_t> header_for(GroupId group,
+                                       topo::HostId sender) const;
+
+ private:
+  GroupState& state(GroupId group);
+  void reencode(GroupState& g);  // recompute tree+encoding, s-rule diffs
+  void emit_srule_diffs(const GroupEncoding& before,
+                        const GroupEncoding& after);
+  void notify_senders(const GroupState& g,
+                      std::unordered_set<topo::HostId>& touched);
+
+  const topo::ClosTopology* topo_;
+  GroupEncoder encoder_;
+  SRuleSpace srule_space_;
+  UpdateSink* sink_;
+  topo::FailureSet failures_;
+  std::vector<bool> legacy_leaves_;
+  std::vector<std::optional<GroupState>> groups_;
+  std::size_t live_groups_ = 0;
+};
+
+}  // namespace elmo

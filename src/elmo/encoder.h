@@ -1,0 +1,56 @@
+// GroupEncoder: turns a multicast tree into Elmo's p-/s-/default rules.
+//
+// This is the controller-side entry point tying together the header budget
+// arithmetic (Hmax derivation), Algorithm 1 per downstream layer, and Fmax
+// accounting. The result is the sender-independent GroupEncoding; per-sender
+// upstream rules come from MulticastTree::sender_route.
+#pragma once
+
+#include <optional>
+
+#include "elmo/clustering.h"
+#include "elmo/header.h"
+#include "elmo/rules.h"
+#include "elmo/srule_space.h"
+#include "elmo/tree.h"
+
+namespace elmo {
+
+class GroupEncoder {
+ public:
+  GroupEncoder(const topo::ClosTopology& topology, const EncoderConfig& config);
+
+  const EncoderConfig& config() const noexcept { return config_; }
+  const HeaderCodec& codec() const noexcept { return codec_; }
+  std::size_t hmax_leaf() const noexcept { return hmax_leaf_; }
+  std::size_t hmax_spine() const noexcept { return config_.hmax_spine; }
+
+  // Encodes the downstream layers of `tree`. When `space` is non-null,
+  // spill-over switches reserve s-rule entries against Fmax; a null space
+  // disables s-rules entirely (ablation of design D5: default-p-rule only).
+  //
+  // `legacy_leaf` (optional, indexed by global leaf id) marks leaves whose
+  // switches cannot parse Elmo headers (paper §7, incremental deployment):
+  // those leaves are forced into s-rules — their group tables remain the
+  // scalability bottleneck — and never appear in p-rules or defaults.
+  GroupEncoding encode(const MulticastTree& tree, SRuleSpace* space,
+                       const std::vector<bool>* legacy_leaf = nullptr) const;
+
+  // Releases the s-rule reservations a previous encode() made (controller
+  // re-encoding path under churn).
+  void release(const GroupEncoding& encoding, const MulticastTree& tree,
+               SRuleSpace& space) const;
+
+  // Serialized header size for `sender`, in bytes (exact, via the codec).
+  std::size_t header_bytes(const MulticastTree& tree,
+                           const GroupEncoding& encoding,
+                           topo::HostId sender) const;
+
+ private:
+  const topo::ClosTopology* topo_;
+  EncoderConfig config_;
+  HeaderCodec codec_;
+  std::size_t hmax_leaf_;
+};
+
+}  // namespace elmo

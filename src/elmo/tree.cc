@@ -1,0 +1,195 @@
+#include "elmo/tree.h"
+
+#include <algorithm>
+#include <map>
+
+namespace elmo {
+
+MulticastTree::MulticastTree(const topo::ClosTopology& topology,
+                             std::span<const topo::HostId> member_hosts)
+    : topo_{&topology}, member_pods_{topology.num_pods()} {
+  std::map<topo::LeafId, net::PortBitmap> by_leaf;
+  for (const auto host : member_hosts) {
+    const auto leaf = topology.leaf_of_host(host);
+    auto [it, inserted] =
+        by_leaf.try_emplace(leaf, topology.leaf_down_ports());
+    const auto port = topology.host_port_on_leaf(host);
+    if (it->second.test(port)) continue;  // duplicate member host
+    it->second.set(port);
+    ++num_members_;
+  }
+
+  std::map<topo::PodId, net::PortBitmap> by_pod;
+  leaves_.reserve(by_leaf.size());
+  for (auto& [leaf, ports] : by_leaf) {
+    const auto pod = topology.pod_of_leaf(leaf);
+    auto [it, inserted] =
+        by_pod.try_emplace(pod, topology.spine_down_ports());
+    it->second.set(topology.leaf_index_in_pod(leaf));
+    leaves_.push_back(LeafTreeEntry{leaf, std::move(ports)});
+  }
+  pods_.reserve(by_pod.size());
+  for (auto& [pod, leaf_ports] : by_pod) {
+    member_pods_.set(pod);
+    pods_.push_back(PodTreeEntry{pod, std::move(leaf_ports)});
+  }
+}
+
+const LeafTreeEntry* MulticastTree::find_leaf(topo::LeafId leaf) const {
+  const auto it = std::lower_bound(
+      leaves_.begin(), leaves_.end(), leaf,
+      [](const LeafTreeEntry& e, topo::LeafId id) { return e.leaf < id; });
+  return (it != leaves_.end() && it->leaf == leaf) ? &*it : nullptr;
+}
+
+const PodTreeEntry* MulticastTree::find_pod(topo::PodId pod) const {
+  const auto it = std::lower_bound(
+      pods_.begin(), pods_.end(), pod,
+      [](const PodTreeEntry& e, topo::PodId id) { return e.pod < id; });
+  return (it != pods_.end() && it->pod == pod) ? &*it : nullptr;
+}
+
+bool MulticastTree::is_member(topo::HostId host) const {
+  const auto* entry = find_leaf(topo_->leaf_of_host(host));
+  return entry != nullptr && entry->host_ports.test(topo_->host_port_on_leaf(host));
+}
+
+SenderRoute MulticastTree::sender_route(
+    topo::HostId sender, const topo::FailureSet& failures) const {
+  const auto& t = *topo_;
+  const auto sender_leaf = t.leaf_of_host(sender);
+  const auto sender_pod = t.pod_of_leaf(sender_leaf);
+  const auto sender_port = t.host_port_on_leaf(sender);
+
+  SenderRoute route;
+  auto& enc = route.encoding;
+
+  // --- u-leaf: local receivers minus the sender's own port ----------------
+  enc.u_leaf.down = net::PortBitmap{t.leaf_down_ports()};
+  if (const auto* local = find_leaf(sender_leaf)) {
+    enc.u_leaf.down = local->host_ports;
+    enc.u_leaf.down.set(sender_port, false);
+  }
+  enc.u_leaf.up = net::PortBitmap{t.leaf_up_ports()};
+
+  // Which member pods (other than the sender's) must the core fan out to?
+  std::vector<topo::PodId> other_pods;
+  for (const auto& pod : pods_) {
+    if (pod.pod != sender_pod) other_pods.push_back(pod.pod);
+  }
+
+  // Does the packet need to leave the sender's leaf at all?
+  const bool beyond_leaf =
+      !other_pods.empty() ||
+      std::any_of(leaves_.begin(), leaves_.end(), [&](const LeafTreeEntry& e) {
+        return e.leaf != sender_leaf &&
+               t.pod_of_leaf(e.leaf) == sender_pod;
+      });
+  if (!beyond_leaf) {
+    enc.u_leaf.multipath = false;
+    return route;  // group confined to the sender's rack
+  }
+
+  // --- u-spine: other member leaves in the sender's pod -------------------
+  UpstreamRule u_spine;
+  u_spine.down = net::PortBitmap{t.spine_down_ports()};
+  if (const auto* pod_entry = find_pod(sender_pod)) {
+    u_spine.down = pod_entry->leaf_ports;
+    u_spine.down.set(t.leaf_index_in_pod(sender_leaf), false);
+  }
+  u_spine.up = net::PortBitmap{t.spine_up_ports()};
+
+  if (failures.empty()) {
+    // Fast path: the fabric's multipath scheme handles spine/core choice.
+    enc.u_leaf.multipath = true;
+    u_spine.multipath = !other_pods.empty();
+    enc.u_spine = std::move(u_spine);
+    if (!other_pods.empty()) {
+      enc.core_pods = net::PortBitmap{t.core_ports()};
+      for (const auto pod : other_pods) enc.core_pods->set(pod);
+    }
+    return route;
+  }
+
+  // --- §3.3 failure path: multipath off, explicit upstream ports ----------
+  // Greedy set cover: choose spines of the sender's pod (and upstream core
+  // ports) so that every other member pod is reachable. A spine s (plane k)
+  // covers pod p through core c of plane k iff s, c and spine_at(p, k) are
+  // all alive.
+  enc.u_leaf.multipath = false;
+  u_spine.multipath = false;
+
+  std::vector<bool> pod_covered(other_pods.size(), other_pods.empty());
+  bool chose_any_spine = false;
+
+  // A spine with an alive plane is also needed to reach same-pod leaves.
+  const bool need_same_pod_fanout = u_spine.down.any();
+
+  auto covers = [&](std::size_t plane, topo::PodId pod) {
+    if (failures.spine_failed(t.spine_at(pod, plane))) return false;
+    for (std::size_t ci = 0; ci < t.spine_up_ports(); ++ci) {
+      if (!failures.core_failed(t.core_at(plane, ci))) return true;
+    }
+    return false;
+  };
+
+  while (true) {
+    // Pick the alive spine covering the most uncovered pods.
+    std::size_t best_plane = t.leaf_up_ports();
+    std::size_t best_gain = 0;
+    for (std::size_t plane = 0; plane < t.leaf_up_ports(); ++plane) {
+      if (failures.spine_failed(t.spine_at(sender_pod, plane))) continue;
+      std::size_t gain = 0;
+      for (std::size_t i = 0; i < other_pods.size(); ++i) {
+        if (!pod_covered[i] && covers(plane, other_pods[i])) ++gain;
+      }
+      if (!chose_any_spine && need_same_pod_fanout && gain == 0 &&
+          best_gain == 0 && best_plane == t.leaf_up_ports()) {
+        best_plane = plane;  // any alive spine reaches same-pod leaves
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_plane = plane;
+      }
+    }
+    if (best_plane == t.leaf_up_ports()) break;  // nothing else to gain
+    if (best_gain == 0 && chose_any_spine) break;
+
+    enc.u_leaf.up.set(best_plane);
+    chose_any_spine = true;
+    if (best_gain > 0) {
+      // Pick one alive core in this plane for the u-spine upstream port.
+      for (std::size_t ci = 0; ci < t.spine_up_ports(); ++ci) {
+        if (!failures.core_failed(t.core_at(best_plane, ci))) {
+          u_spine.up.set(ci);
+          break;
+        }
+      }
+      for (std::size_t i = 0; i < other_pods.size(); ++i) {
+        if (!pod_covered[i] && covers(best_plane, other_pods[i])) {
+          pod_covered[i] = true;
+        }
+      }
+    }
+    if (std::all_of(pod_covered.begin(), pod_covered.end(),
+                    [](bool c) { return c; }) &&
+        (chose_any_spine || !need_same_pod_fanout)) {
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < other_pods.size(); ++i) {
+    if (!pod_covered[i]) route.unreachable_pods.push_back(other_pods[i]);
+  }
+
+  enc.u_spine = std::move(u_spine);
+  if (!other_pods.empty()) {
+    enc.core_pods = net::PortBitmap{t.core_ports()};
+    for (std::size_t i = 0; i < other_pods.size(); ++i) {
+      if (pod_covered[i]) enc.core_pods->set(other_pods[i]);
+    }
+  }
+  return route;
+}
+
+}  // namespace elmo

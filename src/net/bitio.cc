@@ -1,0 +1,43 @@
+#include "net/bitio.h"
+
+namespace elmo::net {
+
+void BitWriter::write(std::uint64_t value, unsigned bits) {
+  if (bits > 64) throw std::invalid_argument{"BitWriter: bits > 64"};
+  for (unsigned i = bits; i-- > 0;) {
+    const bool bit = (value >> i) & 1;
+    const std::size_t byte = bit_count_ / 8;
+    if (byte == buffer_.size()) buffer_.push_back(0);
+    if (bit) {
+      buffer_[byte] |= static_cast<std::uint8_t>(1u << (7 - bit_count_ % 8));
+    }
+    ++bit_count_;
+  }
+}
+
+void BitWriter::align_to_byte() {
+  while (bit_count_ % 8 != 0) write(0, 1);
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  align_to_byte();
+  bit_count_ = 0;
+  return std::move(buffer_);
+}
+
+std::uint64_t BitReader::read(unsigned bits) {
+  if (bits > 64) throw std::invalid_argument{"BitReader: bits > 64"};
+  if (bits > bits_remaining()) {
+    throw std::out_of_range{"BitReader: read past end"};
+  }
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::size_t byte = position_ / 8;
+    const bool bit = (data_[byte] >> (7 - position_ % 8)) & 1;
+    value = (value << 1) | static_cast<std::uint64_t>(bit);
+    ++position_;
+  }
+  return value;
+}
+
+}  // namespace elmo::net

@@ -1,0 +1,67 @@
+// MSB-first bit-level serialization.
+//
+// Elmo's p-rule header is specified at bit granularity (flags, variable-width
+// switch identifiers, port bitmaps), so header sizes reported by the benches
+// must come from an exact bit-packing codec rather than struct sizeof().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace elmo::net {
+
+// Appends fields MSB-first into a byte vector; the final byte is zero-padded.
+class BitWriter {
+ public:
+  // value's low `bits` bits are written, most significant first.
+  void write(std::uint64_t value, unsigned bits);
+  void write_bool(bool value) { write(value ? 1 : 0, 1); }
+
+  // Pads to a byte boundary with zero bits.
+  void align_to_byte();
+
+  std::size_t bit_count() const noexcept { return bit_count_; }
+  std::size_t byte_count() const noexcept { return (bit_count_ + 7) / 8; }
+
+  // Finishes the stream (pads to a byte) and returns the buffer.
+  std::vector<std::uint8_t> take();
+  std::span<const std::uint8_t> bytes() const noexcept { return buffer_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t bit_count_ = 0;
+};
+
+// Reads fields MSB-first from a byte span.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) noexcept
+      : data_{data} {}
+
+  std::uint64_t read(unsigned bits);
+  bool read_bool() { return read(1) != 0; }
+  void align_to_byte() noexcept { position_ = (position_ + 7) / 8 * 8; }
+
+  std::size_t bit_position() const noexcept { return position_; }
+  std::size_t bits_remaining() const noexcept {
+    return data_.size() * 8 - position_;
+  }
+  // Byte offset of the next unread bit, rounded up.
+  std::size_t byte_position() const noexcept { return (position_ + 7) / 8; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t position_ = 0;  // in bits
+};
+
+// Number of bits needed to represent values in [0, n); at least 1.
+constexpr unsigned bits_for(std::uint64_t n) noexcept {
+  unsigned bits = 1;
+  while ((1ULL << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace elmo::net

@@ -1,0 +1,116 @@
+#include "net/bitmap.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace elmo::net {
+
+void PortBitmap::check_port(std::size_t port) const {
+  if (port >= num_ports_) {
+    throw std::out_of_range{"PortBitmap: port " + std::to_string(port) +
+                            " out of range (" + std::to_string(num_ports_) +
+                            " ports)"};
+  }
+}
+
+void PortBitmap::check_domain(const PortBitmap& other) const {
+  if (num_ports_ != other.num_ports_) {
+    throw std::invalid_argument{"PortBitmap: mismatched port counts"};
+  }
+}
+
+void PortBitmap::set(std::size_t port, bool value) {
+  check_port(port);
+  const std::uint64_t mask = 1ULL << (port % 64);
+  if (value) {
+    words_[port / 64] |= mask;
+  } else {
+    words_[port / 64] &= ~mask;
+  }
+}
+
+bool PortBitmap::test(std::size_t port) const {
+  check_port(port);
+  return (words_[port / 64] >> (port % 64)) & 1;
+}
+
+std::size_t PortBitmap::popcount() const noexcept {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool PortBitmap::any() const noexcept {
+  for (const auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+PortBitmap& PortBitmap::operator|=(const PortBitmap& other) {
+  check_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+PortBitmap& PortBitmap::operator&=(const PortBitmap& other) {
+  check_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+std::size_t PortBitmap::hamming_distance(const PortBitmap& other) const {
+  check_domain(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return total;
+}
+
+std::size_t PortBitmap::extra_bits_in(const PortBitmap& other) const {
+  check_domain(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(
+        std::popcount(other.words_[i] & ~words_[i]));
+  }
+  return total;
+}
+
+bool PortBitmap::is_subset_of(const PortBitmap& other) const {
+  check_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> PortBitmap::set_ports() const {
+  std::vector<std::size_t> ports;
+  ports.reserve(popcount());
+  for_each_set([&](std::size_t p) { ports.push_back(p); });
+  return ports;
+}
+
+std::string PortBitmap::to_string() const {
+  std::string out(num_ports_, '0');
+  for_each_set([&](std::size_t p) { out[p] = '1'; });
+  return out;
+}
+
+std::uint64_t PortBitmap::hash() const noexcept {
+  // FNV-1a over the words plus the domain size.
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(num_ports_);
+  for (const auto w : words_) mix(w);
+  return h;
+}
+
+}  // namespace elmo::net

@@ -1,0 +1,99 @@
+// Port bitmaps: the unit of forwarding state in Elmo.
+//
+// Every p-rule and s-rule carries a bitmap of switch output ports. The
+// clustering algorithm (Algorithm 1) reduces to popcount / OR / Hamming
+// distance over these, so the representation is word-packed and those
+// operations are branch-light.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace elmo::net {
+
+class PortBitmap {
+ public:
+  PortBitmap() = default;
+  explicit PortBitmap(std::size_t num_ports)
+      : num_ports_{num_ports}, words_((num_ports + 63) / 64, 0) {}
+
+  std::size_t size() const noexcept { return num_ports_; }
+  bool empty_domain() const noexcept { return num_ports_ == 0; }
+
+  void set(std::size_t port, bool value = true);
+  bool test(std::size_t port) const;
+
+  std::size_t popcount() const noexcept;
+  bool any() const noexcept;
+  bool none() const noexcept { return !any(); }
+
+  PortBitmap& operator|=(const PortBitmap& other);
+  PortBitmap& operator&=(const PortBitmap& other);
+  friend PortBitmap operator|(PortBitmap lhs, const PortBitmap& rhs) {
+    lhs |= rhs;
+    return lhs;
+  }
+  friend PortBitmap operator&(PortBitmap lhs, const PortBitmap& rhs) {
+    lhs &= rhs;
+    return lhs;
+  }
+
+  bool operator==(const PortBitmap& other) const noexcept {
+    return num_ports_ == other.num_ports_ && words_ == other.words_;
+  }
+
+  // |this XOR other|: the redundancy metric of Algorithm 1.
+  std::size_t hamming_distance(const PortBitmap& other) const;
+
+  // Number of bits set in `other` but not in this (extra transmissions a
+  // shared output bitmap causes for a switch whose input bitmap is `this`).
+  std::size_t extra_bits_in(const PortBitmap& other) const;
+
+  bool is_subset_of(const PortBitmap& other) const;
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  // Invokes fn(port) for every set port in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const auto bit =
+            static_cast<std::size_t>(__builtin_ctzll(w));
+        fn(wi * 64 + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  std::vector<std::size_t> set_ports() const;
+
+  // "10110..." — MSB is port 0, matching the paper's figures.
+  std::string to_string() const;
+
+  std::uint64_t hash() const noexcept;
+
+  // Raw word access for serialization (word 0 holds ports 0..63).
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+ private:
+  void check_port(std::size_t port) const;
+  void check_domain(const PortBitmap& other) const;
+
+  std::size_t num_ports_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct PortBitmapHash {
+  std::size_t operator()(const PortBitmap& b) const noexcept {
+    return static_cast<std::size_t>(b.hash());
+  }
+};
+
+}  // namespace elmo::net

@@ -1,0 +1,162 @@
+#include "net/headers.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace elmo::net {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> data, std::size_t at) {
+  return static_cast<std::uint16_t>((data[at] << 8) | data[at + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> data, std::size_t at) {
+  return (static_cast<std::uint32_t>(get_u16(data, at)) << 16) |
+         get_u16(data, at + 2);
+}
+
+void require_size(std::span<const std::uint8_t> data, std::size_t need,
+                  const char* what) {
+  if (data.size() < need) {
+    throw std::out_of_range{std::string{"truncated "} + what};
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EthernetHeader::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSize);
+  out.insert(out.end(), dst.begin(), dst.end());
+  out.insert(out.end(), src.begin(), src.end());
+  put_u16(out, ether_type);
+  return out;
+}
+
+EthernetHeader EthernetHeader::parse(std::span<const std::uint8_t> data) {
+  require_size(data, kSize, "Ethernet header");
+  EthernetHeader h;
+  std::copy(data.begin(), data.begin() + 6, h.dst.begin());
+  std::copy(data.begin() + 6, data.begin() + 12, h.src.begin());
+  h.ether_type = get_u16(data, 12);
+  return h;
+}
+
+std::string Ipv4Address::to_string() const {
+  std::ostringstream out;
+  out << ((value >> 24) & 0xff) << '.' << ((value >> 16) & 0xff) << '.'
+      << ((value >> 8) & 0xff) << '.' << (value & 0xff);
+  return out.str();
+}
+
+Ipv4Address Ipv4Address::from_string(const std::string& dotted) {
+  std::istringstream in{dotted};
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    char dot = 0;
+    if (!(in >> octet) || octet > 255 || (i < 3 && !(in >> dot) && true) ||
+        (i < 3 && dot != '.')) {
+      throw std::invalid_argument{"bad IPv4 address: " + dotted};
+    }
+    value = (value << 8) | octet;
+  }
+  return Ipv4Address{value};
+}
+
+std::uint16_t Ipv4Header::checksum(std::span<const std::uint8_t> header) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < header.size(); i += 2) {
+    sum += get_u16(header, i);
+  }
+  if (header.size() % 2 != 0) {
+    sum += static_cast<std::uint32_t>(header.back()) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::vector<std::uint8_t> Ipv4Header::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSize);
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(dscp);
+  put_u16(out, total_length);
+  put_u16(out, 0);       // identification
+  put_u16(out, 0x4000);  // flags: don't fragment
+  out.push_back(ttl);
+  out.push_back(protocol);
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, src.value);
+  put_u32(out, dst.value);
+  const std::uint16_t csum = checksum(out);
+  out[10] = static_cast<std::uint8_t>(csum >> 8);
+  out[11] = static_cast<std::uint8_t>(csum & 0xff);
+  return out;
+}
+
+Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> data) {
+  require_size(data, kSize, "IPv4 header");
+  if ((data[0] >> 4) != 4) throw std::invalid_argument{"not IPv4"};
+  Ipv4Header h;
+  h.dscp = data[1];
+  h.total_length = get_u16(data, 2);
+  h.ttl = data[8];
+  h.protocol = data[9];
+  h.src.value = get_u32(data, 12);
+  h.dst.value = get_u32(data, 16);
+  return h;
+}
+
+std::vector<std::uint8_t> UdpHeader::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSize);
+  put_u16(out, src_port);
+  put_u16(out, dst_port);
+  put_u16(out, length);
+  put_u16(out, 0);  // checksum optional over IPv4
+  return out;
+}
+
+UdpHeader UdpHeader::parse(std::span<const std::uint8_t> data) {
+  require_size(data, kSize, "UDP header");
+  UdpHeader h;
+  h.src_port = get_u16(data, 0);
+  h.dst_port = get_u16(data, 2);
+  h.length = get_u16(data, 4);
+  return h;
+}
+
+std::vector<std::uint8_t> VxlanHeader::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSize);
+  out.push_back(static_cast<std::uint8_t>(0x08 | (elmo_present ? 0x01 : 0)));
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  put_u32(out, (vni & 0x00ffffffu) << 8);
+  return out;
+}
+
+VxlanHeader VxlanHeader::parse(std::span<const std::uint8_t> data) {
+  require_size(data, kSize, "VXLAN header");
+  if ((data[0] & 0x08) == 0) {
+    throw std::invalid_argument{"VXLAN I flag not set"};
+  }
+  VxlanHeader h;
+  h.vni = get_u32(data, 4) >> 8;
+  h.elmo_present = (data[0] & 0x01) != 0;
+  return h;
+}
+
+}  // namespace elmo::net

@@ -1,0 +1,40 @@
+#include "net/packet.h"
+
+#include <algorithm>
+
+namespace elmo::net {
+
+void Packet::push_front(std::span<const std::uint8_t> header) {
+  if (header.size() > head_) {
+    const std::size_t extra =
+        std::max(header.size() - head_, kDefaultHeadroom);
+    buffer_.insert(buffer_.begin(), extra, 0);
+    head_ += extra;
+  }
+  head_ -= header.size();
+  std::copy(header.begin(), header.end(), buffer_.begin() + head_);
+}
+
+void Packet::pop_front(std::size_t count) {
+  if (count > size()) {
+    throw std::out_of_range{"Packet::pop_front beyond packet size"};
+  }
+  head_ += count;
+}
+
+void Packet::erase(std::size_t offset, std::size_t count) {
+  if (offset + count > size()) {
+    throw std::out_of_range{"Packet::erase beyond packet size"};
+  }
+  const auto first = buffer_.begin() + static_cast<std::ptrdiff_t>(head_ + offset);
+  buffer_.erase(first, first + static_cast<std::ptrdiff_t>(count));
+}
+
+std::span<const std::uint8_t> Packet::peek(std::size_t count) const {
+  if (count > size()) {
+    throw std::out_of_range{"Packet::peek beyond packet size"};
+  }
+  return {buffer_.data() + head_, count};
+}
+
+}  // namespace elmo::net

@@ -1,0 +1,64 @@
+// Packet buffer used by the software data plane.
+//
+// A Packet is a contiguous byte buffer with cheap header prepend/consume at
+// the front (network switches pop Elmo p-rule layers hop by hop). The buffer
+// keeps headroom at the front, mirroring how real packet buffers (skb, rte_mbuf)
+// avoid memmove on encap/decap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace elmo::net {
+
+class Packet {
+ public:
+  static constexpr std::size_t kDefaultHeadroom = 512;
+
+  Packet() : Packet(std::span<const std::uint8_t>{}) {}
+
+  explicit Packet(std::span<const std::uint8_t> payload,
+                  std::size_t headroom = kDefaultHeadroom)
+      : buffer_(headroom + payload.size()), head_{headroom} {
+    std::copy(payload.begin(), payload.end(), buffer_.begin() + headroom);
+  }
+
+  // A packet of `size` zero bytes (payload placeholder for simulations).
+  static Packet of_size(std::size_t size) {
+    Packet p;
+    p.buffer_.assign(kDefaultHeadroom + size, 0);
+    p.head_ = kDefaultHeadroom;
+    return p;
+  }
+
+  std::size_t size() const noexcept { return buffer_.size() - head_; }
+
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return {buffer_.data() + head_, size()};
+  }
+  std::span<std::uint8_t> mutable_bytes() noexcept {
+    return {buffer_.data() + head_, size()};
+  }
+
+  // Prepends a header; grows headroom if exhausted.
+  void push_front(std::span<const std::uint8_t> header);
+
+  // Removes `count` bytes from the front (header consumed by a hop).
+  void pop_front(std::size_t count);
+
+  // Removes `count` bytes starting at `offset` (a deparser dropping
+  // invalidated headers that sit behind the outer encapsulation).
+  void erase(std::size_t offset, std::size_t count);
+
+  // Reads without consuming.
+  std::span<const std::uint8_t> peek(std::size_t count) const;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace elmo::net

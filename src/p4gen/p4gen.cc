@@ -1,0 +1,431 @@
+#include "p4gen/p4gen.h"
+
+#include <sstream>
+
+namespace elmo::p4gen {
+namespace {
+
+// Small helper collecting generated lines with indentation.
+class P4Writer {
+ public:
+  void line(const std::string& text = "") {
+    for (int i = 0; i < indent_; ++i) out_ << "    ";
+    out_ << text << "\n";
+  }
+  void open(const std::string& text) {
+    line(text + " {");
+    ++indent_;
+  }
+  void close(const std::string& suffix = "") {
+    --indent_;
+    line("}" + suffix);
+  }
+  std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+  int indent_ = 0;
+};
+
+void emit_outer_headers(P4Writer& w) {
+  w.open("header ethernet_t");
+  w.line("bit<48> dst_addr;");
+  w.line("bit<48> src_addr;");
+  w.line("bit<16> ether_type;");
+  w.close();
+  w.line();
+  w.open("header ipv4_t");
+  w.line("bit<4>  version;");
+  w.line("bit<4>  ihl;");
+  w.line("bit<8>  dscp;");
+  w.line("bit<16> total_len;");
+  w.line("bit<16> identification;");
+  w.line("bit<16> flags_frag;");
+  w.line("bit<8>  ttl;");
+  w.line("bit<8>  protocol;");
+  w.line("bit<16> checksum;");
+  w.line("bit<32> src_addr;");
+  w.line("bit<32> dst_addr;");
+  w.close();
+  w.line();
+  w.open("header udp_t");
+  w.line("bit<16> src_port;");
+  w.line("bit<16> dst_port;");
+  w.line("bit<16> length;");
+  w.line("bit<16> checksum;");
+  w.close();
+  w.line();
+  w.open("header vxlan_t");
+  w.line("bit<7>  flags;");
+  w.line("bit<1>  elmo_present;  // reserved bit 0x01: Elmo rules follow");
+  w.line("bit<24> reserved1;");
+  w.line("bit<24> vni;");
+  w.line("bit<8>  reserved2;");
+  w.close();
+}
+
+void emit_elmo_headers(P4Writer& w, const P4Widths& widths,
+                       const P4Options& opt) {
+  w.line("// --- Elmo sections (Fig. 2). Each section is byte-aligned; the");
+  w.line("// 3-bit tag is modelled in the `type` field of each header. ---");
+  w.line();
+  w.open("header elmo_tag_t");
+  w.line("bit<3> tag;  // 0 END, 1 U_LEAF, 2 U_SPINE, 3 CORE, 4 SPINE, 5 LEAF");
+  w.close();
+  w.line();
+  w.open("header elmo_u_leaf_t");
+  w.line("bit<1>  multipath;");
+  w.line("bit<" + std::to_string(widths.leaf_up_ports) + "> up_ports;");
+  w.line("bit<" + std::to_string(widths.leaf_ports) + "> down_ports;");
+  w.close();
+  w.line();
+  w.open("header elmo_u_spine_t");
+  w.line("bit<1>  multipath;");
+  w.line("bit<" + std::to_string(widths.spine_up_ports) + "> up_ports;");
+  w.line("bit<" + std::to_string(widths.spine_ports) + "> down_ports;");
+  w.close();
+  w.line();
+  w.open("header elmo_core_t");
+  w.line("bit<" + std::to_string(widths.core_ports) + "> pod_bitmap;");
+  w.close();
+  w.line();
+  w.line("// One p-rule slot per parser state; Hmax_spine = " +
+         std::to_string(opt.hmax_spine) + ", Hmax_leaf = " +
+         std::to_string(opt.hmax_leaf) + ".");
+  w.open("header elmo_spine_rule_t");
+  w.line("bit<" + std::to_string(widths.spine_ports) + "> bitmap;");
+  w.line("bit<" + std::to_string(widths.pod_id_bits) + "> id0;");
+  w.line("bit<1>  next_id;");
+  w.line("bit<1>  next_rule;");
+  w.close();
+  w.line();
+  w.open("header elmo_leaf_rule_t");
+  w.line("bit<" + std::to_string(widths.leaf_ports) + "> bitmap;");
+  w.line("bit<" + std::to_string(widths.leaf_id_bits) + "> id0;");
+  w.line("bit<1>  next_id;");
+  w.line("bit<1>  next_rule;");
+  w.close();
+}
+
+void emit_metadata(P4Writer& w, const P4Widths& widths) {
+  w.open("struct elmo_metadata_t");
+  w.line("bit<1>  matched;        // parser found our p-rule");
+  w.line("bit<1>  has_default;");
+  w.line("bit<" + std::to_string(std::max(widths.leaf_ports,
+                                          widths.spine_ports)) +
+         "> bitmap;  // match-and-set result");
+  w.line("bit<" + std::to_string(std::max(widths.leaf_ports,
+                                          widths.spine_ports)) +
+         "> default_bitmap;");
+  w.line("bit<1>  upstream;");
+  w.line("bit<1>  multipath;");
+  w.close();
+}
+
+}  // namespace
+
+P4Options P4Options::from_config(const EncoderConfig& cfg,
+                                 std::size_t derived_hmax_leaf) {
+  P4Options opt;
+  opt.hmax_spine = cfg.hmax_spine;
+  opt.hmax_leaf = derived_hmax_leaf;
+  opt.kmax = cfg.kmax;
+  opt.kmax_spine = cfg.kmax_spine;
+  return opt;
+}
+
+P4Widths P4Widths::of(const topo::ClosTopology& t) {
+  P4Widths w;
+  w.leaf_ports = static_cast<unsigned>(t.leaf_down_ports());
+  w.leaf_up_ports = static_cast<unsigned>(t.leaf_up_ports());
+  w.spine_ports = static_cast<unsigned>(t.spine_down_ports());
+  w.spine_up_ports = static_cast<unsigned>(t.spine_up_ports());
+  w.core_ports = static_cast<unsigned>(t.core_ports());
+  w.leaf_id_bits = t.leaf_id_bits();
+  w.pod_id_bits = t.pod_id_bits();
+  return w;
+}
+
+std::string network_switch_program(const topo::ClosTopology& topology,
+                                   const P4Options& opt) {
+  const auto widths = P4Widths::of(topology);
+  P4Writer w;
+
+  w.line("// Elmo network-switch program (generated).");
+  w.line("// Fabric: " + std::to_string(topology.num_pods()) + " pods x " +
+         std::to_string(topology.params().leaves_per_pod) + " leaves x " +
+         std::to_string(topology.params().hosts_per_leaf) + " hosts (" +
+         std::to_string(topology.num_hosts()) + " hosts).");
+  w.line("#include <core.p4>");
+  w.line("#include <v1model.p4>");
+  w.line();
+  w.line("// Role is fixed per deployment tier at compile time.");
+  w.line("#define ROLE_LEAF  0");
+  w.line("#define ROLE_SPINE 1");
+  w.line("#define ROLE_CORE  2");
+  w.line();
+  emit_outer_headers(w);
+  w.line();
+  emit_elmo_headers(w, widths, opt);
+  w.line();
+  emit_metadata(w, widths);
+  w.line();
+
+  // Headers struct with unrolled p-rule slots.
+  w.open("struct headers_t");
+  w.line("ethernet_t ethernet;");
+  w.line("ipv4_t ipv4;");
+  w.line("udp_t udp;");
+  w.line("vxlan_t vxlan;");
+  w.line("elmo_u_leaf_t u_leaf;");
+  w.line("elmo_u_spine_t u_spine;");
+  w.line("elmo_core_t core;");
+  for (std::size_t i = 0; i < opt.hmax_spine; ++i) {
+    w.line("elmo_spine_rule_t spine_rule_" + std::to_string(i) + ";");
+  }
+  w.line("elmo_spine_rule_t spine_default;");
+  for (std::size_t i = 0; i < opt.hmax_leaf; ++i) {
+    w.line("elmo_leaf_rule_t leaf_rule_" + std::to_string(i) + ";");
+  }
+  w.line("elmo_leaf_rule_t leaf_default;");
+  w.close();
+  w.line();
+
+  // ---- parser: the match-and-set over p-rules (paper §4.1) ----------------
+  w.open("parser ElmoParser(packet_in pkt, out headers_t hdr,");
+  w.line("                  inout elmo_metadata_t meta,");
+  w.line("                  inout standard_metadata_t std_meta)");
+  w.close("");  // close the signature brace opened by open(); reopen body
+  w.open("");
+  w.open("state start");
+  w.line("pkt.extract(hdr.ethernet);");
+  w.line("transition select(hdr.ethernet.ether_type) {");
+  w.line("    0x0800: parse_ipv4;");
+  w.line("    default: accept;");
+  w.line("}");
+  w.close();
+  w.open("state parse_ipv4");
+  w.line("pkt.extract(hdr.ipv4);");
+  w.line("transition select(hdr.ipv4.protocol) { 17: parse_udp; default: accept; }");
+  w.close();
+  w.open("state parse_udp");
+  w.line("pkt.extract(hdr.udp);");
+  w.line("transition select(hdr.udp.dst_port) { 4789: parse_vxlan; default: accept; }");
+  w.close();
+  w.open("state parse_vxlan");
+  w.line("pkt.extract(hdr.vxlan);");
+  w.line("transition select(hdr.vxlan.elmo_present) { 1: parse_elmo_section; default: accept; }");
+  w.close();
+  w.open("state parse_elmo_section");
+  w.line("transition select(pkt.lookahead<bit<3>>()) {");
+  w.line("    1: parse_u_leaf;");
+  w.line("    2: parse_u_spine;");
+  w.line("    3: parse_core;");
+  w.line("    4: parse_spine_rule_0;");
+  w.line("    5: parse_leaf_rule_0;");
+  w.line("    default: accept;  // END");
+  w.line("}");
+  w.close();
+  w.open("state parse_u_leaf");
+  w.line("pkt.extract(hdr.u_leaf);");
+  w.line("#if ROLE == ROLE_LEAF");
+  w.line("meta.upstream = 1; meta.multipath = hdr.u_leaf.multipath;");
+  w.line("#endif");
+  w.line("transition parse_elmo_section;");
+  w.close();
+  w.open("state parse_u_spine");
+  w.line("pkt.extract(hdr.u_spine);");
+  w.line("#if ROLE == ROLE_SPINE");
+  w.line("meta.upstream = 1; meta.multipath = hdr.u_spine.multipath;");
+  w.line("#endif");
+  w.line("transition parse_elmo_section;");
+  w.close();
+  w.open("state parse_core");
+  w.line("pkt.extract(hdr.core);");
+  w.line("transition parse_elmo_section;");
+  w.close();
+
+  auto emit_rule_chain = [&](const std::string& layer, std::size_t hmax,
+                             const std::string& role_guard) {
+    for (std::size_t i = 0; i < hmax; ++i) {
+      const auto name = layer + "_rule_" + std::to_string(i);
+      w.open("state parse_" + name);
+      w.line("pkt.extract(hdr." + name + ");");
+      w.line("#if ROLE == " + role_guard);
+      w.line("// match-and-set: compare our identifier inside the parser");
+      w.line("if (hdr." + name + ".id0 == SWITCH_ID && meta.matched == 0) {");
+      w.line("    meta.matched = 1;");
+      w.line("    meta.bitmap = hdr." + name + ".bitmap;");
+      w.line("}");
+      w.line("#endif");
+      if (i + 1 < hmax) {
+        w.line("transition select(hdr." + name + ".next_rule) {");
+        w.line("    1: parse_" + layer + "_rule_" + std::to_string(i + 1) +
+               ";");
+        w.line("    default: parse_" + layer + "_maybe_default;");
+        w.line("}");
+      } else {
+        w.line("transition parse_" + layer + "_maybe_default;");
+      }
+      w.close();
+    }
+    w.open("state parse_" + layer + "_maybe_default");
+    w.line("transition select(pkt.lookahead<bit<1>>()) {");
+    w.line("    1: parse_" + layer + "_default;");
+    w.line("    default: parse_elmo_section;");
+    w.line("}");
+    w.close();
+    w.open("state parse_" + layer + "_default");
+    w.line("pkt.extract(hdr." + layer + "_default);");
+    w.line("#if ROLE == " + role_guard);
+    w.line("meta.has_default = 1;");
+    w.line("meta.default_bitmap = hdr." + layer + "_default.bitmap;");
+    w.line("#endif");
+    w.line("transition parse_elmo_section;");
+    w.close();
+  };
+  emit_rule_chain("spine", opt.hmax_spine, "ROLE_SPINE");
+  emit_rule_chain("leaf", opt.hmax_leaf, "ROLE_LEAF");
+  w.close();  // parser
+  w.line();
+
+  // ---- ingress: control flow of §4.1 ---------------------------------------
+  w.open("control ElmoIngress(inout headers_t hdr,");
+  w.line("                    inout elmo_metadata_t meta,");
+  w.line("                    inout standard_metadata_t std_meta)");
+  w.close("");
+  w.open("");
+  w.line("action bitmap_port_select(bit<" +
+         std::to_string(std::max(widths.leaf_ports, widths.spine_ports)) +
+         "> ports) {");
+  w.line("    // queue-manager primitive: replicate to the ports in `ports`");
+  w.line("    std_meta.mcast_grp = 0;  // bits delivered as metadata (§4.1)");
+  w.line("}");
+  w.line("action forward_group(bit<16> mcast_group) { std_meta.mcast_grp = mcast_group; }");
+  w.line("action drop() { mark_to_drop(std_meta); }");
+  w.line();
+  w.open("table group_table");
+  w.line("key = { hdr.ipv4.dst_addr: exact; }  // s-rules");
+  w.line("actions = { forward_group; drop; }");
+  w.line("size = " + std::to_string(opt.group_table_size) + ";");
+  w.line("default_action = drop();");
+  w.close();
+  w.line();
+  w.open("apply");
+  w.line("if (meta.upstream == 1) {");
+  w.line("    // upstream rule: downstream ports + multipath/explicit uplinks");
+  w.line("    bitmap_port_select(meta.bitmap);");
+  w.line("} else if (meta.matched == 1) {");
+  w.line("    bitmap_port_select(meta.bitmap);          // p-rule hit");
+  w.line("} else if (group_table.apply().hit) {");
+  w.line("    // s-rule hit: queue manager expands the group id");
+  w.line("} else if (meta.has_default == 1) {");
+  w.line("    bitmap_port_select(meta.default_bitmap);  // default p-rule");
+  w.line("} else {");
+  w.line("    drop();");
+  w.line("}");
+  w.close();
+  w.close();  // ingress
+  w.line();
+
+  // ---- egress: pop consumed sections --------------------------------------
+  w.open("control ElmoEgress(inout headers_t hdr,");
+  w.line("                   inout elmo_metadata_t meta,");
+  w.line("                   inout standard_metadata_t std_meta)");
+  w.close("");
+  w.open("");
+  w.open("apply");
+  w.line("#if ROLE == ROLE_LEAF");
+  w.line("if (std_meta.egress_port < " + std::to_string(widths.leaf_ports) +
+         ") {");
+  w.line("    // towards hosts: invalidate every Elmo header (§4.1)");
+  w.line("    hdr.u_leaf.setInvalid(); hdr.u_spine.setInvalid(); hdr.core.setInvalid();");
+  for (std::size_t i = 0; i < opt.hmax_spine; ++i) {
+    w.line("    hdr.spine_rule_" + std::to_string(i) + ".setInvalid();");
+  }
+  w.line("    hdr.spine_default.setInvalid();");
+  for (std::size_t i = 0; i < opt.hmax_leaf; ++i) {
+    w.line("    hdr.leaf_rule_" + std::to_string(i) + ".setInvalid();");
+  }
+  w.line("    hdr.leaf_default.setInvalid();");
+  w.line("    hdr.vxlan.elmo_present = 0;");
+  w.line("} else {");
+  w.line("    hdr.u_leaf.setInvalid();  // upstream copy: pop our layer");
+  w.line("}");
+  w.line("#elif ROLE == ROLE_SPINE");
+  w.line("if (std_meta.egress_port < " + std::to_string(widths.spine_ports) +
+         ") {");
+  w.line("    // down to a leaf: pop everything before the leaf layer");
+  w.line("    hdr.u_spine.setInvalid(); hdr.core.setInvalid();");
+  for (std::size_t i = 0; i < opt.hmax_spine; ++i) {
+    w.line("    hdr.spine_rule_" + std::to_string(i) + ".setInvalid();");
+  }
+  w.line("    hdr.spine_default.setInvalid();");
+  w.line("} else {");
+  w.line("    hdr.u_spine.setInvalid();");
+  w.line("}");
+  w.line("#else  // ROLE_CORE");
+  w.line("hdr.core.setInvalid();");
+  w.line("#endif");
+  w.close();
+  w.close();
+  w.line();
+  w.line("// deparser / checksum controls elided: emit() of valid headers only.");
+  return w.str();
+}
+
+std::string hypervisor_switch_program(const topo::ClosTopology& topology,
+                                      const P4Options& opt) {
+  const auto widths = P4Widths::of(topology);
+  P4Writer w;
+  w.line("// Elmo hypervisor-switch program (generated, PISCES-style).");
+  w.line("// All p-rules are expressed as ONE opaque header blob so the");
+  w.line("// software switch encapsulates with a single write (§4.2).");
+  w.line("#include <core.p4>");
+  w.line("#include <v1model.p4>");
+  w.line();
+  emit_outer_headers(w);
+  w.line();
+  const std::size_t blob_bits =
+      8 * (opt.hmax_leaf * (widths.leaf_ports + opt.kmax *
+                            (widths.leaf_id_bits + 1)) / 8 + 64);
+  w.open("header elmo_blob_t");
+  w.line("varbit<" + std::to_string(blob_bits) +
+         "> rules;  // entire p-rule header, single write");
+  w.close();
+  w.line();
+  w.open("struct headers_t");
+  w.line("ethernet_t ethernet;");
+  w.line("ipv4_t ipv4;");
+  w.line("udp_t udp;");
+  w.line("vxlan_t vxlan;");
+  w.line("elmo_blob_t elmo;");
+  w.close();
+  w.line();
+  w.open("control HypervisorIngress(inout headers_t hdr,");
+  w.line("                          inout standard_metadata_t std_meta)");
+  w.close("");
+  w.open("");
+  w.line("action encap_and_send(bit<24> vni) {");
+  w.line("    // push outer Ethernet/IPv4/UDP/VXLAN + the group's Elmo blob");
+  w.line("    hdr.vxlan.setValid(); hdr.vxlan.vni = vni; hdr.vxlan.elmo_present = 1;");
+  w.line("    hdr.elmo.setValid();  // contents installed by the controller");
+  w.line("    std_meta.egress_spec = UPLINK_PORT;");
+  w.line("}");
+  w.line("action deliver_local(bit<16> vm_port) { std_meta.egress_spec = (bit<9>)vm_port; }");
+  w.line("action drop() { mark_to_drop(std_meta); }");
+  w.line();
+  w.open("table group_flows");
+  w.line("key = { hdr.ipv4.dst_addr: exact; }  // tenant multicast address");
+  w.line("actions = { encap_and_send; deliver_local; drop; }");
+  w.line("default_action = drop();  // non-members discarded");
+  w.close();
+  w.line();
+  w.open("apply");
+  w.line("group_flows.apply();");
+  w.close();
+  w.close();
+  return w.str();
+}
+
+}  // namespace elmo::p4gen

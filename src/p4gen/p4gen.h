@@ -1,0 +1,65 @@
+// P4_16 program generation (paper §2: "The controller relies on a high-level
+// language (like P4) to configure the programmable switches at boot time so
+// that the switches can parse and process Elmo's multicast packets"; the
+// published artifact is the Elmo-MCast/p4-programs repository).
+//
+// Given a concrete topology and encoder configuration, this module emits the
+// P4_16 source for:
+//   * the network-switch program — header definitions sized to the fabric
+//     (bitmap widths, identifier widths, Hmax p-rule chains), the parser
+//     state machine that performs match-and-set over p-rules, the ingress
+//     control flow (upstream rule / matched bitmap / s-rule group table /
+//     default rule), and the egress invalidation of consumed sections;
+//   * the hypervisor-switch program — flow table keyed on the tenant group
+//     address whose action pushes the precomputed rule header in one shot.
+//
+// The generated text is valid-shaped P4_16 targeting a v1model-style
+// architecture; tests verify its structural properties (state counts, bit
+// widths, table/action presence) rather than compiling it, since no P4
+// compiler ships in this environment.
+#pragma once
+
+#include <string>
+
+#include "elmo/rules.h"
+#include "topology/clos.h"
+
+namespace elmo::p4gen {
+
+struct P4Options {
+  // Maximum p-rules the parser unrolls per downstream layer (the parser has
+  // no loops; each p-rule slot is an explicit state).
+  std::size_t hmax_spine = 6;
+  std::size_t hmax_leaf = 30;
+  std::size_t kmax = 2;        // id slots per leaf p-rule state chain
+  std::size_t kmax_spine = 4;  // id slots per spine p-rule state chain
+  std::size_t group_table_size = 10'000;  // s-rule table depth
+
+  static P4Options from_config(const EncoderConfig& cfg,
+                               std::size_t derived_hmax_leaf);
+};
+
+// Widths derived from the topology, shared by both programs.
+struct P4Widths {
+  unsigned leaf_ports = 0;
+  unsigned leaf_up_ports = 0;
+  unsigned spine_ports = 0;
+  unsigned spine_up_ports = 0;
+  unsigned core_ports = 0;
+  unsigned leaf_id_bits = 0;
+  unsigned pod_id_bits = 0;
+
+  static P4Widths of(const topo::ClosTopology& topology);
+};
+
+// Network-switch program (leaf/spine/core roles are selected by a
+// compile-time role constant inside the program, as the paper's artifact
+// does with preprocessor switches).
+std::string network_switch_program(const topo::ClosTopology& topology,
+                                   const P4Options& options);
+
+// Hypervisor-switch (PISCES-style) program.
+std::string hypervisor_switch_program(const topo::ClosTopology& topology,
+                                      const P4Options& options);
+
+}  // namespace elmo::p4gen

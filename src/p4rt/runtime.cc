@@ -1,0 +1,284 @@
+#include "p4rt/runtime.h"
+
+#include <stdexcept>
+
+namespace elmo::p4rt {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x5034454c;  // "P4EL"
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_{data} {}
+  std::uint8_t u8() {
+    need(1);
+    return data_[at_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const auto v = static_cast<std::uint16_t>((data_[at_] << 8) |
+                                              data_[at_ + 1]);
+    at_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const auto hi = u16();
+    return (static_cast<std::uint32_t>(hi) << 16) | u16();
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    const auto view = data_.subspan(at_, n);
+    at_ += n;
+    return view;
+  }
+  bool done() const noexcept { return at_ == data_.size(); }
+  std::size_t position() const noexcept { return at_; }
+
+ private:
+  void need(std::size_t n) {
+    if (at_ + n > data_.size()) {
+      throw std::invalid_argument{"p4rt: truncated message"};
+    }
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t at_ = 0;
+};
+
+void encode_bitmap(std::vector<std::uint8_t>& out,
+                   const net::PortBitmap& ports) {
+  put_u16(out, static_cast<std::uint16_t>(ports.size()));
+  std::uint8_t byte = 0;
+  for (std::size_t p = 0; p < ports.size(); ++p) {
+    if (ports.test(p)) byte |= static_cast<std::uint8_t>(1u << (p % 8));
+    if (p % 8 == 7 || p + 1 == ports.size()) {
+      out.push_back(byte);
+      byte = 0;
+    }
+  }
+}
+
+net::PortBitmap decode_bitmap(Reader& in) {
+  const auto size = in.u16();
+  net::PortBitmap ports{size};
+  const auto bytes = in.bytes((size + 7) / 8);
+  for (std::size_t p = 0; p < size; ++p) {
+    if ((bytes[p / 8] >> (p % 8)) & 1) ports.set(p);
+  }
+  return ports;
+}
+
+}  // namespace
+
+std::vector<Update> compile_install(const Controller& controller,
+                                    elmo::GroupId group) {
+  const auto& g = controller.group(group);
+  std::vector<Update> updates;
+
+  for (const auto& member : g.members) {
+    Update u;
+    u.kind = UpdateKind::kHypervisorFlowAdd;
+    u.host = member.host;
+    u.group = g.address;
+    u.vni = g.tenant;
+    if (can_receive(member.role)) u.local_vms.push_back(member.vm);
+    if (can_send(member.role)) {
+      u.elmo_header = controller.header_for(group, member.host);
+    }
+    updates.push_back(std::move(u));
+  }
+  for (const auto& [leaf, bitmap] : g.encoding.leaf.s_rules) {
+    Update u;
+    u.kind = UpdateKind::kSRuleAdd;
+    u.layer = topo::Layer::kLeaf;
+    u.switch_id = leaf;
+    u.group = g.address;
+    u.ports = bitmap;
+    updates.push_back(std::move(u));
+  }
+  const auto& t = controller.topology();
+  for (const auto& [pod, bitmap] : g.encoding.spine.s_rules) {
+    for (std::size_t plane = 0; plane < t.params().spines_per_pod; ++plane) {
+      Update u;
+      u.kind = UpdateKind::kSRuleAdd;
+      u.layer = topo::Layer::kSpine;
+      u.switch_id = t.spine_at(pod, plane);
+      u.group = g.address;
+      u.ports = bitmap;
+      updates.push_back(std::move(u));
+    }
+  }
+  return updates;
+}
+
+std::vector<Update> compile_uninstall(const Controller& controller,
+                                      elmo::GroupId group) {
+  auto updates = compile_install(controller, group);
+  for (auto& u : updates) {
+    switch (u.kind) {
+      case UpdateKind::kHypervisorFlowAdd:
+        u.kind = UpdateKind::kHypervisorFlowDel;
+        u.local_vms.clear();
+        u.elmo_header.clear();
+        break;
+      case UpdateKind::kSRuleAdd:
+        u.kind = UpdateKind::kSRuleDel;
+        u.ports = net::PortBitmap{};
+        break;
+      default:
+        break;
+    }
+  }
+  return updates;
+}
+
+std::vector<std::uint8_t> encode(std::span<const Update> updates) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u32(out, static_cast<std::uint32_t>(updates.size()));
+  for (const auto& u : updates) {
+    std::vector<std::uint8_t> body;
+    switch (u.kind) {
+      case UpdateKind::kHypervisorFlowAdd:
+        put_u32(body, u.host);
+        put_u32(body, u.group.value);
+        put_u32(body, u.vni);
+        put_u16(body, static_cast<std::uint16_t>(u.local_vms.size()));
+        for (const auto vm : u.local_vms) put_u32(body, vm);
+        put_u16(body, static_cast<std::uint16_t>(u.elmo_header.size()));
+        body.insert(body.end(), u.elmo_header.begin(), u.elmo_header.end());
+        break;
+      case UpdateKind::kHypervisorFlowDel:
+        put_u32(body, u.host);
+        put_u32(body, u.group.value);
+        break;
+      case UpdateKind::kSRuleAdd:
+        body.push_back(static_cast<std::uint8_t>(u.layer));
+        put_u32(body, u.switch_id);
+        put_u32(body, u.group.value);
+        encode_bitmap(body, u.ports);
+        break;
+      case UpdateKind::kSRuleDel:
+        body.push_back(static_cast<std::uint8_t>(u.layer));
+        put_u32(body, u.switch_id);
+        put_u32(body, u.group.value);
+        break;
+    }
+    out.push_back(static_cast<std::uint8_t>(u.kind));
+    if (body.size() > 0xffff) {
+      throw std::length_error{"p4rt: message too large"};
+    }
+    put_u16(out, static_cast<std::uint16_t>(body.size()));
+    out.insert(out.end(), body.begin(), body.end());
+  }
+  return out;
+}
+
+std::vector<Update> decode(std::span<const std::uint8_t> wire) {
+  Reader in{wire};
+  if (in.u32() != kMagic) throw std::invalid_argument{"p4rt: bad magic"};
+  const auto count = in.u32();
+  std::vector<Update> updates;
+  updates.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto kind = in.u8();
+    const auto length = in.u16();
+    const auto body_start = in.position();
+    Update u;
+    switch (kind) {
+      case 1: {
+        u.kind = UpdateKind::kHypervisorFlowAdd;
+        u.host = in.u32();
+        u.group.value = in.u32();
+        u.vni = in.u32();
+        const auto vm_count = in.u16();
+        for (std::uint16_t v = 0; v < vm_count; ++v) {
+          u.local_vms.push_back(in.u32());
+        }
+        const auto header_len = in.u16();
+        const auto view = in.bytes(header_len);
+        u.elmo_header.assign(view.begin(), view.end());
+        break;
+      }
+      case 2:
+        u.kind = UpdateKind::kHypervisorFlowDel;
+        u.host = in.u32();
+        u.group.value = in.u32();
+        break;
+      case 3:
+        u.kind = UpdateKind::kSRuleAdd;
+        u.layer = static_cast<topo::Layer>(in.u8());
+        u.switch_id = in.u32();
+        u.group.value = in.u32();
+        u.ports = decode_bitmap(in);
+        break;
+      case 4:
+        u.kind = UpdateKind::kSRuleDel;
+        u.layer = static_cast<topo::Layer>(in.u8());
+        u.switch_id = in.u32();
+        u.group.value = in.u32();
+        break;
+      default:
+        throw std::invalid_argument{"p4rt: unknown message kind"};
+    }
+    if (in.position() - body_start != length) {
+      throw std::invalid_argument{"p4rt: length mismatch"};
+    }
+    updates.push_back(std::move(u));
+  }
+  if (!in.done()) throw std::invalid_argument{"p4rt: trailing bytes"};
+  return updates;
+}
+
+void apply_updates(sim::Fabric& fabric, std::span<const Update> updates) {
+  for (const auto& u : updates) {
+    switch (u.kind) {
+      case UpdateKind::kHypervisorFlowAdd: {
+        dp::HypervisorSwitch::GroupFlow flow;
+        flow.vni = u.vni;
+        flow.local_vms = u.local_vms;
+        flow.elmo_header = u.elmo_header;
+        fabric.hypervisor(u.host).install_flow(u.group, std::move(flow));
+        break;
+      }
+      case UpdateKind::kHypervisorFlowDel:
+        fabric.hypervisor(u.host).remove_flow(u.group);
+        break;
+      case UpdateKind::kSRuleAdd:
+        if (u.layer == topo::Layer::kLeaf) {
+          fabric.leaf(u.switch_id).install_srule(u.group, u.ports);
+        } else if (u.layer == topo::Layer::kSpine) {
+          fabric.spine(u.switch_id).install_srule(u.group, u.ports);
+        } else {
+          throw std::invalid_argument{"p4rt: s-rule at unsupported layer"};
+        }
+        break;
+      case UpdateKind::kSRuleDel:
+        if (u.layer == topo::Layer::kLeaf) {
+          fabric.leaf(u.switch_id).remove_srule(u.group);
+        } else if (u.layer == topo::Layer::kSpine) {
+          fabric.spine(u.switch_id).remove_srule(u.group);
+        } else {
+          throw std::invalid_argument{"p4rt: s-rule at unsupported layer"};
+        }
+        break;
+    }
+  }
+}
+
+std::size_t install_via_channel(const Controller& controller,
+                                elmo::GroupId group, sim::Fabric& fabric) {
+  const auto wire = encode(compile_install(controller, group));
+  apply_updates(fabric, decode(wire));
+  return wire.size();
+}
+
+}  // namespace elmo::p4rt

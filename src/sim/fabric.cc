@@ -1,0 +1,223 @@
+#include "sim/fabric.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace elmo::sim {
+
+Fabric::Fabric(const topo::ClosTopology& topology) : topo_{&topology} {
+  hypervisors_.reserve(topology.num_hosts());
+  for (topo::HostId h = 0; h < topology.num_hosts(); ++h) {
+    hypervisors_.push_back(
+        std::make_unique<dp::HypervisorSwitch>(topology, h));
+  }
+  leaves_.reserve(topology.num_leaves());
+  for (topo::LeafId l = 0; l < topology.num_leaves(); ++l) {
+    leaves_.push_back(
+        std::make_unique<dp::NetworkSwitch>(topology, topo::Layer::kLeaf, l));
+  }
+  spines_.reserve(topology.num_spines());
+  for (topo::SpineId s = 0; s < topology.num_spines(); ++s) {
+    spines_.push_back(
+        std::make_unique<dp::NetworkSwitch>(topology, topo::Layer::kSpine, s));
+  }
+  cores_.reserve(topology.num_cores());
+  for (topo::CoreId c = 0; c < topology.num_cores(); ++c) {
+    cores_.push_back(
+        std::make_unique<dp::NetworkSwitch>(topology, topo::Layer::kCore, c));
+  }
+}
+
+void Fabric::install_group(const elmo::Controller& controller,
+                           elmo::GroupId group) {
+  const auto& g = controller.group(group);
+
+  for (const auto& member : g.members) {
+    dp::HypervisorSwitch::GroupFlow flow;
+    flow.vni = g.tenant;
+    if (elmo::can_receive(member.role)) flow.local_vms.push_back(member.vm);
+    if (elmo::can_send(member.role)) {
+      flow.elmo_header = controller.header_for(group, member.host);
+    }
+    hypervisor(member.host).install_flow(g.address, std::move(flow));
+  }
+
+  for (const auto& [leaf_id, bitmap] : g.encoding.leaf.s_rules) {
+    leaf(leaf_id).install_srule(g.address, bitmap);
+  }
+  for (const auto& [pod, bitmap] : g.encoding.spine.s_rules) {
+    for (std::size_t plane = 0; plane < topo_->params().spines_per_pod;
+         ++plane) {
+      spine(topo_->spine_at(pod, plane)).install_srule(g.address, bitmap);
+    }
+  }
+}
+
+void Fabric::uninstall_group(const elmo::Controller& controller,
+                             elmo::GroupId group) {
+  const auto& g = controller.group(group);
+  for (const auto& member : g.members) {
+    hypervisor(member.host).remove_flow(g.address);
+  }
+  for (const auto& [leaf_id, bitmap] : g.encoding.leaf.s_rules) {
+    (void)bitmap;
+    leaf(leaf_id).remove_srule(g.address);
+  }
+  for (const auto& [pod, bitmap] : g.encoding.spine.s_rules) {
+    (void)bitmap;
+    for (std::size_t plane = 0; plane < topo_->params().spines_per_pod;
+         ++plane) {
+      spine(topo_->spine_at(pod, plane)).remove_srule(g.address);
+    }
+  }
+}
+
+void Fabric::account(const NodeRef& from, const NodeRef& to,
+                     const net::Packet& packet, SendResult& result) {
+  auto& link = links_[{from, to}];
+  ++link.packets;
+  link.bytes += packet.size();
+  ++result.total_link_transmissions;
+  result.total_wire_bytes += packet.size();
+}
+
+NodeRef Fabric::neighbor_of(const NodeRef& node, std::size_t out_port) const {
+  const auto& t = *topo_;
+  switch (node.layer) {
+    case topo::Layer::kLeaf: {
+      if (out_port < t.leaf_down_ports()) {
+        return NodeRef{topo::Layer::kHost, t.host_at(node.id, out_port)};
+      }
+      const auto plane = out_port - t.leaf_down_ports();
+      return NodeRef{topo::Layer::kSpine,
+                     t.spine_at(t.pod_of_leaf(node.id), plane)};
+    }
+    case topo::Layer::kSpine: {
+      if (out_port < t.spine_down_ports()) {
+        return NodeRef{topo::Layer::kLeaf,
+                       t.leaf_at(t.pod_of_spine(node.id), out_port)};
+      }
+      const auto core_index = out_port - t.spine_down_ports();
+      return NodeRef{topo::Layer::kCore,
+                     t.core_behind_spine_port(node.id, core_index)};
+    }
+    case topo::Layer::kCore:
+      return NodeRef{topo::Layer::kSpine,
+                     t.spine_behind_core_port(
+                         node.id, static_cast<topo::PodId>(out_port))};
+    case topo::Layer::kHost:
+      break;
+  }
+  throw std::logic_error{"Fabric: hosts have no switch ports"};
+}
+
+SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
+                        std::span<const std::uint8_t> payload) {
+  SendResult result;
+  auto encapsulated = hypervisor(src).encapsulate(group, payload);
+  if (!encapsulated) return result;
+
+  constexpr std::size_t kMaxHops = 8;  // > any Clos path; catches loops
+  const NodeRef src_node{topo::Layer::kHost, src};
+  const NodeRef first_leaf{topo::Layer::kLeaf, topo_->leaf_of_host(src)};
+  account(src_node, first_leaf, *encapsulated, result);
+
+  std::deque<InFlight> queue;
+  if (!lost()) {
+    queue.push_back(InFlight{first_leaf, std::move(*encapsulated), 1});
+  }
+
+  while (!queue.empty()) {
+    auto item = std::move(queue.front());
+    queue.pop_front();
+    result.max_hops = std::max(result.max_hops, item.hops);
+    if (item.hops > kMaxHops) {
+      throw std::runtime_error{"Fabric: packet exceeded max hops (loop?)"};
+    }
+
+    dp::NetworkSwitch* sw = nullptr;
+    switch (item.at.layer) {
+      case topo::Layer::kLeaf:
+        sw = leaves_.at(item.at.id).get();
+        break;
+      case topo::Layer::kSpine:
+        sw = spines_.at(item.at.id).get();
+        break;
+      case topo::Layer::kCore:
+        sw = cores_.at(item.at.id).get();
+        break;
+      case topo::Layer::kHost:
+        throw std::logic_error{"Fabric: host in switch queue"};
+    }
+
+    for (auto& copy : sw->process(item.packet)) {
+      const auto next = neighbor_of(item.at, copy.out_port);
+      account(item.at, next, copy.packet, result);
+      if (lost()) continue;
+      if (next.layer == topo::Layer::kHost) {
+        ++result.host_copies[next.id];
+        result.vm_deliveries +=
+            hypervisor(next.id).receive(copy.packet).size();
+      } else {
+        queue.push_back(
+            InFlight{next, std::move(copy.packet), item.hops + 1});
+      }
+    }
+  }
+  return result;
+}
+
+SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
+                        std::size_t payload_bytes) {
+  const std::vector<std::uint8_t> payload(payload_bytes, 0xab);
+  return send(src, group, payload);
+}
+
+SendResult Fabric::send_unicast(topo::HostId src, topo::HostId dst,
+                                std::size_t payload_bytes) {
+  SendResult result;
+  if (src == dst) return result;
+  const auto& t = *topo_;
+  const auto wire_bytes = net::kOuterHeaderBytes + payload_bytes;
+  net::Packet packet = net::Packet::of_size(wire_bytes);
+
+  const auto hash =
+      dp::flow_hash(dp::host_address(src), dp::host_address(dst));
+  const auto src_leaf = t.leaf_of_host(src);
+  const auto dst_leaf = t.leaf_of_host(dst);
+
+  std::vector<NodeRef> path;
+  path.push_back(NodeRef{topo::Layer::kHost, src});
+  path.push_back(NodeRef{topo::Layer::kLeaf, src_leaf});
+  if (src_leaf != dst_leaf) {
+    const auto plane = hash % t.leaf_up_ports();
+    if (t.pod_of_leaf(src_leaf) == t.pod_of_leaf(dst_leaf)) {
+      path.push_back(NodeRef{topo::Layer::kSpine,
+                             t.spine_at(t.pod_of_leaf(src_leaf), plane)});
+    } else {
+      path.push_back(NodeRef{topo::Layer::kSpine,
+                             t.spine_at(t.pod_of_leaf(src_leaf), plane)});
+      path.push_back(NodeRef{
+          topo::Layer::kCore,
+          t.core_at(plane, (hash >> 8) % t.spine_up_ports())});
+      path.push_back(NodeRef{topo::Layer::kSpine,
+                             t.spine_at(t.pod_of_leaf(dst_leaf), plane)});
+    }
+    path.push_back(NodeRef{topo::Layer::kLeaf, dst_leaf});
+  }
+  path.push_back(NodeRef{topo::Layer::kHost, dst});
+
+  bool delivered = true;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    account(path[i], path[i + 1], packet, result);
+    if (lost()) {
+      delivered = false;
+      break;
+    }
+  }
+  result.max_hops = path.size() - 2;
+  if (delivered) ++result.host_copies[dst];
+  return result;
+}
+
+}  // namespace elmo::sim

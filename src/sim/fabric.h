@@ -1,0 +1,118 @@
+// Packet-level fabric simulator: instantiates one HypervisorSwitch per host
+// and one NetworkSwitch per leaf/spine/core, wires ports per the Clos
+// topology, and walks packets hop by hop with per-link byte accounting.
+//
+// This is the "testbed" of the reproduction: applications (§5.2) and the
+// end-to-end examples run on it, and it cross-validates the analytic
+// TrafficEvaluator used by the large-scale benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dataplane/hypervisor_switch.h"
+#include "dataplane/network_switch.h"
+#include "util/rng.h"
+#include "elmo/controller.h"
+#include "net/headers.h"
+#include "net/packet.h"
+#include "topology/clos.h"
+
+namespace elmo::sim {
+
+// One endpoint of the walk: either a network switch or a host hypervisor.
+struct NodeRef {
+  topo::Layer layer = topo::Layer::kHost;
+  std::uint32_t id = 0;
+
+  auto operator<=>(const NodeRef&) const = default;
+};
+
+struct LinkStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct SendResult {
+  // Hosts that received the packet, with the number of copies each saw.
+  std::map<topo::HostId, std::size_t> host_copies;
+  // Per-VM deliveries performed by receiving hypervisors.
+  std::size_t vm_deliveries = 0;
+  std::uint64_t total_wire_bytes = 0;
+  std::uint64_t total_link_transmissions = 0;
+  std::size_t max_hops = 0;  // longest switch path the packet took
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const topo::ClosTopology& topology);
+
+  dp::HypervisorSwitch& hypervisor(topo::HostId host) {
+    return *hypervisors_.at(host);
+  }
+  dp::NetworkSwitch& leaf(topo::LeafId leaf) { return *leaves_.at(leaf); }
+  dp::NetworkSwitch& spine(topo::SpineId spine) { return *spines_.at(spine); }
+  dp::NetworkSwitch& core(topo::CoreId core) { return *cores_.at(core); }
+
+  const topo::ClosTopology& topology() const noexcept { return *topo_; }
+
+  // Installs a controller-managed group into the data plane: flow rules (with
+  // header templates for senders) at member hypervisors, s-rules at network
+  // switches. Re-invoking refreshes existing state.
+  void install_group(const elmo::Controller& controller, elmo::GroupId group);
+  void uninstall_group(const elmo::Controller& controller,
+                       elmo::GroupId group);
+
+  // A VM on `src` sends `payload` to `group`; the packet is encapsulated by
+  // the source hypervisor and walked through the fabric.
+  SendResult send(topo::HostId src, net::Ipv4Address group,
+                  std::span<const std::uint8_t> payload);
+
+  SendResult send(topo::HostId src, net::Ipv4Address group,
+                  std::size_t payload_bytes);
+
+  // Unicast VXLAN path between two hosts (baseline traffic and app-layer
+  // replication). Standard IP routing is not the system under test, so this
+  // walks the ECMP path directly and accounts bytes per link.
+  SendResult send_unicast(topo::HostId src, topo::HostId dst,
+                          std::size_t payload_bytes);
+
+  const std::map<std::pair<NodeRef, NodeRef>, LinkStats>& links() const {
+    return links_;
+  }
+  void reset_link_stats() { links_.clear(); }
+
+  // Random per-link loss (for reliability-layer experiments, paper §7):
+  // each transmitted copy is independently dropped with probability `rate`
+  // after being accounted on the wire.
+  void set_loss(double rate, std::uint64_t seed = 1) {
+    loss_rate_ = rate;
+    loss_rng_.reseed(seed);
+  }
+
+ private:
+  struct InFlight {
+    NodeRef at;
+    net::Packet packet;
+    std::size_t hops = 0;
+  };
+
+  void account(const NodeRef& from, const NodeRef& to,
+               const net::Packet& packet, SendResult& result);
+  bool lost() { return loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_); }
+  NodeRef neighbor_of(const NodeRef& node, std::size_t out_port) const;
+
+  const topo::ClosTopology* topo_;
+  std::vector<std::unique_ptr<dp::HypervisorSwitch>> hypervisors_;
+  std::vector<std::unique_ptr<dp::NetworkSwitch>> leaves_;
+  std::vector<std::unique_ptr<dp::NetworkSwitch>> spines_;
+  std::vector<std::unique_ptr<dp::NetworkSwitch>> cores_;
+  std::map<std::pair<NodeRef, NodeRef>, LinkStats> links_;
+  double loss_rate_ = 0.0;
+  util::Rng loss_rng_{1};
+};
+
+}  // namespace elmo::sim

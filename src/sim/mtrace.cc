@@ -1,0 +1,81 @@
+#include "sim/mtrace.h"
+
+#include <deque>
+#include <sstream>
+
+namespace elmo::sim {
+
+std::string to_string(const NodeRef& node) {
+  switch (node.layer) {
+    case topo::Layer::kHost:
+      return "host" + std::to_string(node.id);
+    case topo::Layer::kLeaf:
+      return "L" + std::to_string(node.id);
+    case topo::Layer::kSpine:
+      return "S" + std::to_string(node.id);
+    case topo::Layer::kCore:
+      return "C" + std::to_string(node.id);
+  }
+  return "?";
+}
+
+MtraceReport mtrace(Fabric& fabric, const elmo::Controller& controller,
+                    elmo::GroupId group, topo::HostId sender,
+                    std::size_t payload_bytes) {
+  const auto& g = controller.group(group);
+  fabric.reset_link_stats();
+  const auto result = fabric.send(sender, g.address, payload_bytes);
+
+  MtraceReport report;
+  report.total_wire_bytes = result.total_wire_bytes;
+  report.max_depth = result.max_hops + 1;
+  for (const auto& [host, copies] : result.host_copies) {
+    (void)copies;
+    if (g.tree != nullptr && g.tree->is_member(host)) {
+      ++report.members_reached;
+    } else {
+      ++report.redundant_copies;
+    }
+  }
+
+  // Reconstruct the tree breadth-first from the per-link counters.
+  const auto& links = fabric.links();
+  std::map<NodeRef, std::size_t> depth;
+  const NodeRef root{topo::Layer::kHost, sender};
+  depth[root] = 0;
+  std::deque<NodeRef> frontier{root};
+  while (!frontier.empty()) {
+    const auto node = frontier.front();
+    frontier.pop_front();
+    for (const auto& [edge, stats] : links) {
+      if (!(edge.first == node)) continue;
+      MtraceHop hop;
+      hop.from = edge.first;
+      hop.to = edge.second;
+      hop.bytes = stats.bytes / stats.packets;  // per-copy size on this link
+      hop.depth = depth[node] + 1;
+      report.hops.push_back(hop);
+      if (!depth.contains(edge.second)) {
+        depth[edge.second] = hop.depth;
+        if (edge.second.layer != topo::Layer::kHost) {
+          frontier.push_back(edge.second);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::string MtraceReport::render() const {
+  std::ostringstream out;
+  out << "mtrace: " << hops.size() << " link transmissions, "
+      << members_reached << " members reached, " << redundant_copies
+      << " redundant copies, " << total_wire_bytes << " wire bytes\n";
+  for (const auto& hop : hops) {
+    out << std::string(2 * hop.depth, ' ') << to_string(hop.from) << " -> "
+        << to_string(hop.to) << "  (" << hop.bytes << "B on wire)\n";
+  }
+  return out.str();
+}
+
+}  // namespace elmo::sim

@@ -1,0 +1,46 @@
+// Multicast traceroute (paper §7, Monitoring: "Debugging multicast traffic
+// has been an issue, with difficulties troubleshooting copies of a multicast
+// packet and the lack of tools (like traceroute and ping)").
+//
+// Mtrace sends one probe through the packet-level data plane and
+// reconstructs the replication tree the fabric actually executed — per-hop
+// switches, per-link header sizes (showing the p-rule popping), and the
+// final per-host outcomes (member delivery, redundant copy, loss).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "elmo/controller.h"
+#include "sim/fabric.h"
+
+namespace elmo::sim {
+
+struct MtraceHop {
+  NodeRef from;
+  NodeRef to;
+  std::uint64_t bytes = 0;    // on-the-wire size of this copy
+  std::size_t depth = 0;      // hops from the sender
+};
+
+struct MtraceReport {
+  std::vector<MtraceHop> hops;        // breadth-first order
+  std::size_t members_reached = 0;
+  std::size_t redundant_copies = 0;   // non-member hosts hit
+  std::size_t max_depth = 0;
+  std::uint64_t total_wire_bytes = 0;
+
+  // Human-readable tree rendering.
+  std::string render() const;
+};
+
+// Probes `group` from `sender` (payload_bytes of filler) and reconstructs the
+// replication tree from the fabric's per-link counters.
+MtraceReport mtrace(Fabric& fabric, const elmo::Controller& controller,
+                    elmo::GroupId group, topo::HostId sender,
+                    std::size_t payload_bytes = 64);
+
+std::string to_string(const NodeRef& node);
+
+}  // namespace elmo::sim

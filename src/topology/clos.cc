@@ -1,0 +1,125 @@
+#include "topology/clos.h"
+
+#include <algorithm>
+
+#include "net/bitio.h"
+
+namespace elmo::topo {
+
+std::string to_string(Layer layer) {
+  switch (layer) {
+    case Layer::kHost:
+      return "host";
+    case Layer::kLeaf:
+      return "leaf";
+    case Layer::kSpine:
+      return "spine";
+    case Layer::kCore:
+      return "core";
+  }
+  return "?";
+}
+
+ClosTopology::ClosTopology(const ClosParams& params) : params_{params} {
+  check(params.pods > 0, "pods must be > 0");
+  check(params.leaves_per_pod > 0, "leaves_per_pod must be > 0");
+  check(params.spines_per_pod > 0, "spines_per_pod must be > 0");
+  check(params.cores_per_plane > 0, "cores_per_plane must be > 0");
+  check(params.hosts_per_leaf > 0, "hosts_per_leaf must be > 0");
+}
+
+LeafId ClosTopology::leaf_of_host(HostId host) const {
+  check(host < num_hosts(), "host id out of range");
+  return static_cast<LeafId>(host / params_.hosts_per_leaf);
+}
+
+std::size_t ClosTopology::host_port_on_leaf(HostId host) const {
+  check(host < num_hosts(), "host id out of range");
+  return host % params_.hosts_per_leaf;
+}
+
+HostId ClosTopology::host_at(LeafId leaf, std::size_t port) const {
+  check(leaf < num_leaves(), "leaf id out of range");
+  check(port < params_.hosts_per_leaf, "host port out of range");
+  return static_cast<HostId>(leaf * params_.hosts_per_leaf + port);
+}
+
+PodId ClosTopology::pod_of_leaf(LeafId leaf) const {
+  check(leaf < num_leaves(), "leaf id out of range");
+  return static_cast<PodId>(leaf / params_.leaves_per_pod);
+}
+
+std::size_t ClosTopology::leaf_index_in_pod(LeafId leaf) const {
+  check(leaf < num_leaves(), "leaf id out of range");
+  return leaf % params_.leaves_per_pod;
+}
+
+LeafId ClosTopology::leaf_at(PodId pod, std::size_t index) const {
+  check(pod < num_pods(), "pod id out of range");
+  check(index < params_.leaves_per_pod, "leaf index out of range");
+  return static_cast<LeafId>(pod * params_.leaves_per_pod + index);
+}
+
+PodId ClosTopology::pod_of_spine(SpineId spine) const {
+  check(spine < num_spines(), "spine id out of range");
+  return static_cast<PodId>(spine / params_.spines_per_pod);
+}
+
+std::size_t ClosTopology::plane_of_spine(SpineId spine) const {
+  check(spine < num_spines(), "spine id out of range");
+  return spine % params_.spines_per_pod;
+}
+
+SpineId ClosTopology::spine_at(PodId pod, std::size_t plane) const {
+  check(pod < num_pods(), "pod id out of range");
+  check(plane < params_.spines_per_pod, "spine plane out of range");
+  return static_cast<SpineId>(pod * params_.spines_per_pod + plane);
+}
+
+std::size_t ClosTopology::plane_of_core(CoreId core) const {
+  check(core < num_cores(), "core id out of range");
+  return core / params_.cores_per_plane;
+}
+
+std::size_t ClosTopology::core_index_in_plane(CoreId core) const {
+  check(core < num_cores(), "core id out of range");
+  return core % params_.cores_per_plane;
+}
+
+CoreId ClosTopology::core_at(std::size_t plane, std::size_t index) const {
+  check(plane < params_.spines_per_pod, "core plane out of range");
+  check(index < params_.cores_per_plane, "core index out of range");
+  return static_cast<CoreId>(plane * params_.cores_per_plane + index);
+}
+
+CoreId ClosTopology::core_behind_spine_port(SpineId spine,
+                                            std::size_t up_port) const {
+  check(up_port < spine_up_ports(), "spine uplink out of range");
+  return core_at(plane_of_spine(spine), up_port);
+}
+
+SpineId ClosTopology::spine_behind_core_port(CoreId core, PodId pod) const {
+  return spine_at(pod, plane_of_core(core));
+}
+
+unsigned ClosTopology::leaf_id_bits() const noexcept {
+  return net::bits_for(num_leaves());
+}
+
+unsigned ClosTopology::pod_id_bits() const noexcept {
+  return net::bits_for(num_pods());
+}
+
+void FailureSet::set(std::vector<std::uint32_t>& v, std::uint32_t id) {
+  if (!has(v, id)) v.push_back(id);
+}
+
+void FailureSet::unset(std::vector<std::uint32_t>& v, std::uint32_t id) {
+  v.erase(std::remove(v.begin(), v.end(), id), v.end());
+}
+
+bool FailureSet::has(const std::vector<std::uint32_t>& v, std::uint32_t id) {
+  return std::find(v.begin(), v.end(), id) != v.end();
+}
+
+}  // namespace elmo::topo

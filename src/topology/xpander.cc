@@ -1,0 +1,99 @@
+#include "topology/xpander.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "net/bitio.h"
+
+namespace elmo::topo {
+
+XpanderTopology::XpanderTopology(std::size_t switches, std::size_t degree,
+                                 std::size_t hosts_per_switch, util::Rng& rng)
+    : degree_{degree}, hosts_per_switch_{hosts_per_switch} {
+  if (switches < 2 || degree == 0 || degree >= switches) {
+    throw std::invalid_argument{"XpanderTopology: bad parameters"};
+  }
+  if (switches % 2 != 0) {
+    throw std::invalid_argument{"XpanderTopology: switches must be even"};
+  }
+  adjacency_.assign(switches, {});
+  // Union of `degree` random perfect matchings. Parallel edges are retried a
+  // few times and then tolerated (they only waste a port, as in practice).
+  std::vector<std::uint32_t> perm(switches);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t m = 0; m < degree; ++m) {
+    rng.shuffle(std::span<std::uint32_t>{perm});
+    for (std::size_t i = 0; i + 1 < switches; i += 2) {
+      std::uint32_t a = perm[i];
+      std::uint32_t b = perm[i + 1];
+      if (a == b) continue;
+      adjacency_[a].push_back(b);
+      adjacency_[b].push_back(a);
+    }
+  }
+}
+
+std::vector<std::uint32_t> XpanderTopology::bfs_parents(std::size_t root) const {
+  constexpr std::uint32_t kUnvisited = ~0u;
+  std::vector<std::uint32_t> parent(num_switches(), kUnvisited);
+  std::deque<std::uint32_t> frontier;
+  parent[root] = static_cast<std::uint32_t>(root);
+  frontier.push_back(static_cast<std::uint32_t>(root));
+  while (!frontier.empty()) {
+    const auto node = frontier.front();
+    frontier.pop_front();
+    for (const auto next : adjacency_[node]) {
+      if (parent[next] == kUnvisited) {
+        parent[next] = node;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<XpanderTopology::TreeSwitch> XpanderTopology::multicast_tree(
+    std::size_t sender_host, const std::vector<std::size_t>& member_hosts) const {
+  const std::size_t root = switch_of_host(sender_host);
+  const auto parent = bfs_parents(root);
+
+  // tree edges (downstream direction) + host ports per switch
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;  // (parent, child)
+  std::vector<std::size_t> host_ports(num_switches(), 0);
+  for (const auto member : member_hosts) {
+    if (member == sender_host) continue;
+    auto sw = static_cast<std::uint32_t>(switch_of_host(member));
+    ++host_ports[sw];
+    while (sw != root) {
+      const auto up = parent[sw];
+      if (!edges.insert({up, sw}).second) break;  // rest of path present
+      sw = up;
+    }
+  }
+
+  std::vector<std::size_t> link_ports(num_switches(), 0);
+  for (const auto& [up, down] : edges) ++link_ports[up];
+
+  std::vector<TreeSwitch> tree;
+  for (std::size_t sw = 0; sw < num_switches(); ++sw) {
+    const std::size_t used = link_ports[sw] + host_ports[sw];
+    if (used > 0 || sw == root) {
+      tree.push_back(TreeSwitch{static_cast<std::uint32_t>(sw), used});
+    }
+  }
+  return tree;
+}
+
+std::size_t XpanderTopology::header_bits_for_tree(
+    std::size_t sender_host, const std::vector<std::size_t>& member_hosts) const {
+  const auto tree = multicast_tree(sender_host, member_hosts);
+  const unsigned id_bits = net::bits_for(num_switches());
+  const std::size_t bitmap_bits = degree_ + hosts_per_switch_;
+  // Per tree switch: next flag + switch id + port bitmap.
+  return tree.size() * (1 + id_bits + bitmap_bits);
+}
+
+}  // namespace elmo::topo

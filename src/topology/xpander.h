@@ -1,0 +1,68 @@
+// Xpander-style expander topology (paper §5.1.2, non-Clos discussion).
+//
+// An Xpander datacenter is a near-regular expander graph over top-of-rack
+// switches. Elmo can still encode multicast trees on such a topology — one
+// p-rule per tree switch, no logical collapsing — and the paper claims a
+// million groups still fit a 325-byte budget for 27,000 hosts. This module
+// builds a random d-regular graph (union of random perfect matchings, the
+// standard Xpander construction), computes BFS trees, and measures the
+// header bits Elmo needs per group so `bench/text_sensitivity` can
+// reproduce that claim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace elmo::topo {
+
+class XpanderTopology {
+ public:
+  // `switches` d-regular ToR switches, `hosts_per_switch` hosts each.
+  // `switches * degree` must be even and degree < switches.
+  XpanderTopology(std::size_t switches, std::size_t degree,
+                  std::size_t hosts_per_switch, util::Rng& rng);
+
+  std::size_t num_switches() const noexcept { return adjacency_.size(); }
+  std::size_t degree() const noexcept { return degree_; }
+  std::size_t hosts_per_switch() const noexcept { return hosts_per_switch_; }
+  std::size_t num_hosts() const noexcept {
+    return num_switches() * hosts_per_switch_;
+  }
+
+  std::size_t switch_of_host(std::size_t host) const {
+    return host / hosts_per_switch_;
+  }
+
+  const std::vector<std::uint32_t>& neighbors(std::size_t sw) const {
+    return adjacency_.at(sw);
+  }
+
+  // BFS parent array rooted at `root` (parent[root] == root).
+  std::vector<std::uint32_t> bfs_parents(std::size_t root) const;
+
+  // Steiner-ish multicast tree: union of BFS root->member paths.
+  // Returns, per tree switch, the set of output ports used downstream.
+  struct TreeSwitch {
+    std::uint32_t switch_id;
+    std::size_t ports_used;   // neighbor links + local host ports
+  };
+  std::vector<TreeSwitch> multicast_tree(
+      std::size_t sender_host, const std::vector<std::size_t>& member_hosts) const;
+
+  // Exact header bits Elmo needs to source-route this tree: one p-rule per
+  // tree switch (no logical layers to collapse), each with a switch id and a
+  // (degree + hosts_per_switch)-bit port bitmap.
+  std::size_t header_bits_for_tree(
+      std::size_t sender_host,
+      const std::vector<std::size_t>& member_hosts) const;
+
+ private:
+  std::size_t degree_;
+  std::size_t hosts_per_switch_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+}  // namespace elmo::topo

@@ -1,0 +1,74 @@
+#include "util/flags.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace elmo::util {
+namespace {
+
+std::string upper(std::string_view s) {
+  std::string out{s};
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (arg.find('=') != std::string_view::npos && arg.rfind("--", 0) != 0) {
+      overrides_ += std::string{arg};
+      overrides_ += '\n';
+    }
+  }
+}
+
+std::optional<std::string> Flags::raw(std::string_view key) const {
+  const std::string needle = upper(key) + "=";
+  // argv overrides win over the environment.
+  std::size_t pos = 0;
+  while (pos < overrides_.size()) {
+    const auto end = overrides_.find('\n', pos);
+    const std::string_view line{overrides_.data() + pos, end - pos};
+    if (line.rfind(needle, 0) == 0) {
+      return std::string{line.substr(needle.size())};
+    }
+    pos = end + 1;
+  }
+  const std::string env_key = "ELMO_" + upper(key);
+  if (const char* env = std::getenv(env_key.c_str())) {
+    return std::string{env};
+  }
+  return std::nullopt;
+}
+
+std::int64_t Flags::get_int(std::string_view key, std::int64_t fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  return std::stoll(*value);
+}
+
+double Flags::get_double(std::string_view key, double fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  return std::stod(*value);
+}
+
+std::string Flags::get_string(std::string_view key,
+                              std::string_view fallback) const {
+  const auto value = raw(key);
+  return value ? *value : std::string{fallback};
+}
+
+bool Flags::get_bool(std::string_view key, bool fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  const std::string v = upper(*value);
+  return v == "1" || v == "TRUE" || v == "YES" || v == "ON";
+}
+
+}  // namespace elmo::util

@@ -1,0 +1,34 @@
+// Minimal experiment-parameter reader.
+//
+// Bench binaries are parameterized through environment variables (so the
+// standard `for b in build/bench/*; do $b; done` loop still works) with an
+// optional `KEY=VALUE` argv override. Example: ELMO_GROUPS=1000000.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace elmo::util {
+
+class Flags {
+ public:
+  Flags() = default;
+  // Parses trailing KEY=VALUE arguments; unknown args are left untouched so
+  // google-benchmark flags pass through.
+  Flags(int argc, char** argv);
+
+  // Lookup order: argv override, then environment "ELMO_<KEY>", then fallback.
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  double get_double(std::string_view key, double fallback) const;
+  std::string get_string(std::string_view key, std::string_view fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+ private:
+  std::optional<std::string> raw(std::string_view key) const;
+
+  std::string overrides_;  // newline-separated KEY=VALUE pairs from argv
+};
+
+}  // namespace elmo::util

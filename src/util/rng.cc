@@ -1,0 +1,28 @@
+#include "util/rng.h"
+
+#include <unordered_set>
+
+namespace elmo::util {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument{"sample_indices: k > n"};
+  // Floyd's algorithm yields a uniform k-subset; we then shuffle so callers
+  // can also rely on a uniformly random *order*.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = index(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  shuffle(std::span<std::size_t>{out});
+  return out;
+}
+
+}  // namespace elmo::util

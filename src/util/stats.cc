@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace elmo::util {
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) throw std::invalid_argument{"percentile of empty set"};
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument{"percentile range"};
+  std::vector<double> sorted{samples.begin(), samples.end()};
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double Distribution::percentile(double p) const {
+  return util::percentile(values_, p);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_{lo}, hi_{hi}, counts_(buckets, 0) {
+  if (buckets == 0 || hi <= lo) {
+    throw std::invalid_argument{"Histogram: bad range"};
+  }
+  width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void Histogram::add(double x) noexcept {
+  auto bucket = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  bucket = std::clamp<std::ptrdiff_t>(
+      bucket, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bucket)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const noexcept {
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const noexcept {
+  return lo_ + width_ * static_cast<double>(bucket + 1);
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::ostringstream out;
+  std::size_t peak = 0;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const auto bar = counts_[b] * bar_width / peak;
+    out << "[" << bucket_lo(b) << ", " << bucket_hi(b) << ") "
+        << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace elmo::util

@@ -1,0 +1,93 @@
+// Streaming and batch statistics used by every experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace elmo::util {
+
+// Welford online accumulator: mean/variance/min/max without storing samples.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Batch percentile over a copy of the samples (nearest-rank definition).
+double percentile(std::span<const double> samples, double p);
+
+// Sample container that keeps values for percentile queries.
+class Distribution {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    stats_.add(x);
+  }
+  const OnlineStats& stats() const noexcept { return stats_; }
+  double percentile(double p) const;
+  std::size_t count() const noexcept { return values_.size(); }
+  std::span<const double> values() const noexcept { return values_; }
+
+ private:
+  std::vector<double> values_;
+  OnlineStats stats_;
+};
+
+// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+// edge buckets. Used for s-rule and header-size distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const noexcept { return total_; }
+  double bucket_lo(std::size_t bucket) const noexcept;
+  double bucket_hi(std::size_t bucket) const noexcept;
+
+  // Rendered as one line per non-empty bucket with a proportional bar.
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace elmo::util

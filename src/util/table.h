@@ -1,0 +1,28 @@
+// Plain-text table renderer so bench binaries print paper-style rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elmo::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+  // Formatting helpers shared by benches.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_count(std::uint64_t v);      // 12,345,678
+  static std::string fmt_si(double v, int precision = 1);  // 1.2M, 3.4K
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace elmo::util

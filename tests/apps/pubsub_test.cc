@@ -1,0 +1,107 @@
+#include "apps/pubsub.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace elmo::apps {
+namespace {
+
+struct PubSubFixture : ::testing::Test {
+  PubSubFixture()
+      : topology{topo::ClosParams::small_test()},
+        controller{topology, elmo::EncoderConfig{}},
+        fabric{topology} {}
+
+  std::vector<topo::HostId> subscribers(std::size_t n) {
+    util::Rng rng{42};
+    // Publisher is host 0; subscribers elsewhere.
+    std::vector<topo::HostId> subs;
+    for (const auto h : test::random_hosts(topology, n + 1, rng)) {
+      if (h != 0 && subs.size() < n) subs.push_back(h);
+    }
+    return subs;
+  }
+
+  topo::ClosTopology topology;
+  elmo::Controller controller;
+  sim::Fabric fabric;
+};
+
+TEST_F(PubSubFixture, ElmoDeliversEveryMessageToAllSubscribers) {
+  PubSubSystem pubsub{fabric, controller, 5, 0, subscribers(8)};
+  const auto metrics =
+      pubsub.run(TransportMode::kElmo, 100, 5, HostModel{}, 185'000.0);
+  EXPECT_EQ(metrics.messages_sent, 5u);
+  EXPECT_EQ(metrics.messages_delivered, 5u);
+  EXPECT_EQ(metrics.copies_per_message, 1u);
+}
+
+TEST_F(PubSubFixture, UnicastDeliversButMultipliesCopies) {
+  PubSubSystem pubsub{fabric, controller, 5, 0, subscribers(8)};
+  const auto metrics =
+      pubsub.run(TransportMode::kUnicast, 100, 3, HostModel{}, 185'000.0);
+  EXPECT_EQ(metrics.messages_delivered, 3u);
+  EXPECT_EQ(metrics.copies_per_message, 8u);
+  EXPECT_EQ(metrics.messages_sent, 24u);  // 3 messages x 8 copies
+}
+
+TEST_F(PubSubFixture, UnicastThroughputCollapsesElmoStaysFlat) {
+  // Figure 6 left: unicast rps ~ 1/N, Elmo constant.
+  double prev_unicast = 1e18;
+  double first_elmo = 0;
+  for (const std::size_t n : {1u, 4u, 16u}) {
+    PubSubSystem pubsub{fabric, controller, 5, 0, subscribers(n)};
+    const auto uni =
+        pubsub.run(TransportMode::kUnicast, 100, 1, HostModel{}, 185'000.0);
+    const auto elmo =
+        pubsub.run(TransportMode::kElmo, 100, 1, HostModel{}, 185'000.0);
+    EXPECT_LE(uni.throughput_rps, prev_unicast);
+    prev_unicast = uni.throughput_rps;
+    if (first_elmo == 0) first_elmo = elmo.throughput_rps;
+    EXPECT_DOUBLE_EQ(elmo.throughput_rps, first_elmo);
+    EXPECT_LE(uni.throughput_rps, elmo.throughput_rps);
+  }
+  // At 16 subscribers unicast is an order of magnitude down.
+  EXPECT_LT(prev_unicast * 10, first_elmo + 1.0);
+}
+
+TEST_F(PubSubFixture, CpuSaturatesOnlyWithUnicast) {
+  // Figure 6 right: unicast saturates the publisher CPU; Elmo stays ~5%.
+  PubSubSystem pubsub{fabric, controller, 5, 0, subscribers(16)};
+  const auto uni =
+      pubsub.run(TransportMode::kUnicast, 100, 1, HostModel{}, 185'000.0);
+  const auto elmo =
+      pubsub.run(TransportMode::kElmo, 100, 1, HostModel{}, 185'000.0);
+  EXPECT_NEAR(uni.publisher_cpu_fraction, 1.0, 1e-6);
+  EXPECT_NEAR(elmo.publisher_cpu_fraction, 0.049, 0.001);
+}
+
+TEST_F(PubSubFixture, SingleSubscriberCalibration) {
+  // One subscriber: unicast sustains the calibrated 185K rps.
+  PubSubSystem pubsub{fabric, controller, 5, 0, subscribers(1)};
+  const auto uni =
+      pubsub.run(TransportMode::kUnicast, 100, 1, HostModel{}, 1e9);
+  EXPECT_NEAR(uni.throughput_rps, 185'000.0, 1.0);
+}
+
+TEST_F(PubSubFixture, NicBoundWhenMessagesAreLarge) {
+  PubSubSystem pubsub{fabric, controller, 5, 0, subscribers(4)};
+  HostModel model;
+  model.nic_bits_per_sec = 1e6;  // throttle the NIC
+  const auto metrics =
+      pubsub.run(TransportMode::kElmo, 1000, 1, model, 1e9);
+  EXPECT_NEAR(metrics.throughput_rps, 1e6 / ((1000 + 50) * 8.0), 1.0);
+}
+
+TEST_F(PubSubFixture, GroupRemovedOnDestruction) {
+  const auto groups_before = controller.num_groups();
+  {
+    PubSubSystem pubsub{fabric, controller, 5, 0, subscribers(2)};
+    EXPECT_EQ(controller.num_groups(), groups_before + 1);
+  }
+  EXPECT_EQ(controller.num_groups(), groups_before);
+}
+
+}  // namespace
+}  // namespace elmo::apps

@@ -1,0 +1,91 @@
+#include "baselines/hostcast.h"
+
+#include <gtest/gtest.h>
+
+#include "elmo/evaluator.h"
+#include "elmo/tree.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace elmo::baselines {
+namespace {
+
+topo::ClosTopology small() {
+  return topo::ClosTopology{topo::ClosParams::small_test()};
+}
+
+TEST(UnicastHops, Locality) {
+  const auto t = small();
+  EXPECT_EQ(unicast_hops(t, 0, 0), 0u);
+  EXPECT_EQ(unicast_hops(t, 0, 1), 2u);   // same rack
+  EXPECT_EQ(unicast_hops(t, 0, 4), 4u);   // same pod
+  EXPECT_EQ(unicast_hops(t, 0, 17), 6u);  // cross pod
+}
+
+TEST(UnicastTraffic, OneCopyPerReceiver) {
+  const auto t = small();
+  const std::vector<topo::HostId> members{0, 1, 4, 17};
+  const auto report = unicast_traffic(t, members, 0, 100);
+  EXPECT_EQ(report.sender_copies, 3u);
+  EXPECT_EQ(report.link_transmissions, 2u + 4u + 6u);
+  EXPECT_EQ(report.wire_bytes, (2u + 4u + 6u) * 100);
+}
+
+TEST(UnicastTraffic, SenderExcluded) {
+  const auto t = small();
+  const std::vector<topo::HostId> members{5};
+  const auto report = unicast_traffic(t, members, 5, 100);
+  EXPECT_EQ(report.sender_copies, 0u);
+  EXPECT_EQ(report.wire_bytes, 0u);
+}
+
+TEST(OverlayTraffic, RelaysFanOutWithinRacks) {
+  const auto t = small();
+  // Four members under one remote leaf (leaf 4: hosts 16..19).
+  const std::vector<topo::HostId> members{16, 17, 18, 19};
+  const auto report = overlay_traffic(t, members, 0, 100);
+  // sender -> relay (6 hops: leaf 4 is in another pod) + 3 local
+  // re-unicasts (2 hops each).
+  EXPECT_EQ(report.sender_copies, 1u);
+  EXPECT_EQ(report.link_transmissions, 6u + 3u * 2u);
+}
+
+TEST(OverlayTraffic, OwnRackServedDirectly) {
+  const auto t = small();
+  const std::vector<topo::HostId> members{1, 2};
+  const auto report = overlay_traffic(t, members, 0, 100);
+  EXPECT_EQ(report.sender_copies, 2u);
+  EXPECT_EQ(report.link_transmissions, 4u);  // two 2-hop unicasts
+}
+
+TEST(OverlayTraffic, NeverWorseThanUnicastForClusteredGroups) {
+  const auto t = small();
+  util::Rng rng{1234};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto members = test::random_hosts(t, 3 + rng.index(30), rng);
+    const auto sender = members[0];
+    const auto uni = unicast_traffic(t, members, sender, 114);
+    const auto over = overlay_traffic(t, members, sender, 114);
+    EXPECT_LE(over.wire_bytes, uni.wire_bytes);
+    EXPECT_LE(over.sender_copies, uni.sender_copies);
+  }
+}
+
+TEST(Baselines, OrderingMatchesPaper) {
+  // For realistic groups: ideal <= overlay <= unicast traffic.
+  const auto t = small();
+  util::Rng rng{555};
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto members = test::random_hosts(t, 8 + rng.index(24), rng);
+    const auto sender = members[0];
+    const MulticastTree tree{t, members};
+    const auto ideal_hops = TrafficEvaluator::ideal_transmissions(tree, sender);
+    const auto over = overlay_traffic(t, members, sender, 114);
+    const auto uni = unicast_traffic(t, members, sender, 114);
+    EXPECT_LE(ideal_hops, over.link_transmissions);
+    EXPECT_LE(over.link_transmissions, uni.link_transmissions);
+  }
+}
+
+}  // namespace
+}  // namespace elmo::baselines

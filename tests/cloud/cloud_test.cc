@@ -1,0 +1,185 @@
+#include "cloud/cloud.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+namespace elmo::cloud {
+namespace {
+
+class CloudPlacement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CloudPlacement, RespectsHostCapacityAndTenantSpread) {
+  const topo::ClosTopology topology{topo::ClosParams::small_test()};
+  util::Rng rng{101};
+  CloudParams params = CloudParams::small_test();
+  params.colocation = GetParam();
+  const Cloud cloud{topology, params, rng};
+
+  std::unordered_map<topo::HostId, std::size_t> load;
+  for (const auto& tenant : cloud.tenants()) {
+    std::set<topo::HostId> tenant_hosts;
+    for (const auto host : tenant.vm_hosts) {
+      ASSERT_LT(host, topology.num_hosts());
+      // A tenant's VMs never share a physical host.
+      EXPECT_TRUE(tenant_hosts.insert(host).second)
+          << "tenant " << tenant.id << " has two VMs on host " << host;
+      ++load[host];
+    }
+  }
+  for (const auto& [host, vms] : load) {
+    EXPECT_LE(vms, params.max_vms_per_host);
+    EXPECT_EQ(vms, cloud.vms_on_host(host));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ColocationSweep, CloudPlacement,
+                         ::testing::Values(1u, 2u, 12u));
+
+TEST(Cloud, TenantSizesWithinConfiguredBounds) {
+  const topo::ClosTopology topology{topo::ClosParams::small_test()};
+  util::Rng rng{103};
+  const auto params = CloudParams::small_test();
+  const Cloud cloud{topology, params, rng};
+  ASSERT_EQ(cloud.tenants().size(), params.tenants);
+  double total = 0;
+  for (const auto& tenant : cloud.tenants()) {
+    EXPECT_GE(tenant.size(), params.min_vms_per_tenant);
+    EXPECT_LE(tenant.size(), params.max_vms_per_tenant);
+    total += static_cast<double>(tenant.size());
+  }
+  const double mean = total / static_cast<double>(params.tenants);
+  // Exponential with the configured mean, loosely.
+  EXPECT_GT(mean, params.mean_vms_per_tenant * 0.6);
+  EXPECT_LT(mean, params.mean_vms_per_tenant * 1.4);
+  EXPECT_EQ(cloud.total_vms(), static_cast<std::size_t>(total));
+}
+
+TEST(Cloud, DispersedPlacementSpreadsAcrossLeaves) {
+  // With P=1 a tenant lands on (close to) as many leaves as it has VMs.
+  const topo::ClosTopology topology{topo::ClosParams::small_test()};
+  util::Rng rng{107};
+  CloudParams params = CloudParams::small_test();
+  params.tenants = 10;
+  params.colocation = 1;
+  const Cloud cloud{topology, params, rng};
+  for (const auto& tenant : cloud.tenants()) {
+    std::set<topo::LeafId> leaves;
+    for (const auto host : tenant.vm_hosts) {
+      leaves.insert(topology.leaf_of_host(host));
+    }
+    // 16 leaves available; small tenants should never double up much.
+    EXPECT_GE(leaves.size() * 2, tenant.size());
+  }
+}
+
+TEST(Cloud, ThrowsWhenCapacityExhausted) {
+  const topo::ClosTopology topology{
+      topo::ClosParams{.pods = 1,
+                       .leaves_per_pod = 1,
+                       .spines_per_pod = 1,
+                       .cores_per_plane = 1,
+                       .hosts_per_leaf = 2}};
+  util::Rng rng{109};
+  CloudParams params;
+  params.tenants = 1;
+  params.min_vms_per_tenant = 10;  // 10 VMs but only 2 hosts (distinct-host rule)
+  params.mean_vms_per_tenant = 10;
+  params.max_vms_per_tenant = 10;
+  EXPECT_THROW(Cloud(topology, params, rng), std::runtime_error);
+}
+
+TEST(WveSampler, MatchesTraceStatistics) {
+  util::Rng rng{211};
+  constexpr int kSamples = 200'000;
+  double sum = 0;
+  int le61 = 0;
+  int gt700 = 0;
+  std::size_t min_seen = ~0ull;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto size = sample_wve_group_size(rng);
+    sum += static_cast<double>(size);
+    if (size <= 61) ++le61;
+    if (size > 700) ++gt700;
+    min_seen = std::min(min_seen, size);
+  }
+  EXPECT_NEAR(sum / kSamples, 60.0, 4.0);              // paper: avg 60
+  EXPECT_NEAR(le61 / double(kSamples), 0.80, 0.02);    // ~80% <= 61
+  EXPECT_NEAR(gt700 / double(kSamples), 0.006, 0.002); // ~0.6% > 700
+  EXPECT_GE(min_seen, 5u);                             // min group size 5
+}
+
+TEST(GroupWorkload, ExactGroupCountAndValidMembers) {
+  const topo::ClosTopology topology{topo::ClosParams::small_test()};
+  util::Rng rng{223};
+  const Cloud cloud{topology, CloudParams::small_test(), rng};
+  WorkloadParams wp;
+  wp.total_groups = 500;
+  wp.min_group_size = 3;
+  const GroupWorkload workload{cloud, wp, rng};
+  ASSERT_EQ(workload.groups().size(), 500u);
+  for (const auto& group : workload.groups()) {
+    const auto& tenant = cloud.tenants()[group.tenant];
+    EXPECT_GE(group.size(), wp.min_group_size);
+    EXPECT_LE(group.size(), tenant.size());
+    std::set<std::uint32_t> vms;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const auto vm = group.member_vms[i];
+      EXPECT_TRUE(vms.insert(vm).second) << "duplicate member";
+      EXPECT_EQ(group.member_hosts[i], tenant.vm_hosts[vm]);
+    }
+  }
+}
+
+TEST(GroupWorkload, GroupsProportionalToTenantSize) {
+  const topo::ClosTopology topology{topo::ClosParams::small_test()};
+  util::Rng rng{227};
+  CloudParams cp = CloudParams::small_test();
+  cp.tenants = 20;
+  const Cloud cloud{topology, cp, rng};
+  WorkloadParams wp;
+  wp.total_groups = 2000;
+  wp.min_group_size = 3;
+  const GroupWorkload workload{cloud, wp, rng};
+
+  std::unordered_map<TenantId, std::size_t> per_tenant;
+  for (const auto& group : workload.groups()) ++per_tenant[group.tenant];
+
+  // Find the largest and smallest eligible tenants and compare shares.
+  const Tenant* largest = nullptr;
+  const Tenant* smallest = nullptr;
+  for (const auto& tenant : cloud.tenants()) {
+    if (tenant.size() < wp.min_group_size) continue;
+    if (largest == nullptr || tenant.size() > largest->size()) {
+      largest = &tenant;
+    }
+    if (smallest == nullptr || tenant.size() < smallest->size()) {
+      smallest = &tenant;
+    }
+  }
+  ASSERT_NE(largest, nullptr);
+  if (largest->size() > 2 * smallest->size()) {
+    EXPECT_GE(per_tenant[largest->id], per_tenant[smallest->id]);
+  }
+}
+
+TEST(GroupWorkload, UniformDistributionSpansTenant) {
+  const topo::ClosTopology topology{topo::ClosParams::small_test()};
+  util::Rng rng{229};
+  const Cloud cloud{topology, CloudParams::small_test(), rng};
+  WorkloadParams wp;
+  wp.total_groups = 1000;
+  wp.min_group_size = 3;
+  wp.size_dist = GroupSizeDist::kUniform;
+  const GroupWorkload workload{cloud, wp, rng};
+  // With a uniform draw we should regularly see full-tenant groups.
+  std::size_t full = 0;
+  for (const auto& group : workload.groups()) {
+    if (group.size() == cloud.tenants()[group.tenant].size()) ++full;
+  }
+  EXPECT_GT(full, 0u);
+}
+
+}  // namespace
+}  // namespace elmo::cloud

@@ -1,0 +1,138 @@
+#include "elmo/churn.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo {
+namespace {
+
+// Plain value type so tests can instantiate a second independent world.
+struct ChurnWorld {
+  ChurnWorld()
+      : topology{topo::ClosParams::small_test()},
+        rng{31337},
+        cloud{topology, cloud::CloudParams::small_test(), rng},
+        controller{topology, EncoderConfig{}} {}
+
+  std::vector<GroupId> load_groups(std::size_t count) {
+    cloud::WorkloadParams wp;
+    wp.total_groups = count;
+    wp.min_group_size = 3;
+    const cloud::GroupWorkload workload{cloud, wp, rng};
+    std::vector<GroupId> ids;
+    for (const auto& group : workload.groups()) {
+      std::vector<Member> members;
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        members.push_back(Member{group.member_hosts[i], group.member_vms[i],
+                                 static_cast<MemberRole>(rng.index(3))});
+      }
+      ids.push_back(controller.create_group(group.tenant, members));
+    }
+    return ids;
+  }
+
+  topo::ClosTopology topology;
+  util::Rng rng;
+  cloud::Cloud cloud;
+  Controller controller;
+};
+
+struct ChurnFixture : ::testing::Test, ChurnWorld {};
+
+TEST_F(ChurnFixture, EventsKeepGroupsWithinBounds) {
+  const auto ids = load_groups(50);
+  CountingSink sink{topology};
+  controller.set_sink(&sink);
+  ChurnSimulator churn{controller, cloud, ids};
+
+  ChurnParams params;
+  params.events = 2000;
+  params.min_group_size = 3;
+  const double seconds = churn.run(params, rng);
+  EXPECT_DOUBLE_EQ(seconds, 2.0);
+  EXPECT_GT(churn.joins(), 0u);
+  EXPECT_GT(churn.leaves(), 0u);
+
+  for (const auto id : ids) {
+    const auto& g = controller.group(id);
+    EXPECT_GE(g.members.size(), params.min_group_size);
+    const auto& tenant = cloud.tenants()[g.tenant];
+    EXPECT_LE(g.members.size(), tenant.size());
+    // Membership stays consistent with the tenant's VM list.
+    for (const auto& m : g.members) {
+      EXPECT_EQ(m.host, tenant.vm_hosts[m.vm]);
+    }
+  }
+}
+
+TEST_F(ChurnFixture, UpdateLoadShape) {
+  // The paper's Table 2 ordering: hypervisors absorb most updates, leaves
+  // and spines see only s-rule changes, cores none at all.
+  const auto ids = load_groups(50);
+  CountingSink sink{topology};
+  controller.set_sink(&sink);
+  ChurnSimulator churn{controller, cloud, ids};
+
+  ChurnParams params;
+  params.events = 3000;
+  params.min_group_size = 3;
+  const double seconds = churn.run(params, rng);
+
+  const auto hyp = sink.hypervisor_rates(seconds);
+  const auto leaf = sink.leaf_rates(seconds);
+  const auto spine = sink.spine_rates(seconds);
+  const auto core = sink.core_rates(seconds);
+
+  EXPECT_GT(hyp.total, 0u);
+  EXPECT_EQ(core.total, 0u);
+  EXPECT_GE(hyp.total, leaf.total);
+  EXPECT_GE(hyp.total, spine.total);
+  EXPECT_GE(hyp.max, hyp.avg);
+}
+
+TEST_F(ChurnFixture, ChurnIsDeterministicPerSeed) {
+  const auto ids = load_groups(20);
+  ChurnSimulator churn{controller, cloud, ids};
+  ChurnParams params;
+  params.events = 500;
+  params.min_group_size = 3;
+  util::Rng churn_rng{777};
+  churn.run(params, churn_rng);
+  const auto joins_first = churn.joins();
+
+  // Re-run the whole world fresh with the same seed: identical outcome.
+  ChurnWorld other;
+  const auto other_ids = other.load_groups(20);
+  ChurnSimulator other_churn{other.controller, other.cloud, other_ids};
+  util::Rng other_rng{777};
+  other_churn.run(params, other_rng);
+  EXPECT_EQ(other_churn.joins(), joins_first);
+}
+
+TEST_F(ChurnFixture, RejectsEmptyGroupList) {
+  EXPECT_THROW(ChurnSimulator(controller, cloud, {}), std::invalid_argument);
+}
+
+TEST(CountingSink, RateMath) {
+  const topo::ClosTopology t{topo::ClosParams::small_test()};
+  CountingSink sink{t};
+  sink.hypervisor_update(3);
+  sink.hypervisor_update(3);
+  sink.hypervisor_update(7);
+  const auto rates = sink.hypervisor_rates(2.0);
+  EXPECT_EQ(rates.total, 3u);
+  EXPECT_DOUBLE_EQ(rates.max, 1.0);  // host 3: 2 updates / 2 s
+  EXPECT_DOUBLE_EQ(rates.avg,
+                   3.0 / static_cast<double>(t.num_hosts()) / 2.0);
+  sink.reset();
+  EXPECT_EQ(sink.hypervisor_rates(1.0).total, 0u);
+}
+
+TEST(CountingSink, RejectsHostAsNetworkSwitch) {
+  const topo::ClosTopology t{topo::ClosParams::small_test()};
+  CountingSink sink{t};
+  EXPECT_THROW(sink.network_switch_update(topo::Layer::kHost, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace elmo

@@ -1,0 +1,281 @@
+#include "elmo/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.h"
+
+namespace elmo {
+namespace {
+
+net::PortBitmap bm(std::size_t ports, std::initializer_list<std::size_t> set) {
+  net::PortBitmap b{ports};
+  for (const auto p : set) b.set(p);
+  return b;
+}
+
+SRuleReserver always() {
+  return [](std::uint32_t) { return true; };
+}
+SRuleReserver never() {
+  return [](std::uint32_t) { return false; };
+}
+
+// Checks the core invariant of Algorithm 1's output: every input switch is
+// covered exactly once, with a superset bitmap, within the limits.
+void check_invariants(std::span<const LayerInput> inputs,
+                      const ClusteringLimits& limits,
+                      const LayerEncoding& out) {
+  std::map<std::uint32_t, const net::PortBitmap*> covering;
+  for (const auto& rule : out.p_rules) {
+    EXPECT_LE(rule.switch_ids.size(), limits.kmax);
+    EXPECT_FALSE(rule.switch_ids.empty());
+    for (const auto id : rule.switch_ids) {
+      EXPECT_FALSE(covering.contains(id)) << "switch covered twice";
+      covering[id] = &rule.bitmap;
+    }
+  }
+  EXPECT_LE(out.p_rules.size(), limits.hmax);
+  if (limits.mode == RedundancyMode::kSumOverRule) {
+    for (const auto& rule : out.p_rules) {
+      std::size_t sum = 0;
+      for (const auto id : rule.switch_ids) {
+        const auto it = std::find_if(
+            inputs.begin(), inputs.end(),
+            [&](const LayerInput& in) { return in.switch_id == id; });
+        ASSERT_NE(it, inputs.end());
+        sum += it->bitmap.hamming_distance(rule.bitmap);
+      }
+      EXPECT_LE(sum, limits.redundancy_limit)
+          << "rule exceeds sum-over-rule redundancy bound";
+    }
+  }
+  std::set<std::uint32_t> sruled;
+  for (const auto& [id, bitmap] : out.s_rules) {
+    EXPECT_FALSE(covering.contains(id));
+    EXPECT_TRUE(sruled.insert(id).second);
+  }
+
+  for (const auto& input : inputs) {
+    if (const auto it = covering.find(input.switch_id); it != covering.end()) {
+      EXPECT_TRUE(input.bitmap.is_subset_of(*it->second));
+      if (limits.mode == RedundancyMode::kPerSwitch) {
+        EXPECT_LE(input.bitmap.hamming_distance(*it->second),
+                  limits.redundancy_limit);
+      }  // (sum-mode bound checked per rule below)
+    } else if (sruled.contains(input.switch_id)) {
+      // s-rules are exact.
+      const auto sit =
+          std::find_if(out.s_rules.begin(), out.s_rules.end(),
+                       [&](const auto& s) { return s.first == input.switch_id; });
+      EXPECT_EQ(sit->second, input.bitmap);
+    } else {
+      ASSERT_TRUE(out.default_rule.has_value())
+          << "switch " << input.switch_id << " uncovered";
+      EXPECT_TRUE(input.bitmap.is_subset_of(*out.default_rule));
+    }
+  }
+}
+
+TEST(ApproxMinKUnion, PrefersOverlappingSets) {
+  const std::vector<net::PortBitmap> bitmaps{
+      bm(8, {0, 1}), bm(8, {0, 1, 2}), bm(8, {5, 6}), bm(8, {0, 1})};
+  const auto chosen = approx_min_k_union(bitmaps, 0, 2);
+  ASSERT_EQ(chosen.size(), 2u);
+  EXPECT_EQ(chosen[0], 0u);
+  EXPECT_EQ(chosen[1], 3u);  // the identical bitmap, union size 2
+}
+
+TEST(ApproxMinKUnion, CapsAtAvailableItems) {
+  const std::vector<net::PortBitmap> bitmaps{bm(4, {0}), bm(4, {1})};
+  EXPECT_EQ(approx_min_k_union(bitmaps, 0, 5).size(), 2u);
+  EXPECT_THROW(approx_min_k_union(bitmaps, 7, 2), std::out_of_range);
+}
+
+TEST(ClusterLayer, EmptyInputEmptyOutput) {
+  const auto out = cluster_layer({}, ClusteringLimits{}, never());
+  EXPECT_TRUE(out.p_rules.empty());
+  EXPECT_TRUE(out.s_rules.empty());
+  EXPECT_FALSE(out.default_rule);
+}
+
+TEST(ClusterLayer, ZeroKmaxThrows) {
+  const std::vector<LayerInput> inputs{{0, bm(4, {0})}};
+  ClusteringLimits limits;
+  limits.kmax = 0;
+  EXPECT_THROW(cluster_layer(inputs, limits, never()), std::invalid_argument);
+}
+
+TEST(ClusterLayer, RZeroSharesOnlyIdenticalBitmaps) {
+  const std::vector<LayerInput> inputs{
+      {0, bm(8, {0, 1})}, {1, bm(8, {0, 1})}, {2, bm(8, {0, 2})},
+      {3, bm(8, {0, 1})},
+  };
+  ClusteringLimits limits;
+  limits.hmax = 10;
+  limits.kmax = 4;
+  limits.redundancy_limit = 0;
+  const auto out = cluster_layer(inputs, limits, never());
+  check_invariants(inputs, limits, out);
+  ASSERT_EQ(out.p_rules.size(), 2u);
+  // The identical trio shares one rule; switch 2 gets its own.
+  EXPECT_EQ(out.p_rules[0].switch_ids.size(), 3u);
+  EXPECT_EQ(out.p_rules[0].bitmap, bm(8, {0, 1}));
+  EXPECT_EQ(out.p_rules[1].switch_ids, std::vector<std::uint32_t>{2});
+}
+
+TEST(ClusterLayer, KmaxSplitsIdenticalGroups) {
+  std::vector<LayerInput> inputs;
+  for (std::uint32_t i = 0; i < 5; ++i) inputs.push_back({i, bm(8, {3})});
+  ClusteringLimits limits;
+  limits.hmax = 10;
+  limits.kmax = 2;
+  limits.redundancy_limit = 0;
+  const auto out = cluster_layer(inputs, limits, never());
+  check_invariants(inputs, limits, out);
+  EXPECT_EQ(out.p_rules.size(), 3u);  // 2 + 2 + 1
+}
+
+TEST(ClusterLayer, PositiveRMergesSimilarBitmapsOnDemand) {
+  const std::vector<LayerInput> inputs{
+      {0, bm(8, {0, 1})}, {1, bm(8, {0, 2})},  // distance 2 via union {0,1,2}
+  };
+  ClusteringLimits limits;
+  limits.hmax = 1;  // force an overflow so sharing kicks in (design D3)
+  limits.kmax = 2;
+  limits.redundancy_limit = 1;
+  limits.mode = RedundancyMode::kPerSwitch;
+  const auto merged = cluster_layer(inputs, limits, never());
+  check_invariants(inputs, limits, merged);
+  ASSERT_EQ(merged.p_rules.size(), 1u);
+  EXPECT_EQ(merged.p_rules[0].bitmap, bm(8, {0, 1, 2}));
+  EXPECT_EQ(merged.p_rules[0].switch_ids.size(), 2u);
+
+  // R=0 forbids the merge: one rule kept, the other falls to the default.
+  limits.redundancy_limit = 0;
+  const auto split = cluster_layer(inputs, limits, never());
+  check_invariants(inputs, limits, split);
+  EXPECT_EQ(split.p_rules.size(), 1u);
+  EXPECT_TRUE(split.default_rule.has_value());
+
+  // With header room for both, no sharing happens at all: rules stay exact.
+  limits.hmax = 10;
+  limits.redundancy_limit = 12;
+  const auto roomy = cluster_layer(inputs, limits, never());
+  EXPECT_EQ(roomy.p_rules.size(), 2u);
+  for (const auto& rule : roomy.p_rules) {
+    EXPECT_EQ(rule.bitmap.popcount(), 2u);  // exact, no OR-ed extras
+  }
+}
+
+TEST(ClusterLayer, HmaxSpillsToSRules) {
+  std::vector<LayerInput> inputs;
+  for (std::uint32_t i = 0; i < 6; ++i) inputs.push_back({i, bm(8, {i})});
+  ClusteringLimits limits;
+  limits.hmax = 2;
+  limits.kmax = 1;
+  limits.redundancy_limit = 0;
+  const auto out = cluster_layer(inputs, limits, always());
+  check_invariants(inputs, limits, out);
+  EXPECT_EQ(out.p_rules.size(), 2u);
+  EXPECT_EQ(out.s_rules.size(), 4u);
+  EXPECT_FALSE(out.default_rule);
+}
+
+TEST(ClusterLayer, ExhaustedSRulesFallToDefault) {
+  std::vector<LayerInput> inputs;
+  for (std::uint32_t i = 0; i < 6; ++i) inputs.push_back({i, bm(8, {i})});
+  ClusteringLimits limits;
+  limits.hmax = 2;
+  limits.kmax = 1;
+  // Only switches with even ids have s-rule capacity left.
+  const auto out = cluster_layer(
+      inputs, limits, [](std::uint32_t id) { return id % 2 == 0; });
+  check_invariants(inputs, limits, out);
+  EXPECT_EQ(out.p_rules.size(), 2u);
+  ASSERT_TRUE(out.default_rule);
+  // Defaults are the OR of the uncovered odd switches' bitmaps.
+  for (const auto& [id, bitmap] : out.s_rules) {
+    EXPECT_EQ(id % 2, 0u);
+  }
+}
+
+TEST(ClusterLayer, DefaultIsOrOfUncovered) {
+  std::vector<LayerInput> inputs{
+      {0, bm(8, {0})}, {1, bm(8, {3})}, {2, bm(8, {5})}};
+  ClusteringLimits limits;
+  limits.hmax = 1;
+  limits.kmax = 1;
+  const auto out = cluster_layer(inputs, limits, never());
+  ASSERT_EQ(out.p_rules.size(), 1u);
+  ASSERT_TRUE(out.default_rule);
+  // Two uncovered switches; default = OR of their bitmaps.
+  EXPECT_EQ(out.default_rule->popcount(), 2u);
+}
+
+TEST(ClusterLayer, SumModeBoundsTotalRedundancy) {
+  const std::vector<LayerInput> inputs{
+      {0, bm(8, {0})}, {1, bm(8, {1})}, {2, bm(8, {2})}};
+  ClusteringLimits limits;
+  limits.hmax = 10;
+  limits.kmax = 3;
+  limits.redundancy_limit = 4;
+  limits.mode = RedundancyMode::kSumOverRule;
+  const auto out = cluster_layer(inputs, limits, never());
+  // Verify: for each rule, sum of distances <= R.
+  for (const auto& rule : out.p_rules) {
+    std::size_t sum = 0;
+    for (const auto id : rule.switch_ids) {
+      sum += inputs[id].bitmap.hamming_distance(rule.bitmap);
+    }
+    EXPECT_LE(sum, limits.redundancy_limit);
+  }
+}
+
+// Property sweep: random inputs, every (R, kmax, hmax) combination keeps the
+// coverage invariant.
+struct ClusterParam {
+  std::size_t r;
+  std::size_t kmax;
+  std::size_t hmax;
+  RedundancyMode mode = RedundancyMode::kSumOverRule;
+};
+
+class ClusterProperty : public ::testing::TestWithParam<ClusterParam> {};
+
+TEST_P(ClusterProperty, CoverageInvariantHolds) {
+  const auto param = GetParam();
+  util::Rng rng{param.r * 1000 + param.kmax * 100 + param.hmax};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<LayerInput> inputs;
+    const auto n = 1 + rng.index(40);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      net::PortBitmap b{48};
+      const auto bits = 1 + rng.index(6);
+      for (std::size_t j = 0; j < bits; ++j) b.set(rng.index(48));
+      inputs.push_back({i, std::move(b)});
+    }
+    ClusteringLimits limits;
+    limits.hmax = param.hmax;
+    limits.kmax = param.kmax;
+    limits.redundancy_limit = param.r;
+    limits.mode = param.mode;
+    // Half the switches have s-rule space.
+    const auto out = cluster_layer(
+        inputs, limits, [](std::uint32_t id) { return id % 2 == 0; });
+    check_invariants(inputs, limits, out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusterProperty,
+    ::testing::Values(ClusterParam{0, 1, 4}, ClusterParam{0, 2, 30},
+                      ClusterParam{6, 2, 30}, ClusterParam{12, 2, 30},
+                      ClusterParam{12, 4, 8}, ClusterParam{2, 3, 2},
+                      ClusterParam{6, 2, 30, RedundancyMode::kPerSwitch},
+                      ClusterParam{12, 4, 8, RedundancyMode::kPerSwitch}));
+
+}  // namespace
+}  // namespace elmo

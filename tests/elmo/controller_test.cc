@@ -1,0 +1,205 @@
+#include "elmo/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "elmo/churn.h"
+
+namespace elmo {
+namespace {
+
+topo::ClosTopology small() {
+  return topo::ClosTopology{topo::ClosParams::small_test()};
+}
+
+std::vector<Member> members_of(std::initializer_list<topo::HostId> hosts) {
+  std::vector<Member> out;
+  std::uint32_t vm = 0;
+  for (const auto h : hosts) {
+    out.push_back(Member{h, vm++, MemberRole::kBoth});
+  }
+  return out;
+}
+
+TEST(Controller, CreateAndQueryGroup) {
+  const auto t = small();
+  Controller controller{t, EncoderConfig{}};
+  const auto id = controller.create_group(7, members_of({0, 5, 17}));
+  EXPECT_TRUE(controller.has_group(id));
+  EXPECT_EQ(controller.num_groups(), 1u);
+  const auto& g = controller.group(id);
+  EXPECT_EQ(g.tenant, 7u);
+  EXPECT_EQ(g.members.size(), 3u);
+  EXPECT_TRUE(g.address.is_multicast());
+  ASSERT_NE(g.tree, nullptr);
+  EXPECT_EQ(g.tree->num_members(), 3u);
+}
+
+TEST(Controller, UnknownGroupThrows) {
+  const auto t = small();
+  Controller controller{t, EncoderConfig{}};
+  EXPECT_THROW(controller.group(5), std::out_of_range);
+  EXPECT_FALSE(controller.has_group(5));
+}
+
+TEST(Controller, RemoveGroupReleasesSRules) {
+  const auto t = small();
+  EncoderConfig cfg;
+  cfg.hmax_leaf_override = 1;  // force s-rule usage
+  Controller controller{t, cfg};
+  std::vector<Member> members;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    members.push_back(Member{static_cast<topo::HostId>(i * 4), i,
+                             MemberRole::kBoth});
+  }
+  const auto id = controller.create_group(0, members);
+  EXPECT_GT(controller.group(id).encoding.s_rule_count(), 0u);
+  controller.remove_group(id);
+  EXPECT_FALSE(controller.has_group(id));
+  EXPECT_DOUBLE_EQ(controller.srule_space().leaf_stats().sum(), 0.0);
+  EXPECT_DOUBLE_EQ(controller.srule_space().spine_stats().sum(), 0.0);
+}
+
+TEST(Controller, JoinExtendsTreeAndLeaveShrinksIt) {
+  const auto t = small();
+  Controller controller{t, EncoderConfig{}};
+  const auto id = controller.create_group(0, members_of({0, 1}));
+  EXPECT_EQ(controller.group(id).tree->num_leaves(), 1u);
+
+  controller.join(id, Member{20, 9, MemberRole::kReceiver});
+  EXPECT_EQ(controller.group(id).tree->num_members(), 3u);
+  EXPECT_GT(controller.group(id).tree->num_leaves(), 1u);
+
+  controller.leave(id, 20);
+  EXPECT_EQ(controller.group(id).tree->num_members(), 2u);
+  EXPECT_EQ(controller.group(id).tree->num_leaves(), 1u);
+}
+
+TEST(Controller, LeaveUnknownMemberThrows) {
+  const auto t = small();
+  Controller controller{t, EncoderConfig{}};
+  const auto id = controller.create_group(0, members_of({0, 1}));
+  EXPECT_THROW(controller.leave(id, 42), std::invalid_argument);
+}
+
+TEST(Controller, SenderOnlyJoinUpdatesOneHypervisor) {
+  // Paper §5.1.3a: "If a member is a sender, the controller only updates the
+  // source hypervisor switch."
+  const auto t = small();
+  CountingSink sink{t};
+  Controller controller{t, EncoderConfig{}};
+  const auto id = controller.create_group(0, members_of({0, 1, 8}));
+  controller.set_sink(&sink);
+
+  controller.join(id, Member{33, 9, MemberRole::kSender});
+  const auto rates = sink.hypervisor_rates(1.0);
+  EXPECT_EQ(rates.total, 1u);
+  EXPECT_EQ(sink.leaf_rates(1.0).total, 0u);
+  EXPECT_EQ(sink.spine_rates(1.0).total, 0u);
+  EXPECT_EQ(sink.core_rates(1.0).total, 0u);
+}
+
+TEST(Controller, ReceiverJoinUpdatesSenderHypervisors) {
+  const auto t = small();
+  CountingSink sink{t};
+  Controller controller{t, EncoderConfig{}};
+  std::vector<Member> members{
+      Member{0, 0, MemberRole::kSender},
+      Member{4, 1, MemberRole::kReceiver},
+      Member{8, 2, MemberRole::kBoth},
+  };
+  const auto id = controller.create_group(0, members);
+  controller.set_sink(&sink);
+
+  controller.join(id, Member{12, 3, MemberRole::kReceiver});
+  // Touched: the joining host (12) + the senders (0 and 8).
+  EXPECT_EQ(sink.hypervisor_rates(1.0).total, 3u);
+}
+
+TEST(Controller, CoreSwitchesNeverUpdated) {
+  const auto t = small();
+  CountingSink sink{t};
+  EncoderConfig cfg;
+  cfg.hmax_leaf_override = 1;
+  cfg.hmax_spine = 1;
+  Controller controller{t, cfg, &sink};
+  std::vector<Member> members;
+  for (std::uint32_t i = 0; i < 14; ++i) {
+    members.push_back(Member{static_cast<topo::HostId>(i * 4 + 1), i,
+                             MemberRole::kBoth});
+  }
+  const auto id = controller.create_group(0, members);
+  for (std::uint32_t vm = 20; vm < 28; ++vm) {
+    controller.join(id, Member{(vm * 4 + 2) % static_cast<std::uint32_t>(
+                                   t.num_hosts()),
+                               vm, MemberRole::kReceiver});
+  }
+  EXPECT_GT(sink.hypervisor_rates(1.0).total, 0u);
+  EXPECT_EQ(sink.core_rates(1.0).total, 0u);  // the headline property
+}
+
+TEST(Controller, SRuleChangesReachNetworkSwitches) {
+  const auto t = small();
+  CountingSink sink{t};
+  EncoderConfig cfg;
+  cfg.hmax_leaf_override = 1;  // most leaves spill to s-rules
+  Controller controller{t, cfg, &sink};
+  std::vector<Member> members;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    members.push_back(
+        Member{static_cast<topo::HostId>(i * 4), i, MemberRole::kBoth});
+  }
+  controller.create_group(0, members);
+  EXPECT_GT(sink.leaf_rates(1.0).total, 0u);
+}
+
+TEST(Controller, HeaderForParsesBack) {
+  const auto t = small();
+  Controller controller{t, EncoderConfig{}};
+  const auto id = controller.create_group(3, members_of({0, 17, 33, 49}));
+  const auto header = controller.header_for(id, 0);
+  EXPECT_FALSE(header.empty());
+  const HeaderCodec codec{t};
+  const auto parsed = codec.parse(header);
+  EXPECT_TRUE(parsed.u_leaf.has_value());
+  EXPECT_TRUE(parsed.core_pods.has_value());
+}
+
+TEST(Controller, FailureImpactCountsAffectedGroups) {
+  const auto t = small();
+  Controller controller{t, EncoderConfig{}};
+  // 40 multi-pod groups.
+  for (std::uint32_t g = 0; g < 40; ++g) {
+    std::vector<Member> members{
+        Member{(g * 3) % 16, 0, MemberRole::kBoth},
+        Member{16 + (g * 5) % 16, 1, MemberRole::kBoth},
+        Member{32 + (g * 7) % 16, 2, MemberRole::kBoth},
+    };
+    controller.create_group(g, members);
+  }
+  const auto spine_impact = controller.fail_spine(t.spine_at(0, 0));
+  EXPECT_GT(spine_impact.groups_affected, 0u);
+  EXPECT_LT(spine_impact.groups_affected, 40u);
+  EXPECT_GE(spine_impact.hypervisor_updates, spine_impact.groups_affected);
+  controller.restore_spine(t.spine_at(0, 0));
+
+  const auto core_impact = controller.fail_core(t.core_at(0, 0));
+  EXPECT_GT(core_impact.groups_affected, 0u);
+  // Core failures affect more groups than a single-pod spine failure
+  // (every multi-pod group using that plane, regardless of pod).
+  EXPECT_GE(core_impact.groups_affected, spine_impact.groups_affected);
+}
+
+TEST(Controller, FailureChangesIssuedHeaders) {
+  const auto t = small();
+  Controller controller{t, EncoderConfig{}};
+  const auto id = controller.create_group(0, members_of({0, 16}));
+  const auto before = controller.header_for(id, 0);
+  controller.fail_spine(t.spine_at(0, 0));
+  const auto after = controller.header_for(id, 0);
+  const HeaderCodec codec{t};
+  EXPECT_TRUE(codec.parse(before).u_leaf->multipath);
+  EXPECT_FALSE(codec.parse(after).u_leaf->multipath);
+}
+
+}  // namespace
+}  // namespace elmo

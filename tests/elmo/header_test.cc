@@ -1,0 +1,237 @@
+#include "elmo/header.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace elmo {
+namespace {
+
+topo::ClosTopology example_topo() {
+  return topo::ClosTopology{topo::ClosParams::running_example()};
+}
+
+net::PortBitmap bitmap_of(std::size_t ports,
+                          std::initializer_list<std::size_t> set) {
+  net::PortBitmap b{ports};
+  for (const auto p : set) b.set(p);
+  return b;
+}
+
+SenderEncoding simple_sender(const topo::ClosTopology& t) {
+  SenderEncoding s;
+  s.u_leaf.down = bitmap_of(t.leaf_down_ports(), {1});
+  s.u_leaf.up = net::PortBitmap{t.leaf_up_ports()};
+  s.u_leaf.multipath = true;
+  UpstreamRule u_spine;
+  u_spine.down = net::PortBitmap{t.spine_down_ports()};
+  u_spine.up = net::PortBitmap{t.spine_up_ports()};
+  u_spine.multipath = true;
+  s.u_spine = u_spine;
+  s.core_pods = bitmap_of(t.core_ports(), {2, 3});
+  return s;
+}
+
+GroupEncoding simple_group(const topo::ClosTopology& t) {
+  GroupEncoding g;
+  g.spine.p_rules.push_back(
+      PRule{bitmap_of(t.spine_down_ports(), {1}), {2}});
+  g.spine.p_rules.push_back(
+      PRule{bitmap_of(t.spine_down_ports(), {0, 1}), {3, 0}});
+  g.leaf.p_rules.push_back(
+      PRule{bitmap_of(t.leaf_down_ports(), {0, 1}), {0, 6}});
+  g.leaf.p_rules.push_back(PRule{bitmap_of(t.leaf_down_ports(), {1}), {5}});
+  g.leaf.default_rule = bitmap_of(t.leaf_down_ports(), {0});
+  return g;
+}
+
+TEST(HeaderCodec, RoundTripFullHeader) {
+  const auto t = example_topo();
+  const HeaderCodec codec{t};
+  const auto sender = simple_sender(t);
+  const auto group = simple_group(t);
+  const auto bytes = codec.serialize(sender, group);
+
+  const auto parsed = codec.parse(bytes);
+  ASSERT_TRUE(parsed.u_leaf);
+  EXPECT_EQ(parsed.u_leaf->down, sender.u_leaf.down);
+  EXPECT_EQ(parsed.u_leaf->multipath, true);
+  ASSERT_TRUE(parsed.u_spine);
+  EXPECT_EQ(parsed.u_spine->multipath, true);
+  ASSERT_TRUE(parsed.core_pods);
+  EXPECT_EQ(*parsed.core_pods, *sender.core_pods);
+  ASSERT_EQ(parsed.spine_rules.size(), 2u);
+  EXPECT_EQ(parsed.spine_rules[0], group.spine.p_rules[0]);
+  EXPECT_EQ(parsed.spine_rules[1], group.spine.p_rules[1]);
+  EXPECT_FALSE(parsed.spine_default);
+  ASSERT_EQ(parsed.leaf_rules.size(), 2u);
+  EXPECT_EQ(parsed.leaf_rules[0], group.leaf.p_rules[0]);
+  ASSERT_TRUE(parsed.leaf_default);
+  EXPECT_EQ(*parsed.leaf_default, *group.leaf.default_rule);
+}
+
+TEST(HeaderCodec, MinimalHeaderIsTiny) {
+  // Single-rack group: only the u-leaf section plus END.
+  const auto t = example_topo();
+  const HeaderCodec codec{t};
+  SenderEncoding sender;
+  sender.u_leaf.down = bitmap_of(t.leaf_down_ports(), {0});
+  sender.u_leaf.up = net::PortBitmap{t.leaf_up_ports()};
+  const auto bytes = codec.serialize(sender, GroupEncoding{});
+  // u-leaf: 3 tag + 1 mp + 2 up + 2 down = 8 bits = 1 byte; END = 1 byte.
+  EXPECT_EQ(bytes.size(), 2u);
+  const auto parsed = codec.parse(bytes);
+  EXPECT_TRUE(parsed.u_leaf);
+  EXPECT_FALSE(parsed.u_spine);
+  EXPECT_FALSE(parsed.core_pods);
+  EXPECT_TRUE(parsed.spine_rules.empty());
+  EXPECT_TRUE(parsed.leaf_rules.empty());
+}
+
+TEST(HeaderCodec, SectionsAreByteAlignedAndOrdered) {
+  const auto t = example_topo();
+  const HeaderCodec codec{t};
+  const auto bytes = codec.serialize(simple_sender(t), simple_group(t));
+  const auto sections = codec.scan_sections(bytes);
+  ASSERT_GE(sections.size(), 2u);
+  EXPECT_EQ(sections.front().begin, 0u);
+  int prev_tag = -1;
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const auto& s = sections[i];
+    EXPECT_EQ(s.begin % 1, 0u);
+    if (i > 0) {
+      EXPECT_EQ(s.begin, sections[i - 1].end);
+    }
+    if (s.tag != SectionTag::kEnd) {
+      EXPECT_GT(static_cast<int>(s.tag), prev_tag);
+      prev_tag = static_cast<int>(s.tag);
+    } else {
+      EXPECT_EQ(i, sections.size() - 1);
+    }
+  }
+  EXPECT_EQ(codec.header_length(bytes), sections.back().end);
+  EXPECT_EQ(codec.header_length(bytes), bytes.size());
+}
+
+TEST(HeaderCodec, ScanToleratesTrailingPayload) {
+  const auto t = example_topo();
+  const HeaderCodec codec{t};
+  auto bytes = codec.serialize(simple_sender(t), simple_group(t));
+  const auto clean_len = bytes.size();
+  bytes.insert(bytes.end(), {0xde, 0xad, 0xbe, 0xef});  // payload after END
+  EXPECT_EQ(codec.header_length(bytes), clean_len);
+}
+
+TEST(HeaderCodec, MissingEndThrows) {
+  const auto t = example_topo();
+  const HeaderCodec codec{t};
+  SenderEncoding sender;
+  sender.u_leaf.down = net::PortBitmap{t.leaf_down_ports()};
+  sender.u_leaf.up = net::PortBitmap{t.leaf_up_ports()};
+  auto bytes = codec.serialize(sender, GroupEncoding{});
+  bytes.pop_back();  // drop the END byte
+  EXPECT_THROW(codec.parse(bytes), std::out_of_range);
+}
+
+TEST(HeaderCodec, RejectsRuleWithoutIds) {
+  const auto t = example_topo();
+  const HeaderCodec codec{t};
+  GroupEncoding g;
+  g.leaf.p_rules.push_back(PRule{bitmap_of(t.leaf_down_ports(), {0}), {}});
+  SenderEncoding sender;
+  sender.u_leaf.down = net::PortBitmap{t.leaf_down_ports()};
+  sender.u_leaf.up = net::PortBitmap{t.leaf_up_ports()};
+  EXPECT_THROW(codec.serialize(sender, g), std::invalid_argument);
+}
+
+TEST(HeaderCodec, RejectsTooManyRules) {
+  const auto t = example_topo();
+  const HeaderCodec codec{t};
+  GroupEncoding g;
+  for (int i = 0; i < 128; ++i) {
+    g.leaf.p_rules.push_back(
+        PRule{bitmap_of(t.leaf_down_ports(), {0}), {0}});
+  }
+  SenderEncoding sender;
+  sender.u_leaf.down = net::PortBitmap{t.leaf_down_ports()};
+  sender.u_leaf.up = net::PortBitmap{t.leaf_up_ports()};
+  EXPECT_THROW(codec.serialize(sender, g), std::length_error);
+}
+
+TEST(HeaderCodec, MaxHeaderBytesMonotoneInRules) {
+  const auto t = example_topo();
+  const HeaderCodec codec{t};
+  const auto small = codec.max_header_bytes(2, 5, 2, 2);
+  const auto bigger = codec.max_header_bytes(2, 10, 2, 2);
+  const auto wider = codec.max_header_bytes(2, 5, 2, 4);
+  EXPECT_LT(small, bigger);
+  EXPECT_LT(small, wider);
+}
+
+TEST(HeaderCodec, DeriveHmaxRespectsBudget) {
+  const topo::ClosTopology fabric{topo::ClosParams::facebook_fabric()};
+  const HeaderCodec codec{fabric};
+  EncoderConfig cfg;
+  cfg.header_budget_bytes = 325;
+  const auto hmax = codec.derive_hmax_leaf(cfg);
+  EXPECT_LE(codec.max_header_bytes(cfg.hmax_spine, hmax, cfg.kmax_spine,
+                                   cfg.kmax),
+            325u);
+  EXPECT_GT(codec.max_header_bytes(cfg.hmax_spine, hmax + 1, cfg.kmax_spine,
+                                   cfg.kmax),
+            325u);
+  // The paper's configuration: ~30 leaf p-rules within 325 bytes.
+  EXPECT_GE(hmax, 25u);
+  EXPECT_LE(hmax, 35u);
+}
+
+TEST(HeaderCodec, DeriveHmaxHonorsOverride) {
+  const topo::ClosTopology fabric{topo::ClosParams::facebook_fabric()};
+  const HeaderCodec codec{fabric};
+  EncoderConfig cfg;
+  cfg.hmax_leaf_override = 10;
+  EXPECT_EQ(codec.derive_hmax_leaf(cfg), 10u);
+}
+
+TEST(HeaderCodec, RandomEncodingsRoundTrip) {
+  const topo::ClosTopology fabric{topo::ClosParams::small_test()};
+  const HeaderCodec codec{fabric};
+  util::Rng rng{404};
+  for (int trial = 0; trial < 200; ++trial) {
+    SenderEncoding sender;
+    sender.u_leaf.down = net::PortBitmap{fabric.leaf_down_ports()};
+    sender.u_leaf.up = net::PortBitmap{fabric.leaf_up_ports()};
+    for (std::size_t p = 0; p < fabric.leaf_down_ports(); ++p) {
+      if (rng.bernoulli(0.3)) sender.u_leaf.down.set(p);
+    }
+    sender.u_leaf.multipath = rng.bernoulli(0.5);
+
+    GroupEncoding group;
+    const auto nrules = rng.index(5);
+    for (std::size_t r = 0; r < nrules; ++r) {
+      PRule rule;
+      rule.bitmap = net::PortBitmap{fabric.leaf_down_ports()};
+      for (std::size_t p = 0; p < fabric.leaf_down_ports(); ++p) {
+        if (rng.bernoulli(0.4)) rule.bitmap.set(p);
+      }
+      const auto nids = 1 + rng.index(3);
+      for (std::size_t i = 0; i < nids; ++i) {
+        rule.switch_ids.push_back(
+            static_cast<std::uint32_t>(rng.index(fabric.num_leaves())));
+      }
+      group.leaf.p_rules.push_back(std::move(rule));
+    }
+    const auto bytes = codec.serialize(sender, group);
+    const auto parsed = codec.parse(bytes);
+    ASSERT_TRUE(parsed.u_leaf);
+    EXPECT_EQ(parsed.u_leaf->down, sender.u_leaf.down);
+    EXPECT_EQ(parsed.u_leaf->multipath, sender.u_leaf.multipath);
+    ASSERT_EQ(parsed.leaf_rules.size(), group.leaf.p_rules.size());
+    for (std::size_t r = 0; r < nrules; ++r) {
+      EXPECT_EQ(parsed.leaf_rules[r], group.leaf.p_rules[r]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elmo

@@ -1,0 +1,144 @@
+#include "elmo/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace elmo {
+namespace {
+
+topo::ClosTopology small() {
+  return topo::ClosTopology{topo::ClosParams::small_test()};
+}
+
+// Builds a controller with groups, churn, and a removed group (tombstone).
+std::unique_ptr<Controller> populated(const topo::ClosTopology& t) {
+  auto controller = std::make_unique<Controller>(t, EncoderConfig{});
+  util::Rng rng{12};
+  std::vector<GroupId> ids;
+  for (int g = 0; g < 12; ++g) {
+    const auto hosts = test::random_hosts(t, 3 + rng.index(10), rng);
+    std::vector<Member> members;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      members.push_back(Member{hosts[i], static_cast<std::uint32_t>(i),
+                               static_cast<MemberRole>(rng.index(3))});
+    }
+    ids.push_back(controller->create_group(g % 3, members));
+  }
+  controller->remove_group(ids[4]);
+  controller->remove_group(ids[9]);
+  controller->join(ids[1], Member{60, 99, MemberRole::kReceiver});
+  return controller;
+}
+
+TEST(Snapshot, RestoreReproducesGroupsExactly) {
+  const auto t = small();
+  const auto original = populated(t);
+  const auto image = snapshot(*original);
+
+  Controller restored{t, EncoderConfig{}};
+  restore(restored, image);
+
+  EXPECT_EQ(restored.num_groups(), original->num_groups());
+  for (GroupId id = 0; id < 12; ++id) {
+    ASSERT_EQ(restored.has_group(id), original->has_group(id)) << id;
+    if (!original->has_group(id)) continue;
+    const auto& a = original->group(id);
+    const auto& b = restored.group(id);
+    EXPECT_EQ(a.tenant, b.tenant);
+    EXPECT_EQ(a.address, b.address);
+    ASSERT_EQ(a.members.size(), b.members.size());
+    for (std::size_t m = 0; m < a.members.size(); ++m) {
+      EXPECT_EQ(a.members[m].host, b.members[m].host);
+      EXPECT_EQ(a.members[m].vm, b.members[m].vm);
+      EXPECT_EQ(a.members[m].role, b.members[m].role);
+    }
+    // Derived state identical too: encodings and issued headers.
+    EXPECT_EQ(a.encoding, b.encoding);
+    for (const auto& m : a.members) {
+      if (!can_send(m.role)) continue;
+      EXPECT_EQ(original->header_for(id, m.host),
+                restored.header_for(id, m.host));
+    }
+  }
+  // Fabric-wide s-rule accounting matches.
+  EXPECT_DOUBLE_EQ(restored.srule_space().leaf_stats().sum(),
+                   original->srule_space().leaf_stats().sum());
+}
+
+TEST(Snapshot, RoundTripIsStable) {
+  const auto t = small();
+  const auto original = populated(t);
+  const auto image = snapshot(*original);
+  Controller restored{t, EncoderConfig{}};
+  restore(restored, image);
+  EXPECT_EQ(snapshot(restored), image);
+}
+
+TEST(Snapshot, RestoredControllerContinuesOperating) {
+  const auto t = small();
+  const auto original = populated(t);
+  const auto image = snapshot(*original);
+  Controller restored{t, EncoderConfig{}};
+  restore(restored, image);
+
+  // New lifecycle operations pick up where the original left off: the next
+  // group id continues the sequence.
+  const auto next = restored.create_group(0, {});
+  EXPECT_EQ(next, 12u);
+  restored.join(next, Member{0, 0, MemberRole::kBoth});
+  EXPECT_EQ(restored.group(next).members.size(), 1u);
+}
+
+TEST(Snapshot, RejectsCorruptImages) {
+  const auto t = small();
+  const auto original = populated(t);
+  auto image = snapshot(*original);
+
+  {
+    Controller c{t, EncoderConfig{}};
+    auto bad = image;
+    bad[0] ^= 0xff;  // magic
+    EXPECT_THROW(restore(c, bad), std::invalid_argument);
+  }
+  {
+    Controller c{t, EncoderConfig{}};
+    auto bad = image;
+    bad[5] ^= 0xff;  // version
+    EXPECT_THROW(restore(c, bad), std::invalid_argument);
+  }
+  {
+    Controller c{t, EncoderConfig{}};
+    auto bad = image;
+    bad.resize(bad.size() / 2);  // truncated
+    EXPECT_THROW(restore(c, bad), std::invalid_argument);
+  }
+  {
+    Controller c{t, EncoderConfig{}};
+    auto bad = image;
+    bad.push_back(0);  // trailing garbage
+    EXPECT_THROW(restore(c, bad), std::invalid_argument);
+  }
+}
+
+TEST(Snapshot, RefusesNonEmptyController) {
+  const auto t = small();
+  const auto original = populated(t);
+  const auto image = snapshot(*original);
+  Controller busy{t, EncoderConfig{}};
+  busy.create_group(0, {});
+  EXPECT_THROW(restore(busy, image), std::logic_error);
+}
+
+TEST(Snapshot, EmptyControllerRoundTrips) {
+  const auto t = small();
+  Controller empty{t, EncoderConfig{}};
+  const auto image = snapshot(empty);
+  Controller restored{t, EncoderConfig{}};
+  restore(restored, image);
+  EXPECT_EQ(restored.num_groups(), 0u);
+}
+
+}  // namespace
+}  // namespace elmo

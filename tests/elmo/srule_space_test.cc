@@ -1,0 +1,80 @@
+#include "elmo/srule_space.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo {
+namespace {
+
+topo::ClosTopology small() {
+  return topo::ClosTopology{topo::ClosParams::small_test()};
+}
+
+TEST(SRuleSpace, LeafCapacityEnforced) {
+  const auto t = small();
+  SRuleSpace space{t, 2};
+  EXPECT_TRUE(space.try_reserve_leaf(0));
+  EXPECT_TRUE(space.try_reserve_leaf(0));
+  EXPECT_FALSE(space.try_reserve_leaf(0));
+  EXPECT_EQ(space.leaf_occupancy(0), 2u);
+  EXPECT_TRUE(space.try_reserve_leaf(1));  // other switches unaffected
+}
+
+TEST(SRuleSpace, ReleaseRestoresCapacity) {
+  const auto t = small();
+  SRuleSpace space{t, 1};
+  ASSERT_TRUE(space.try_reserve_leaf(3));
+  EXPECT_FALSE(space.try_reserve_leaf(3));
+  space.release_leaf(3);
+  EXPECT_TRUE(space.try_reserve_leaf(3));
+}
+
+TEST(SRuleSpace, ReleaseUnderflowThrows) {
+  const auto t = small();
+  SRuleSpace space{t, 1};
+  EXPECT_THROW(space.release_leaf(0), std::logic_error);
+  EXPECT_THROW(space.release_pod_spines(0), std::logic_error);
+}
+
+TEST(SRuleSpace, PodSpineReservationTouchesAllPlanes) {
+  const auto t = small();  // 2 spines per pod
+  SRuleSpace space{t, 3};
+  ASSERT_TRUE(space.try_reserve_pod_spines(1));
+  EXPECT_EQ(space.spine_occupancy(t.spine_at(1, 0)), 1u);
+  EXPECT_EQ(space.spine_occupancy(t.spine_at(1, 1)), 1u);
+  EXPECT_EQ(space.spine_occupancy(t.spine_at(0, 0)), 0u);
+  space.release_pod_spines(1);
+  EXPECT_EQ(space.spine_occupancy(t.spine_at(1, 0)), 0u);
+}
+
+TEST(SRuleSpace, PodSpineReservationIsAllOrNothing) {
+  const auto t = small();
+  SRuleSpace space{t, 1};
+  ASSERT_TRUE(space.try_reserve_pod_spines(0));
+  // Both spines of pod 0 are now full; a second reservation must fail
+  // without partially consuming anything.
+  EXPECT_FALSE(space.try_reserve_pod_spines(0));
+  EXPECT_EQ(space.spine_occupancy(t.spine_at(0, 0)), 1u);
+  EXPECT_EQ(space.spine_occupancy(t.spine_at(0, 1)), 1u);
+}
+
+TEST(SRuleSpace, ZeroCapacityRefusesEverything) {
+  const auto t = small();
+  SRuleSpace space{t, 0};
+  EXPECT_FALSE(space.try_reserve_leaf(0));
+  EXPECT_FALSE(space.try_reserve_pod_spines(0));
+}
+
+TEST(SRuleSpace, StatsReflectOccupancy) {
+  const auto t = small();
+  SRuleSpace space{t, 10};
+  space.try_reserve_leaf(0);
+  space.try_reserve_leaf(0);
+  space.try_reserve_leaf(5);
+  const auto stats = space.leaf_stats();
+  EXPECT_EQ(stats.count(), t.num_leaves());
+  EXPECT_DOUBLE_EQ(stats.max(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 3.0);
+}
+
+}  // namespace
+}  // namespace elmo

@@ -1,0 +1,115 @@
+#include "net/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace elmo::net {
+namespace {
+
+TEST(BitWriter, MsbFirstLayout) {
+  BitWriter out;
+  out.write(0b101, 3);
+  out.write(0b1, 1);
+  out.write(0b0000, 4);
+  const auto bytes = out.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10110000);
+}
+
+TEST(BitWriter, PadsFinalByteWithZeros) {
+  BitWriter out;
+  out.write(0b11, 2);
+  const auto bytes = out.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b11000000);
+}
+
+TEST(BitWriter, AlignToByte) {
+  BitWriter out;
+  out.write(1, 1);
+  out.align_to_byte();
+  EXPECT_EQ(out.bit_count(), 8u);
+  out.write(0xff, 8);
+  const auto bytes = out.take();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0x80);
+  EXPECT_EQ(bytes[1], 0xff);
+}
+
+TEST(BitWriter, RejectsOver64Bits) {
+  BitWriter out;
+  EXPECT_THROW(out.write(0, 65), std::invalid_argument);
+}
+
+TEST(BitReader, ReadsBackWriterOutput) {
+  BitWriter out;
+  out.write(0x2a, 7);
+  out.write_bool(true);
+  out.write(0xdeadbeef, 32);
+  const auto bytes = out.take();
+
+  BitReader in{bytes};
+  EXPECT_EQ(in.read(7), 0x2au);
+  EXPECT_TRUE(in.read_bool());
+  EXPECT_EQ(in.read(32), 0xdeadbeefu);
+}
+
+TEST(BitReader, ThrowsPastEnd) {
+  const std::vector<std::uint8_t> one{0xff};
+  BitReader in{one};
+  in.read(8);
+  EXPECT_THROW(in.read(1), std::out_of_range);
+}
+
+TEST(BitReader, PositionTracking) {
+  const std::vector<std::uint8_t> data{0x00, 0x00, 0x00};
+  BitReader in{data};
+  in.read(3);
+  EXPECT_EQ(in.bit_position(), 3u);
+  EXPECT_EQ(in.byte_position(), 1u);  // rounds up
+  in.align_to_byte();
+  EXPECT_EQ(in.bit_position(), 8u);
+  EXPECT_EQ(in.bits_remaining(), 16u);
+}
+
+// Property: random field sequences round-trip for all widths.
+class BitIoRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitIoRoundTrip, RandomValuesSurvive) {
+  const unsigned width = GetParam();
+  util::Rng rng{width * 7919u};
+  std::vector<std::uint64_t> values;
+  BitWriter out;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t mask =
+        width == 64 ? ~0ULL : ((1ULL << width) - 1);
+    const auto v = rng() & mask;
+    values.push_back(v);
+    out.write(v, width);
+  }
+  const auto bytes = out.take();
+  BitReader in{bytes};
+  for (const auto v : values) {
+    EXPECT_EQ(in.read(width), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitIoRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 8u, 11u, 13u,
+                                           16u, 24u, 31u, 32u, 48u, 63u, 64u));
+
+TEST(BitsFor, KnownValues) {
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 2u);
+  EXPECT_EQ(bits_for(5), 3u);
+  EXPECT_EQ(bits_for(12), 4u);
+  EXPECT_EQ(bits_for(576), 10u);
+  EXPECT_EQ(bits_for(1024), 10u);
+  EXPECT_EQ(bits_for(1025), 11u);
+}
+
+}  // namespace
+}  // namespace elmo::net

@@ -1,0 +1,84 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo::net {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const Packet& p) {
+  const auto view = p.bytes();
+  return {view.begin(), view.end()};
+}
+
+TEST(Packet, PayloadConstruction) {
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  Packet p{payload};
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(bytes_of(p), payload);
+}
+
+TEST(Packet, OfSizeIsZeroFilled) {
+  const auto p = Packet::of_size(10);
+  EXPECT_EQ(p.size(), 10u);
+  for (const auto b : p.bytes()) EXPECT_EQ(b, 0);
+}
+
+TEST(Packet, PushFrontPrepends) {
+  Packet p{std::vector<std::uint8_t>{9, 9}};
+  const std::vector<std::uint8_t> header{1, 2, 3};
+  p.push_front(header);
+  EXPECT_EQ(bytes_of(p), (std::vector<std::uint8_t>{1, 2, 3, 9, 9}));
+}
+
+TEST(Packet, PushFrontGrowsHeadroom) {
+  Packet p{std::vector<std::uint8_t>{7}, /*headroom=*/2};
+  const std::vector<std::uint8_t> big(100, 0x5a);
+  p.push_front(big);
+  EXPECT_EQ(p.size(), 101u);
+  EXPECT_EQ(p.bytes()[0], 0x5a);
+  EXPECT_EQ(p.bytes()[100], 7);
+}
+
+TEST(Packet, PopFrontConsumes) {
+  Packet p{std::vector<std::uint8_t>{1, 2, 3, 4}};
+  p.pop_front(2);
+  EXPECT_EQ(bytes_of(p), (std::vector<std::uint8_t>{3, 4}));
+  EXPECT_THROW(p.pop_front(3), std::out_of_range);
+}
+
+TEST(Packet, EraseMiddle) {
+  Packet p{std::vector<std::uint8_t>{0, 1, 2, 3, 4, 5}};
+  p.erase(2, 3);
+  EXPECT_EQ(bytes_of(p), (std::vector<std::uint8_t>{0, 1, 5}));
+}
+
+TEST(Packet, EraseBoundsChecked) {
+  Packet p{std::vector<std::uint8_t>{0, 1, 2}};
+  EXPECT_THROW(p.erase(2, 2), std::out_of_range);
+  EXPECT_NO_THROW(p.erase(1, 2));
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Packet, PeekDoesNotConsume) {
+  Packet p{std::vector<std::uint8_t>{8, 9}};
+  const auto view = p.peek(1);
+  EXPECT_EQ(view[0], 8);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_THROW((void)p.peek(3), std::out_of_range);
+}
+
+TEST(Packet, PushAfterPopReusesHeadroom) {
+  Packet p{std::vector<std::uint8_t>{1, 2, 3}};
+  p.pop_front(1);
+  p.push_front(std::vector<std::uint8_t>{7});
+  EXPECT_EQ(bytes_of(p), (std::vector<std::uint8_t>{7, 2, 3}));
+}
+
+TEST(Packet, MutableBytesWriteThrough) {
+  Packet p{std::vector<std::uint8_t>{0, 0}};
+  p.mutable_bytes()[1] = 0xee;
+  EXPECT_EQ(p.bytes()[1], 0xee);
+}
+
+}  // namespace
+}  // namespace elmo::net

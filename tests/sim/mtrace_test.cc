@@ -1,0 +1,94 @@
+#include "sim/mtrace.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo::sim {
+namespace {
+
+struct MtraceFixture : ::testing::Test {
+  MtraceFixture()
+      : topology{topo::ClosParams::small_test()},
+        controller{topology, elmo::EncoderConfig{}},
+        fabric{topology} {}
+
+  elmo::GroupId make_group(const std::vector<topo::HostId>& hosts) {
+    std::vector<elmo::Member> members;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      members.push_back(elmo::Member{hosts[i], static_cast<std::uint32_t>(i),
+                                     elmo::MemberRole::kBoth});
+    }
+    const auto id = controller.create_group(0, members);
+    fabric.install_group(controller, id);
+    return id;
+  }
+
+  topo::ClosTopology topology;
+  elmo::Controller controller;
+  Fabric fabric;
+};
+
+TEST_F(MtraceFixture, SingleRackTrace) {
+  const auto id = make_group({0, 1});
+  const auto report = mtrace(fabric, controller, id, 0, 64);
+  EXPECT_EQ(report.members_reached, 1u);
+  EXPECT_EQ(report.redundant_copies, 0u);
+  // host0 -> L0 -> host1: two hops.
+  ASSERT_EQ(report.hops.size(), 2u);
+  EXPECT_EQ(report.hops[0].from, (NodeRef{topo::Layer::kHost, 0}));
+  EXPECT_EQ(report.hops[0].to, (NodeRef{topo::Layer::kLeaf, 0}));
+  EXPECT_EQ(report.hops[1].to, (NodeRef{topo::Layer::kHost, 1}));
+}
+
+TEST_F(MtraceFixture, CrossPodTraceShowsPopping) {
+  const auto id = make_group({0, 17, 33});
+  const auto report = mtrace(fabric, controller, id, 0, 100);
+  EXPECT_EQ(report.members_reached, 2u);
+  EXPECT_GE(report.max_depth, 5u);  // host-leaf-spine-core-spine-leaf-host
+
+  // Header bytes shrink monotonically with depth (p-rule popping): compare
+  // the first hop against final host deliveries.
+  std::uint64_t first_hop_bytes = 0;
+  std::uint64_t min_delivery_bytes = ~0ull;
+  for (const auto& hop : report.hops) {
+    if (hop.depth == 1) first_hop_bytes = hop.bytes;
+    if (hop.to.layer == topo::Layer::kHost) {
+      min_delivery_bytes = std::min(min_delivery_bytes, hop.bytes);
+    }
+  }
+  EXPECT_GT(first_hop_bytes, min_delivery_bytes);
+  EXPECT_EQ(min_delivery_bytes, net::kOuterHeaderBytes + 100);
+}
+
+TEST_F(MtraceFixture, RenderMentionsEveryLayer) {
+  const auto id = make_group({0, 17});
+  const auto report = mtrace(fabric, controller, id, 0, 64);
+  const auto text = report.render();
+  EXPECT_NE(text.find("host0"), std::string::npos);
+  EXPECT_NE(text.find("L0"), std::string::npos);
+  EXPECT_NE(text.find("S"), std::string::npos);
+  EXPECT_NE(text.find("C"), std::string::npos);
+  EXPECT_NE(text.find("host17"), std::string::npos);
+  EXPECT_NE(text.find("members reached"), std::string::npos);
+}
+
+TEST_F(MtraceFixture, RedundantCopiesAttributed) {
+  // Force default-rule spurious deliveries with a tiny header budget.
+  elmo::EncoderConfig cfg;
+  cfg.hmax_leaf_override = 1;
+  cfg.hmax_spine = 1;
+  cfg.srule_capacity = 0;
+  elmo::Controller tight{topology, cfg};
+  Fabric tight_fabric{topology};
+  std::vector<elmo::Member> members;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    members.push_back(elmo::Member{i * 5 % 64, i, elmo::MemberRole::kBoth});
+  }
+  const auto id = tight.create_group(0, members);
+  tight_fabric.install_group(tight, id);
+  const auto report = mtrace(tight_fabric, tight, id, members[0].host, 64);
+  EXPECT_GT(report.redundant_copies, 0u);
+  EXPECT_EQ(report.members_reached, members.size() - 1);
+}
+
+}  // namespace
+}  // namespace elmo::sim

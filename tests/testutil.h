@@ -1,0 +1,23 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "topology/clos.h"
+#include "util/rng.h"
+
+namespace elmo::test {
+
+// `n` distinct hosts drawn uniformly from the fabric.
+inline std::vector<topo::HostId> random_hosts(
+    const topo::ClosTopology& topology, std::size_t n, util::Rng& rng) {
+  std::vector<topo::HostId> hosts;
+  hosts.reserve(n);
+  for (const auto index : rng.sample_indices(topology.num_hosts(), n)) {
+    hosts.push_back(static_cast<topo::HostId>(index));
+  }
+  return hosts;
+}
+
+}  // namespace elmo::test

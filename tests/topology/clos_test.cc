@@ -1,0 +1,121 @@
+#include "topology/clos.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo::topo {
+namespace {
+
+class ClosMapping : public ::testing::TestWithParam<ClosParams> {};
+
+TEST_P(ClosMapping, EntityCountsConsistent) {
+  const ClosTopology t{GetParam()};
+  const auto& p = t.params();
+  EXPECT_EQ(t.num_leaves(), p.pods * p.leaves_per_pod);
+  EXPECT_EQ(t.num_spines(), p.pods * p.spines_per_pod);
+  EXPECT_EQ(t.num_cores(), p.spines_per_pod * p.cores_per_plane);
+  EXPECT_EQ(t.num_hosts(), t.num_leaves() * p.hosts_per_leaf);
+  EXPECT_EQ(t.num_switches(),
+            t.num_leaves() + t.num_spines() + t.num_cores());
+}
+
+TEST_P(ClosMapping, HostLeafBijection) {
+  const ClosTopology t{GetParam()};
+  for (HostId h = 0; h < t.num_hosts(); ++h) {
+    const auto leaf = t.leaf_of_host(h);
+    const auto port = t.host_port_on_leaf(h);
+    EXPECT_EQ(t.host_at(leaf, port), h);
+    EXPECT_LT(port, t.leaf_down_ports());
+  }
+}
+
+TEST_P(ClosMapping, LeafPodBijection) {
+  const ClosTopology t{GetParam()};
+  for (LeafId l = 0; l < t.num_leaves(); ++l) {
+    const auto pod = t.pod_of_leaf(l);
+    const auto index = t.leaf_index_in_pod(l);
+    EXPECT_EQ(t.leaf_at(pod, index), l);
+    EXPECT_LT(index, t.spine_down_ports());
+  }
+}
+
+TEST_P(ClosMapping, SpineCoordinates) {
+  const ClosTopology t{GetParam()};
+  for (SpineId s = 0; s < t.num_spines(); ++s) {
+    EXPECT_EQ(t.spine_at(t.pod_of_spine(s), t.plane_of_spine(s)), s);
+  }
+}
+
+TEST_P(ClosMapping, CoreCoordinates) {
+  const ClosTopology t{GetParam()};
+  for (CoreId c = 0; c < t.num_cores(); ++c) {
+    EXPECT_EQ(t.core_at(t.plane_of_core(c), t.core_index_in_plane(c)), c);
+  }
+}
+
+TEST_P(ClosMapping, SpineCoreWiringIsMutual) {
+  const ClosTopology t{GetParam()};
+  for (SpineId s = 0; s < t.num_spines(); ++s) {
+    for (std::size_t up = 0; up < t.spine_up_ports(); ++up) {
+      const auto core = t.core_behind_spine_port(s, up);
+      // The core's port towards this spine's pod leads back to this spine.
+      EXPECT_EQ(t.spine_behind_core_port(core, t.pod_of_spine(s)), s);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClosMapping,
+    ::testing::Values(ClosParams::running_example(), ClosParams::small_test(),
+                      ClosParams{.pods = 3,
+                                 .leaves_per_pod = 5,
+                                 .spines_per_pod = 3,
+                                 .cores_per_plane = 4,
+                                 .hosts_per_leaf = 7}));
+
+TEST(ClosTopology, FacebookFabricScale) {
+  const ClosTopology t{ClosParams::facebook_fabric()};
+  EXPECT_EQ(t.num_hosts(), 27'648u);
+  EXPECT_EQ(t.num_leaves(), 576u);
+  EXPECT_EQ(t.num_pods(), 12u);
+  EXPECT_EQ(t.leaf_id_bits(), 10u);
+  EXPECT_EQ(t.pod_id_bits(), 4u);
+}
+
+TEST(ClosTopology, RejectsDegenerateParams) {
+  EXPECT_THROW(ClosTopology(ClosParams{.pods = 0}), std::out_of_range);
+  EXPECT_THROW(ClosTopology(ClosParams{.hosts_per_leaf = 0}),
+               std::out_of_range);
+}
+
+TEST(ClosTopology, OutOfRangeQueriesThrow) {
+  const ClosTopology t{ClosParams::small_test()};
+  EXPECT_THROW(t.leaf_of_host(t.num_hosts()), std::out_of_range);
+  EXPECT_THROW(t.spine_at(t.num_pods(), 0), std::out_of_range);
+  EXPECT_THROW(t.host_at(0, t.leaf_down_ports()), std::out_of_range);
+}
+
+TEST(FailureSet, TracksAndRestores) {
+  FailureSet f;
+  EXPECT_TRUE(f.empty());
+  f.fail_spine(3);
+  f.fail_core(1);
+  EXPECT_FALSE(f.empty());
+  EXPECT_TRUE(f.spine_failed(3));
+  EXPECT_FALSE(f.spine_failed(4));
+  EXPECT_TRUE(f.core_failed(1));
+  f.fail_spine(3);  // idempotent
+  EXPECT_EQ(f.failed_spines().size(), 1u);
+  f.restore_spine(3);
+  f.restore_core(1);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Layer, ToString) {
+  EXPECT_EQ(to_string(Layer::kHost), "host");
+  EXPECT_EQ(to_string(Layer::kLeaf), "leaf");
+  EXPECT_EQ(to_string(Layer::kSpine), "spine");
+  EXPECT_EQ(to_string(Layer::kCore), "core");
+}
+
+}  // namespace
+}  // namespace elmo::topo

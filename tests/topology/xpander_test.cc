@@ -1,0 +1,76 @@
+#include "topology/xpander.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+namespace elmo::topo {
+namespace {
+
+TEST(Xpander, NearRegularDegree) {
+  util::Rng rng{5};
+  const XpanderTopology x{64, 6, 8, rng};
+  EXPECT_EQ(x.num_switches(), 64u);
+  EXPECT_EQ(x.num_hosts(), 512u);
+  for (std::size_t sw = 0; sw < x.num_switches(); ++sw) {
+    // Matchings can occasionally skip a node pair; degree is <= d and close.
+    EXPECT_LE(x.neighbors(sw).size(), 6u);
+    EXPECT_GE(x.neighbors(sw).size(), 4u);
+  }
+}
+
+TEST(Xpander, GraphIsConnected) {
+  util::Rng rng{7};
+  const XpanderTopology x{128, 8, 4, rng};
+  const auto parents = x.bfs_parents(0);
+  for (std::size_t sw = 0; sw < x.num_switches(); ++sw) {
+    EXPECT_NE(parents[sw], ~0u) << "switch " << sw << " unreachable";
+  }
+}
+
+TEST(Xpander, RejectsBadParameters) {
+  util::Rng rng{9};
+  EXPECT_THROW(XpanderTopology(4, 0, 1, rng), std::invalid_argument);
+  EXPECT_THROW(XpanderTopology(4, 4, 1, rng), std::invalid_argument);
+  EXPECT_THROW(XpanderTopology(5, 2, 1, rng), std::invalid_argument);
+}
+
+TEST(Xpander, TreeCoversAllMemberSwitches) {
+  util::Rng rng{11};
+  const XpanderTopology x{64, 6, 8, rng};
+  const std::vector<std::size_t> members{3, 77, 200, 411, 500};
+  const auto tree = x.multicast_tree(0, members);
+
+  // Every member's ToR must appear with at least one used port.
+  for (const auto m : members) {
+    const auto sw = x.switch_of_host(m);
+    const bool found = std::any_of(
+        tree.begin(), tree.end(),
+        [&](const auto& e) { return e.switch_id == sw && e.ports_used > 0; });
+    EXPECT_TRUE(found) << "member host " << m;
+  }
+}
+
+TEST(Xpander, HeaderBitsGrowWithGroupSize) {
+  util::Rng rng{13};
+  const XpanderTopology x{576, 24, 48, rng};  // ~27k hosts, the paper's note
+  std::vector<std::size_t> small_group;
+  std::vector<std::size_t> large_group;
+  for (std::size_t i = 1; i <= 10; ++i) small_group.push_back(i * 97);
+  for (std::size_t i = 1; i <= 200; ++i) large_group.push_back(i * 113 % x.num_hosts());
+
+  const auto small_bits = x.header_bits_for_tree(0, small_group);
+  const auto large_bits = x.header_bits_for_tree(0, large_group);
+  EXPECT_LT(small_bits, large_bits);
+  EXPECT_GT(small_bits, 0u);
+}
+
+TEST(Xpander, SenderOnlyGroupHasRootEntry) {
+  util::Rng rng{17};
+  const XpanderTopology x{16, 4, 2, rng};
+  const auto tree = x.multicast_tree(0, {0});  // only the sender itself
+  ASSERT_FALSE(tree.empty());
+}
+
+}  // namespace
+}  // namespace elmo::topo

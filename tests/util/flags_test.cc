@@ -1,0 +1,68 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace elmo::util {
+namespace {
+
+TEST(Flags, FallbackWhenUnset) {
+  unsetenv("ELMO_NOSUCH");
+  Flags flags;
+  EXPECT_EQ(flags.get_int("nosuch", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("nosuch", 1.5), 1.5);
+  EXPECT_EQ(flags.get_string("nosuch", "dflt"), "dflt");
+  EXPECT_TRUE(flags.get_bool("nosuch", true));
+}
+
+TEST(Flags, ReadsEnvironment) {
+  setenv("ELMO_GROUPS", "12345", 1);
+  Flags flags;
+  EXPECT_EQ(flags.get_int("groups", 1), 12345);
+  unsetenv("ELMO_GROUPS");
+}
+
+TEST(Flags, ArgvOverridesEnvironment) {
+  setenv("ELMO_SCALE", "1", 1);
+  const char* argv[] = {"prog", "SCALE=9"};
+  Flags flags{2, const_cast<char**>(argv)};
+  EXPECT_EQ(flags.get_int("scale", 0), 9);
+  unsetenv("ELMO_SCALE");
+}
+
+TEST(Flags, KeysAreCaseInsensitive) {
+  setenv("ELMO_PODS", "6", 1);
+  Flags flags;
+  EXPECT_EQ(flags.get_int("Pods", 0), 6);
+  EXPECT_EQ(flags.get_int("PODS", 0), 6);
+  unsetenv("ELMO_PODS");
+}
+
+TEST(Flags, BoolParsing) {
+  for (const char* truthy : {"1", "true", "YES", "on"}) {
+    setenv("ELMO_FLAGB", truthy, 1);
+    Flags flags;
+    EXPECT_TRUE(flags.get_bool("flagb", false)) << truthy;
+  }
+  setenv("ELMO_FLAGB", "0", 1);
+  Flags flags;
+  EXPECT_FALSE(flags.get_bool("flagb", true));
+  unsetenv("ELMO_FLAGB");
+}
+
+TEST(Flags, IgnoresDashDashArguments) {
+  const char* argv[] = {"prog", "--benchmark_filter=all", "R=3"};
+  Flags flags{3, const_cast<char**>(argv)};
+  EXPECT_EQ(flags.get_int("r", 0), 3);
+  EXPECT_EQ(flags.get_string("benchmark_filter", "none"), "none");
+}
+
+TEST(Flags, DoubleParsing) {
+  const char* argv[] = {"prog", "RATIO=0.25"};
+  Flags flags{2, const_cast<char**>(argv)};
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace elmo::util

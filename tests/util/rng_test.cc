@@ -1,0 +1,137 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace elmo::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng{7};
+  const auto first = rng();
+  rng.reseed(7);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng{3};
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng{3};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng{11};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all six values hit
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnit) {
+  Rng rng{13};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{17};
+  double sum = 0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / kSamples, 50.0, 1.0);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng{19};
+  int hits = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng{23};
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  rng.shuffle(std::span<int>{shuffled});
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng{29};
+  for (std::size_t n : {5u, 100u, 1000u}) {
+    for (std::size_t k : {std::size_t{1}, n / 2, n}) {
+      const auto sample = rng.sample_indices(n, k);
+      ASSERT_EQ(sample.size(), k);
+      std::set<std::size_t> unique{sample.begin(), sample.end()};
+      EXPECT_EQ(unique.size(), k);
+      for (const auto v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(Rng, SampleIndicesFullRangeIsPermutation) {
+  Rng rng{31};
+  auto sample = rng.sample_indices(50, 50);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleIndicesRejectsOversizedK) {
+  Rng rng{37};
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SampleIndicesApproximatelyUniform) {
+  Rng rng{41};
+  std::vector<int> counts(10, 0);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    for (const auto v : rng.sample_indices(10, 3)) ++counts[v];
+  }
+  // Each index should be chosen ~ 20000 * 3/10 = 6000 times.
+  for (const auto c : counts) EXPECT_NEAR(c, 6000, 400);
+}
+
+}  // namespace
+}  // namespace elmo::util

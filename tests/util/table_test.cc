@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table{{"name", "value"}};
+  table.add_row({"alpha", "1"});
+  table.add_row({"bb", "22"});
+  const auto out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Borders present.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable table{{"a", "b", "c"}};
+  table.add_row({"only"});
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(TextTable, FmtFixedPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(TextTable, FmtCountInsertsSeparators) {
+  EXPECT_EQ(TextTable::fmt_count(0), "0");
+  EXPECT_EQ(TextTable::fmt_count(999), "999");
+  EXPECT_EQ(TextTable::fmt_count(1000), "1,000");
+  EXPECT_EQ(TextTable::fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(TextTable::fmt_count(27648), "27,648");
+}
+
+TEST(TextTable, FmtSiScalesUnits) {
+  EXPECT_EQ(TextTable::fmt_si(950, 0), "950");
+  EXPECT_EQ(TextTable::fmt_si(1500, 1), "1.5K");
+  EXPECT_EQ(TextTable::fmt_si(2'000'000, 0), "2M");
+  EXPECT_EQ(TextTable::fmt_si(3.2e9, 1), "3.2G");
+}
+
+TEST(TextTable, FmtPct) {
+  EXPECT_EQ(TextTable::fmt_pct(0.345, 1), "34.5%");
+  EXPECT_EQ(TextTable::fmt_pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace elmo::util
