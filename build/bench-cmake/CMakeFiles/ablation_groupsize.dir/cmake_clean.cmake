@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_groupsize"
+  "../bench/ablation_groupsize.pdb"
+  "CMakeFiles/ablation_groupsize.dir/ablation_groupsize.cc.o"
+  "CMakeFiles/ablation_groupsize.dir/ablation_groupsize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_groupsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/appendixA_strawman"
+  "../bench/appendixA_strawman.pdb"
+  "CMakeFiles/appendixA_strawman.dir/appendixA_strawman.cc.o"
+  "CMakeFiles/appendixA_strawman.dir/appendixA_strawman.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixA_strawman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

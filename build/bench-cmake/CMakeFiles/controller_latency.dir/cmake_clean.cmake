@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/controller_latency"
+  "../bench/controller_latency.pdb"
+  "CMakeFiles/controller_latency.dir/controller_latency.cc.o"
+  "CMakeFiles/controller_latency.dir/controller_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_benchlib.dir/figlib.cc.o"
+  "CMakeFiles/elmo_benchlib.dir/figlib.cc.o.d"
+  "libelmo_benchlib.a"
+  "libelmo_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_placement_p12"
+  "../bench/fig4_placement_p12.pdb"
+  "CMakeFiles/fig4_placement_p12.dir/fig4_placement_p12.cc.o"
+  "CMakeFiles/fig4_placement_p12.dir/fig4_placement_p12.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_placement_p12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_placement_p12.
+# This may be replaced when dependencies are built.

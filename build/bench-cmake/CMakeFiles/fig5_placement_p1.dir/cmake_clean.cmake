@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_placement_p1"
+  "../bench/fig5_placement_p1.pdb"
+  "CMakeFiles/fig5_placement_p1.dir/fig5_placement_p1.cc.o"
+  "CMakeFiles/fig5_placement_p1.dir/fig5_placement_p1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_placement_p1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_pubsub"
+  "../bench/fig6_pubsub.pdb"
+  "CMakeFiles/fig6_pubsub.dir/fig6_pubsub.cc.o"
+  "CMakeFiles/fig6_pubsub.dir/fig6_pubsub.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_hypervisor_tput"
+  "../bench/fig7_hypervisor_tput.pdb"
+  "CMakeFiles/fig7_hypervisor_tput.dir/fig7_hypervisor_tput.cc.o"
+  "CMakeFiles/fig7_hypervisor_tput.dir/fig7_hypervisor_tput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hypervisor_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

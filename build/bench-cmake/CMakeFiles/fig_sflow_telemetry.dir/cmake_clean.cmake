@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_sflow_telemetry"
+  "../bench/fig_sflow_telemetry.pdb"
+  "CMakeFiles/fig_sflow_telemetry.dir/fig_sflow_telemetry.cc.o"
+  "CMakeFiles/fig_sflow_telemetry.dir/fig_sflow_telemetry.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sflow_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

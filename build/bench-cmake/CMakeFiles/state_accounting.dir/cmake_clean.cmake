@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/state_accounting"
+  "../bench/state_accounting.pdb"
+  "CMakeFiles/state_accounting.dir/state_accounting.cc.o"
+  "CMakeFiles/state_accounting.dir/state_accounting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

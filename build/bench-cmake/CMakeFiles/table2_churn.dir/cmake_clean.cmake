@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_churn"
+  "../bench/table2_churn.pdb"
+  "CMakeFiles/table2_churn.dir/table2_churn.cc.o"
+  "CMakeFiles/table2_churn.dir/table2_churn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

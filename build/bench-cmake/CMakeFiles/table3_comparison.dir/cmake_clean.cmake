@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_comparison"
+  "../bench/table3_comparison.pdb"
+  "CMakeFiles/table3_comparison.dir/table3_comparison.cc.o"
+  "CMakeFiles/table3_comparison.dir/table3_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/text_failures"
+  "../bench/text_failures.pdb"
+  "CMakeFiles/text_failures.dir/text_failures.cc.o"
+  "CMakeFiles/text_failures.dir/text_failures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/text_sensitivity"
+  "../bench/text_sensitivity.pdb"
+  "CMakeFiles/text_sensitivity.dir/text_sensitivity.cc.o"
+  "CMakeFiles/text_sensitivity.dir/text_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/failover.cpp" "examples/CMakeFiles/failover.dir/failover.cpp.o" "gcc" "examples/CMakeFiles/failover.dir/failover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/elmo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/elmo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/elmo/CMakeFiles/elmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/elmo_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/elmo_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/elmo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/elmo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

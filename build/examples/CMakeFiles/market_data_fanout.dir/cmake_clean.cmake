@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_data_fanout.dir/market_data_fanout.cpp.o"
+  "CMakeFiles/market_data_fanout.dir/market_data_fanout.cpp.o.d"
+  "market_data_fanout"
+  "market_data_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_data_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtrace_tool.dir/mtrace_tool.cpp.o"
+  "CMakeFiles/mtrace_tool.dir/mtrace_tool.cpp.o.d"
+  "mtrace_tool"
+  "mtrace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtrace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

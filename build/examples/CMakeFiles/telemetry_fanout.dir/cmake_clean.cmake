@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_fanout.dir/telemetry_fanout.cpp.o"
+  "CMakeFiles/telemetry_fanout.dir/telemetry_fanout.cpp.o.d"
+  "telemetry_fanout"
+  "telemetry_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

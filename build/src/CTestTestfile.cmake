@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("topology")
+subdirs("cloud")
+subdirs("elmo")
+subdirs("dataplane")
+subdirs("sim")
+subdirs("baselines")
+subdirs("apps")
+subdirs("p4gen")
+subdirs("p4rt")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_apps.dir/igmp.cc.o"
+  "CMakeFiles/elmo_apps.dir/igmp.cc.o.d"
+  "CMakeFiles/elmo_apps.dir/multidc.cc.o"
+  "CMakeFiles/elmo_apps.dir/multidc.cc.o.d"
+  "CMakeFiles/elmo_apps.dir/pubsub.cc.o"
+  "CMakeFiles/elmo_apps.dir/pubsub.cc.o.d"
+  "CMakeFiles/elmo_apps.dir/reliable.cc.o"
+  "CMakeFiles/elmo_apps.dir/reliable.cc.o.d"
+  "CMakeFiles/elmo_apps.dir/telemetry.cc.o"
+  "CMakeFiles/elmo_apps.dir/telemetry.cc.o.d"
+  "libelmo_apps.a"
+  "libelmo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

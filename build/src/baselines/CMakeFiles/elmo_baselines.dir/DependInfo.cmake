@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hostcast.cc" "src/baselines/CMakeFiles/elmo_baselines.dir/hostcast.cc.o" "gcc" "src/baselines/CMakeFiles/elmo_baselines.dir/hostcast.cc.o.d"
+  "/root/repo/src/baselines/li_multicast.cc" "src/baselines/CMakeFiles/elmo_baselines.dir/li_multicast.cc.o" "gcc" "src/baselines/CMakeFiles/elmo_baselines.dir/li_multicast.cc.o.d"
+  "/root/repo/src/baselines/rmt.cc" "src/baselines/CMakeFiles/elmo_baselines.dir/rmt.cc.o" "gcc" "src/baselines/CMakeFiles/elmo_baselines.dir/rmt.cc.o.d"
+  "/root/repo/src/baselines/schemes.cc" "src/baselines/CMakeFiles/elmo_baselines.dir/schemes.cc.o" "gcc" "src/baselines/CMakeFiles/elmo_baselines.dir/schemes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elmo/CMakeFiles/elmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/elmo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/elmo_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/elmo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

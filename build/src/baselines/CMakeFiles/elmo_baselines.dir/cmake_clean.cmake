@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_baselines.dir/hostcast.cc.o"
+  "CMakeFiles/elmo_baselines.dir/hostcast.cc.o.d"
+  "CMakeFiles/elmo_baselines.dir/li_multicast.cc.o"
+  "CMakeFiles/elmo_baselines.dir/li_multicast.cc.o.d"
+  "CMakeFiles/elmo_baselines.dir/rmt.cc.o"
+  "CMakeFiles/elmo_baselines.dir/rmt.cc.o.d"
+  "CMakeFiles/elmo_baselines.dir/schemes.cc.o"
+  "CMakeFiles/elmo_baselines.dir/schemes.cc.o.d"
+  "libelmo_baselines.a"
+  "libelmo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

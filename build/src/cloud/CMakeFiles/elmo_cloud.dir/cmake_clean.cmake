@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_cloud.dir/cloud.cc.o"
+  "CMakeFiles/elmo_cloud.dir/cloud.cc.o.d"
+  "libelmo_cloud.a"
+  "libelmo_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/hypervisor_switch.cc" "src/dataplane/CMakeFiles/elmo_dataplane.dir/hypervisor_switch.cc.o" "gcc" "src/dataplane/CMakeFiles/elmo_dataplane.dir/hypervisor_switch.cc.o.d"
+  "/root/repo/src/dataplane/network_switch.cc" "src/dataplane/CMakeFiles/elmo_dataplane.dir/network_switch.cc.o" "gcc" "src/dataplane/CMakeFiles/elmo_dataplane.dir/network_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elmo/CMakeFiles/elmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/elmo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/elmo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/elmo_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_dataplane.dir/hypervisor_switch.cc.o"
+  "CMakeFiles/elmo_dataplane.dir/hypervisor_switch.cc.o.d"
+  "CMakeFiles/elmo_dataplane.dir/network_switch.cc.o"
+  "CMakeFiles/elmo_dataplane.dir/network_switch.cc.o.d"
+  "libelmo_dataplane.a"
+  "libelmo_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

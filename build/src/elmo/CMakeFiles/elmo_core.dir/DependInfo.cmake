@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elmo/churn.cc" "src/elmo/CMakeFiles/elmo_core.dir/churn.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_core.dir/churn.cc.o.d"
+  "/root/repo/src/elmo/clustering.cc" "src/elmo/CMakeFiles/elmo_core.dir/clustering.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_core.dir/clustering.cc.o.d"
+  "/root/repo/src/elmo/controller.cc" "src/elmo/CMakeFiles/elmo_core.dir/controller.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_core.dir/controller.cc.o.d"
+  "/root/repo/src/elmo/encoder.cc" "src/elmo/CMakeFiles/elmo_core.dir/encoder.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_core.dir/encoder.cc.o.d"
+  "/root/repo/src/elmo/evaluator.cc" "src/elmo/CMakeFiles/elmo_core.dir/evaluator.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/elmo/header.cc" "src/elmo/CMakeFiles/elmo_core.dir/header.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_core.dir/header.cc.o.d"
+  "/root/repo/src/elmo/snapshot.cc" "src/elmo/CMakeFiles/elmo_core.dir/snapshot.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_core.dir/snapshot.cc.o.d"
+  "/root/repo/src/elmo/srule_space.cc" "src/elmo/CMakeFiles/elmo_core.dir/srule_space.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_core.dir/srule_space.cc.o.d"
+  "/root/repo/src/elmo/tree.cc" "src/elmo/CMakeFiles/elmo_core.dir/tree.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_core.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/elmo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/elmo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/elmo_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

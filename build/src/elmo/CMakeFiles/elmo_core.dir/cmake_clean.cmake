@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_core.dir/churn.cc.o"
+  "CMakeFiles/elmo_core.dir/churn.cc.o.d"
+  "CMakeFiles/elmo_core.dir/clustering.cc.o"
+  "CMakeFiles/elmo_core.dir/clustering.cc.o.d"
+  "CMakeFiles/elmo_core.dir/controller.cc.o"
+  "CMakeFiles/elmo_core.dir/controller.cc.o.d"
+  "CMakeFiles/elmo_core.dir/encoder.cc.o"
+  "CMakeFiles/elmo_core.dir/encoder.cc.o.d"
+  "CMakeFiles/elmo_core.dir/evaluator.cc.o"
+  "CMakeFiles/elmo_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/elmo_core.dir/header.cc.o"
+  "CMakeFiles/elmo_core.dir/header.cc.o.d"
+  "CMakeFiles/elmo_core.dir/snapshot.cc.o"
+  "CMakeFiles/elmo_core.dir/snapshot.cc.o.d"
+  "CMakeFiles/elmo_core.dir/srule_space.cc.o"
+  "CMakeFiles/elmo_core.dir/srule_space.cc.o.d"
+  "CMakeFiles/elmo_core.dir/tree.cc.o"
+  "CMakeFiles/elmo_core.dir/tree.cc.o.d"
+  "libelmo_core.a"
+  "libelmo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bitio.cc" "src/net/CMakeFiles/elmo_net.dir/bitio.cc.o" "gcc" "src/net/CMakeFiles/elmo_net.dir/bitio.cc.o.d"
+  "/root/repo/src/net/bitmap.cc" "src/net/CMakeFiles/elmo_net.dir/bitmap.cc.o" "gcc" "src/net/CMakeFiles/elmo_net.dir/bitmap.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/net/CMakeFiles/elmo_net.dir/headers.cc.o" "gcc" "src/net/CMakeFiles/elmo_net.dir/headers.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/elmo_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/elmo_net.dir/packet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

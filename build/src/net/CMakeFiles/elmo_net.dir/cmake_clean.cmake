@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_net.dir/bitio.cc.o"
+  "CMakeFiles/elmo_net.dir/bitio.cc.o.d"
+  "CMakeFiles/elmo_net.dir/bitmap.cc.o"
+  "CMakeFiles/elmo_net.dir/bitmap.cc.o.d"
+  "CMakeFiles/elmo_net.dir/headers.cc.o"
+  "CMakeFiles/elmo_net.dir/headers.cc.o.d"
+  "CMakeFiles/elmo_net.dir/packet.cc.o"
+  "CMakeFiles/elmo_net.dir/packet.cc.o.d"
+  "libelmo_net.a"
+  "libelmo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

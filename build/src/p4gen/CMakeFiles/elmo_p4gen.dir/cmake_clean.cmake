@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_p4gen.dir/p4gen.cc.o"
+  "CMakeFiles/elmo_p4gen.dir/p4gen.cc.o.d"
+  "libelmo_p4gen.a"
+  "libelmo_p4gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_p4gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

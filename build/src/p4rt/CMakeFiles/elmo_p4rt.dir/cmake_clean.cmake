@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_p4rt.dir/runtime.cc.o"
+  "CMakeFiles/elmo_p4rt.dir/runtime.cc.o.d"
+  "libelmo_p4rt.a"
+  "libelmo_p4rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_p4rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_sim.dir/fabric.cc.o"
+  "CMakeFiles/elmo_sim.dir/fabric.cc.o.d"
+  "CMakeFiles/elmo_sim.dir/mtrace.cc.o"
+  "CMakeFiles/elmo_sim.dir/mtrace.cc.o.d"
+  "libelmo_sim.a"
+  "libelmo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

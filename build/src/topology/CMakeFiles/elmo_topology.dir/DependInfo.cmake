@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/clos.cc" "src/topology/CMakeFiles/elmo_topology.dir/clos.cc.o" "gcc" "src/topology/CMakeFiles/elmo_topology.dir/clos.cc.o.d"
+  "/root/repo/src/topology/xpander.cc" "src/topology/CMakeFiles/elmo_topology.dir/xpander.cc.o" "gcc" "src/topology/CMakeFiles/elmo_topology.dir/xpander.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/elmo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_topology.dir/clos.cc.o"
+  "CMakeFiles/elmo_topology.dir/clos.cc.o.d"
+  "CMakeFiles/elmo_topology.dir/xpander.cc.o"
+  "CMakeFiles/elmo_topology.dir/xpander.cc.o.d"
+  "libelmo_topology.a"
+  "libelmo_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

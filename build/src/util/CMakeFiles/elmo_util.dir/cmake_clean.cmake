@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_util.dir/flags.cc.o"
+  "CMakeFiles/elmo_util.dir/flags.cc.o.d"
+  "CMakeFiles/elmo_util.dir/rng.cc.o"
+  "CMakeFiles/elmo_util.dir/rng.cc.o.d"
+  "CMakeFiles/elmo_util.dir/stats.cc.o"
+  "CMakeFiles/elmo_util.dir/stats.cc.o.d"
+  "CMakeFiles/elmo_util.dir/table.cc.o"
+  "CMakeFiles/elmo_util.dir/table.cc.o.d"
+  "libelmo_util.a"
+  "libelmo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

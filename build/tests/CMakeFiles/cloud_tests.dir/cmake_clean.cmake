@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_tests.dir/cloud/cloud_test.cc.o"
+  "CMakeFiles/cloud_tests.dir/cloud/cloud_test.cc.o.d"
+  "cloud_tests"
+  "cloud_tests.pdb"
+  "cloud_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

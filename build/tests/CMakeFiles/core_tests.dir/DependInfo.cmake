@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/elmo/churn_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/churn_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/churn_test.cc.o.d"
+  "/root/repo/tests/elmo/clustering_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/clustering_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/clustering_test.cc.o.d"
+  "/root/repo/tests/elmo/controller_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/controller_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/controller_test.cc.o.d"
+  "/root/repo/tests/elmo/edge_cases_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/edge_cases_test.cc.o.d"
+  "/root/repo/tests/elmo/encoder_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/encoder_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/encoder_test.cc.o.d"
+  "/root/repo/tests/elmo/evaluator_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/evaluator_test.cc.o.d"
+  "/root/repo/tests/elmo/fuzz_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/fuzz_test.cc.o.d"
+  "/root/repo/tests/elmo/header_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/header_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/header_test.cc.o.d"
+  "/root/repo/tests/elmo/invariants_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/invariants_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/invariants_test.cc.o.d"
+  "/root/repo/tests/elmo/running_example_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/running_example_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/running_example_test.cc.o.d"
+  "/root/repo/tests/elmo/snapshot_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/snapshot_test.cc.o.d"
+  "/root/repo/tests/elmo/srule_space_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/srule_space_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/srule_space_test.cc.o.d"
+  "/root/repo/tests/elmo/tree_test.cc" "tests/CMakeFiles/core_tests.dir/elmo/tree_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/elmo/tree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elmo/CMakeFiles/elmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/elmo_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elmo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/elmo_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/elmo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/elmo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

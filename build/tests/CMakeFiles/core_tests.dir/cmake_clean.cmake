@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/elmo/churn_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/churn_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/clustering_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/clustering_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/controller_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/controller_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/edge_cases_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/edge_cases_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/encoder_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/encoder_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/evaluator_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/evaluator_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/fuzz_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/fuzz_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/header_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/header_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/invariants_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/invariants_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/running_example_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/running_example_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/snapshot_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/snapshot_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/srule_space_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/srule_space_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/elmo/tree_test.cc.o"
+  "CMakeFiles/core_tests.dir/elmo/tree_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_tests.dir/dataplane/hypervisor_test.cc.o"
+  "CMakeFiles/dataplane_tests.dir/dataplane/hypervisor_test.cc.o.d"
+  "CMakeFiles/dataplane_tests.dir/dataplane/legacy_test.cc.o"
+  "CMakeFiles/dataplane_tests.dir/dataplane/legacy_test.cc.o.d"
+  "CMakeFiles/dataplane_tests.dir/dataplane/multipath_test.cc.o"
+  "CMakeFiles/dataplane_tests.dir/dataplane/multipath_test.cc.o.d"
+  "CMakeFiles/dataplane_tests.dir/dataplane/network_switch_test.cc.o"
+  "CMakeFiles/dataplane_tests.dir/dataplane/network_switch_test.cc.o.d"
+  "dataplane_tests"
+  "dataplane_tests.pdb"
+  "dataplane_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

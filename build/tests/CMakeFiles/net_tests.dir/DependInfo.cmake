@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/bitio_test.cc" "tests/CMakeFiles/net_tests.dir/net/bitio_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/bitio_test.cc.o.d"
+  "/root/repo/tests/net/bitmap_test.cc" "tests/CMakeFiles/net_tests.dir/net/bitmap_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/bitmap_test.cc.o.d"
+  "/root/repo/tests/net/headers_test.cc" "tests/CMakeFiles/net_tests.dir/net/headers_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/headers_test.cc.o.d"
+  "/root/repo/tests/net/packet_test.cc" "tests/CMakeFiles/net_tests.dir/net/packet_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/packet_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/elmo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4rt_tests.dir/p4rt/runtime_test.cc.o"
+  "CMakeFiles/p4rt_tests.dir/p4rt/runtime_test.cc.o.d"
+  "p4rt_tests"
+  "p4rt_tests.pdb"
+  "p4rt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4rt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

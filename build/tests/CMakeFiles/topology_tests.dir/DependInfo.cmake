@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topology/clos_test.cc" "tests/CMakeFiles/topology_tests.dir/topology/clos_test.cc.o" "gcc" "tests/CMakeFiles/topology_tests.dir/topology/clos_test.cc.o.d"
+  "/root/repo/tests/topology/xpander_test.cc" "tests/CMakeFiles/topology_tests.dir/topology/xpander_test.cc.o" "gcc" "tests/CMakeFiles/topology_tests.dir/topology/xpander_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/elmo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/elmo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_tests.dir/topology/clos_test.cc.o"
+  "CMakeFiles/topology_tests.dir/topology/clos_test.cc.o.d"
+  "CMakeFiles/topology_tests.dir/topology/xpander_test.cc.o"
+  "CMakeFiles/topology_tests.dir/topology/xpander_test.cc.o.d"
+  "topology_tests"
+  "topology_tests.pdb"
+  "topology_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

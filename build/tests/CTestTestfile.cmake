@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/topology_tests[1]_include.cmake")
+include("/root/repo/build/tests/cloud_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/dataplane_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/baselines_tests[1]_include.cmake")
+include("/root/repo/build/tests/apps_tests[1]_include.cmake")
+include("/root/repo/build/tests/p4gen_tests[1]_include.cmake")
+include("/root/repo/build/tests/p4rt_tests[1]_include.cmake")
