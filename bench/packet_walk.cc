@@ -1,0 +1,113 @@
+// Forwarding-pipeline microbench: full fabric walks (hypervisor encap ->
+// leaf/spine/core replication -> hypervisor decap) at group fanouts 8, 64
+// and 512, reporting sends/sec and deep-copied bytes per send.
+//
+// Bytes-copied accounting comes from net::copy_stats(): every deep copy of
+// packet bytes (Packet copy construction, PacketView materialization) is
+// counted globally. The zero-copy pipeline claim (ISSUE 1 / paper §4: "at
+// hardware speed", no per-copy allocation) is exactly a claim about this
+// number, so the bench records it per send alongside throughput.
+//
+// Output is JSON on stdout, one object per fanout; recorded snapshots live
+// in bench/results/ (BENCH_packet_walk_baseline.json = the seed deep-copy
+// walk, BENCH_packet_walk.json = the CoW PacketView pipeline).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "elmo/controller.h"
+#include "sim/fabric.h"
+#include "topology/clos.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace elmo;
+
+struct RunResult {
+  double sends_per_sec = 0;
+  double bytes_copied_per_send = 0;
+  double copies_per_send = 0;
+  std::uint64_t wire_bytes_per_send = 0;
+  std::uint64_t link_transmissions_per_send = 0;
+  std::size_t hosts_reached = 0;
+};
+
+RunResult run_fanout(std::size_t fanout, std::size_t payload_bytes,
+                     std::size_t iterations) {
+  // Two-tier leaf-spine: 32 leaves x 32 hosts = 1,024 hosts, enough for the
+  // widest fanout while keeping fabric construction cheap.
+  const topo::ClosTopology topology{topo::ClosParams::two_tier_leaf_spine()};
+  Controller controller{topology, EncoderConfig{}};
+  sim::Fabric fabric{topology};
+
+  // Sender is host 0; receivers spread evenly over the whole fabric so the
+  // walk exercises every replication layer.
+  std::vector<Member> members;
+  members.push_back(Member{0, 0, MemberRole::kBoth});
+  const std::size_t stride = (topology.num_hosts() - 1) / fanout;
+  for (std::size_t i = 0; i < fanout; ++i) {
+    const auto host = static_cast<topo::HostId>(1 + i * stride);
+    members.push_back(
+        Member{host, static_cast<std::uint32_t>(i + 1), MemberRole::kReceiver});
+  }
+  const auto id = controller.create_group(0, members);
+  fabric.install_group(controller, id);
+  const auto group = controller.group(id).address;
+  const std::vector<std::uint8_t> payload(payload_bytes, 0xab);
+
+  // Warmup (and one accounted result for the static per-send numbers).
+  const auto probe = fabric.send(0, group, payload);
+  for (int i = 0; i < 3; ++i) (void)fabric.send(0, group, payload);
+
+  net::reset_copy_stats();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) {
+    (void)fabric.send(0, group, payload);
+  }
+  const auto elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const auto& copies = net::copy_stats();
+
+  RunResult r;
+  r.sends_per_sec = static_cast<double>(iterations) / elapsed;
+  r.bytes_copied_per_send =
+      static_cast<double>(copies.bytes) / static_cast<double>(iterations);
+  r.copies_per_send =
+      static_cast<double>(copies.copies) / static_cast<double>(iterations);
+  r.wire_bytes_per_send = probe.total_wire_bytes;
+  r.link_transmissions_per_send = probe.total_link_transmissions;
+  r.hosts_reached = probe.host_copies.size();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const elmo::util::Flags flags{argc, argv};
+  const auto payload = static_cast<std::size_t>(
+      flags.get_int("PAYLOAD", 256));  // ELMO_PAYLOAD / PAYLOAD=...
+  const auto scale = static_cast<std::size_t>(flags.get_int("SCALE", 1));
+
+  std::printf("{\n  \"bench\": \"packet_walk\",\n  \"payload_bytes\": %zu,\n"
+              "  \"results\": [\n",
+              payload);
+  const std::size_t fanouts[] = {8, 64, 512};
+  const std::size_t iters[] = {4000 * scale, 1000 * scale, 200 * scale};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto r = run_fanout(fanouts[i], payload, iters[i]);
+    std::printf(
+        "    {\"fanout\": %zu, \"sends_per_sec\": %.0f, "
+        "\"bytes_copied_per_send\": %.1f, \"copies_per_send\": %.2f, "
+        "\"wire_bytes_per_send\": %llu, \"link_transmissions_per_send\": "
+        "%llu, \"hosts_reached\": %zu}%s\n",
+        fanouts[i], r.sends_per_sec, r.bytes_copied_per_send,
+        r.copies_per_send,
+        static_cast<unsigned long long>(r.wire_bytes_per_send),
+        static_cast<unsigned long long>(r.link_transmissions_per_send),
+        r.hosts_reached, i + 1 < 3 ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

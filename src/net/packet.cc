@@ -4,6 +4,19 @@
 
 namespace elmo::net {
 
+namespace {
+CopyStats g_copy_stats;
+}  // namespace
+
+const CopyStats& copy_stats() noexcept { return g_copy_stats; }
+
+void reset_copy_stats() noexcept { g_copy_stats = CopyStats{}; }
+
+void count_copy(std::size_t bytes) noexcept {
+  ++g_copy_stats.copies;
+  g_copy_stats.bytes += bytes;
+}
+
 void Packet::push_front(std::span<const std::uint8_t> header) {
   if (header.size() > head_) {
     const std::size_t extra =
@@ -23,7 +36,9 @@ void Packet::pop_front(std::size_t count) {
 }
 
 void Packet::erase(std::size_t offset, std::size_t count) {
-  if (offset + count > size()) {
+  // Checked as two comparisons so a huge `count` cannot overflow
+  // `offset + count` and slip past the bound.
+  if (offset > size() || count > size() - offset) {
     throw std::out_of_range{"Packet::erase beyond packet size"};
   }
   const auto first = buffer_.begin() + static_cast<std::ptrdiff_t>(head_ + offset);
