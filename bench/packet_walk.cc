@@ -11,6 +11,7 @@
 // Output is JSON on stdout, one object per fanout; recorded snapshots live
 // in bench/results/ (BENCH_packet_walk_baseline.json = the seed deep-copy
 // walk, BENCH_packet_walk.json = the CoW PacketView pipeline).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -86,9 +87,10 @@ RunResult run_fanout(std::size_t fanout, std::size_t payload_bytes,
 
 int main(int argc, char** argv) {
   const elmo::util::Flags flags{argc, argv};
-  const auto payload = static_cast<std::size_t>(
-      flags.get_int("PAYLOAD", 256));  // ELMO_PAYLOAD / PAYLOAD=...
-  const auto scale = static_cast<std::size_t>(flags.get_int("SCALE", 1));
+  const auto payload = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, flags.get_int("PAYLOAD", 256)));  // ELMO_PAYLOAD / PAYLOAD=...
+  const auto scale = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get_int("SCALE", 1)));
 
   std::printf("{\n  \"bench\": \"packet_walk\",\n  \"payload_bytes\": %zu,\n"
               "  \"results\": [\n",

@@ -56,34 +56,50 @@ std::optional<net::Packet> HypervisorSwitch::encapsulate(
   return packet;
 }
 
-std::vector<HypervisorSwitch::Delivery> HypervisorSwitch::receive(
-    const net::Packet& packet) {
+std::span<Emission> HypervisorSwitch::process(const net::PacketView& packet,
+                                              std::size_t /*ingress_port*/,
+                                              EmissionArena& arena) {
+  const auto mark = arena.mark();
   ++stats_.received;
-  const auto bytes = packet.bytes();
+  const auto outer = packet.front(net::kOuterHeaderBytes);
   const auto ip =
-      net::Ipv4Header::parse(bytes.subspan(net::EthernetHeader::kSize));
+      net::Ipv4Header::parse(outer.subspan(net::EthernetHeader::kSize));
   const auto it = flows_.find(ip.dst.value);
   if (it == flows_.end() || it->second.local_vms.empty()) {
     ++stats_.discarded;
-    return {};
+    return arena.since(mark);
   }
   // Elmo-capable leaves strip all p-rules at egress; behind a legacy leaf
   // (§7) the header survives and the VXLAN flag tells us to skip it.
   const auto vxlan = net::VxlanHeader::parse(
-      bytes.subspan(net::EthernetHeader::kSize + net::Ipv4Header::kSize +
+      outer.subspan(net::EthernetHeader::kSize + net::Ipv4Header::kSize +
                     net::UdpHeader::kSize));
   std::size_t elmo_bytes = 0;
   if (vxlan.elmo_present) {
-    elmo_bytes = codec_.header_length(bytes.subspan(net::kOuterHeaderBytes));
+    elmo_bytes = codec_.header_length(packet.from(net::kOuterHeaderBytes));
   }
-  const std::size_t payload_bytes =
-      bytes.size() - net::kOuterHeaderBytes - elmo_bytes;
-  std::vector<Delivery> deliveries;
-  deliveries.reserve(it->second.local_vms.size());
+  // Decapsulation is a cursor advance: one payload view, shared per VM.
+  net::PacketView payload = packet;
+  payload.pop_front(net::kOuterHeaderBytes + elmo_bytes);
   for (const auto vm : it->second.local_vms) {
-    deliveries.push_back(Delivery{vm, payload_bytes});
+    arena.emit(vm, payload);
     ++stats_.delivered_to_vms;
   }
+  return arena.since(mark);
+}
+
+std::vector<HypervisorSwitch::Delivery> HypervisorSwitch::receive(
+    const net::Packet& packet) {
+  compat_arena_.clear();
+  const net::PacketView view{packet.bytes()};
+  const auto emissions = process(view, kNetworkPort, compat_arena_);
+  std::vector<Delivery> deliveries;
+  deliveries.reserve(emissions.size());
+  for (const auto& e : emissions) {
+    deliveries.push_back(Delivery{static_cast<std::uint32_t>(e.out_port),
+                                  e.packet.size()});
+  }
+  compat_arena_.clear();
   return deliveries;
 }
 

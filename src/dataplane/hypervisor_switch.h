@@ -7,6 +7,11 @@
 // optimization (one DMA write instead of one per p-rule; Figure 7 measures
 // exactly this path). On receive it decapsulates and delivers to the local
 // member VMs; packets for groups with no local members are discarded.
+//
+// As a ForwardingElement, a hypervisor consumes fabric-ingress packets and
+// emits one zero-copy payload view per local member VM (out_port = VM
+// index): decapsulation is a cursor advance past the outer header and any
+// surviving Elmo bytes, never a copy.
 #pragma once
 
 #include <cstdint>
@@ -16,9 +21,11 @@
 #include <vector>
 
 #include "dataplane/common.h"
+#include "dataplane/forwarding.h"
 #include "elmo/header.h"
 #include "net/headers.h"
 #include "net/packet.h"
+#include "net/packet_view.h"
 #include "topology/clos.h"
 
 namespace elmo::dp {
@@ -31,7 +38,7 @@ struct HypervisorStats {
   std::uint64_t unicast_fallback = 0;
 };
 
-class HypervisorSwitch {
+class HypervisorSwitch : public ForwardingElement {
  public:
   HypervisorSwitch(const topo::ClosTopology& topology, topo::HostId host)
       : topo_{&topology}, codec_{topology}, host_{host} {}
@@ -56,7 +63,14 @@ class HypervisorSwitch {
   std::optional<net::Packet> encapsulate(net::Ipv4Address group,
                                          std::span<const std::uint8_t> payload);
 
-  // Network -> VMs: decapsulate and deliver to local members.
+  // Network -> VMs (ForwardingElement): decapsulates and emits one payload
+  // view per local member VM, out_port = VM index. `ingress_port` is
+  // accepted for interface uniformity (always treated as kNetworkPort).
+  std::span<Emission> process(const net::PacketView& packet,
+                              std::size_t ingress_port,
+                              EmissionArena& arena) override;
+
+  // Convenience wrapper over process() for unit tests and tools.
   struct Delivery {
     std::uint32_t vm = 0;
     std::size_t payload_bytes = 0;
@@ -72,6 +86,7 @@ class HypervisorSwitch {
   topo::HostId host_;
   std::unordered_map<std::uint32_t, GroupFlow> flows_;
   HypervisorStats stats_;
+  EmissionArena compat_arena_;  // scratch for the receive() wrapper
 };
 
 }  // namespace elmo::dp

@@ -1,5 +1,6 @@
 #include "dataplane/network_switch.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace elmo::dp {
@@ -68,24 +69,26 @@ std::size_t NetworkSwitch::upstream_ports() const noexcept {
 }
 
 NetworkSwitch::ParseResult NetworkSwitch::parse(
-    const net::Packet& packet) const {
-  const auto bytes = packet.bytes();
-  if (bytes.size() < net::kOuterHeaderBytes) {
+    const net::PacketView& packet) const {
+  if (packet.size() < net::kOuterHeaderBytes) {
     throw std::invalid_argument{"NetworkSwitch: runt packet"};
   }
   ParseResult result;
 
-  const auto eth = net::EthernetHeader::parse(bytes);
+  // The outer encapsulation is always the contiguous front of the view; the
+  // Elmo sections are the contiguous tail behind it (any popped sections are
+  // the view's hole in between).
+  const auto outer = packet.front(net::kOuterHeaderBytes);
+  const auto eth = net::EthernetHeader::parse(outer);
   if (eth.ether_type != net::kEtherTypeIpv4) {
     throw std::invalid_argument{"NetworkSwitch: not IPv4"};
   }
-  const auto ip =
-      net::Ipv4Header::parse(bytes.subspan(net::EthernetHeader::kSize));
+  const auto ip = net::Ipv4Header::parse(outer.subspan(net::EthernetHeader::kSize));
   result.outer_src = ip.src;
   result.outer_dst = ip.dst;
   // (UDP/VXLAN validated structurally by the offsets below.)
 
-  const auto elmo_span = bytes.subspan(net::kOuterHeaderBytes);
+  const auto elmo_span = packet.from(net::kOuterHeaderBytes);
   result.sections = codec_.scan_sections(elmo_span);
   const auto header = codec_.parse(elmo_span);
 
@@ -137,48 +140,52 @@ std::size_t NetworkSwitch::pop_offset(
   return 0;
 }
 
-net::Packet NetworkSwitch::make_copy(
-    const net::Packet& packet, std::size_t drop_bytes, bool strip_all,
+net::PacketView NetworkSwitch::strip_for_host(
+    const net::PacketView& packet,
     const std::vector<elmo::SectionExtent>& sections) const {
-  net::Packet copy = packet;
-  if (strip_all) {
-    copy.erase(net::kOuterHeaderBytes, sections.back().end);
-    // Deparser also clears the VXLAN "Elmo present" flag (offset 42).
-    copy.mutable_bytes()[net::EthernetHeader::kSize + net::Ipv4Header::kSize +
-                         net::UdpHeader::kSize] &= ~std::uint8_t{0x01};
-  } else if (drop_bytes > 0) {
-    copy.erase(net::kOuterHeaderBytes, drop_bytes);
-  }
-  return copy;
+  const std::size_t elmo_bytes = sections.back().end;
+  const auto outer = packet.front(net::kOuterHeaderBytes);
+  const auto payload =
+      packet.from(net::kOuterHeaderBytes).subspan(elmo_bytes);
+
+  net::Packet stripped =
+      net::Packet::with_size(outer.size() + payload.size(), /*headroom=*/0);
+  const auto out = stripped.mutable_bytes();
+  std::copy(outer.begin(), outer.end(), out.begin());
+  std::copy(payload.begin(), payload.end(), out.begin() + outer.size());
+  // Deparser clears the VXLAN "Elmo present" flag.
+  out[net::EthernetHeader::kSize + net::Ipv4Header::kSize +
+      net::UdpHeader::kSize] &= ~std::uint8_t{0x01};
+  net::count_copy(out.size());
+  return net::PacketView{std::move(stripped)};
 }
 
-std::vector<OutputCopy> NetworkSwitch::process(const net::Packet& packet) {
+std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
+                                           std::size_t /*ingress_port*/,
+                                           EmissionArena& arena) {
+  const auto mark = arena.mark();
   ++stats_.packets_in;
 
   if (legacy_) {
     // A legacy chip: ordinary IP-multicast group-table lookup on the outer
-    // destination, no Elmo parsing, no header popping.
-    const auto bytes = packet.bytes();
-    const auto ip =
-        net::Ipv4Header::parse(bytes.subspan(net::EthernetHeader::kSize));
-    std::vector<OutputCopy> out;
+    // destination, no Elmo parsing, no header popping — every copy is the
+    // unmodified incoming view.
+    const auto ip = net::Ipv4Header::parse(
+        packet.front(net::kOuterHeaderBytes).subspan(net::EthernetHeader::kSize));
     if (const auto it = group_table_.find(ip.dst.value);
         it != group_table_.end()) {
       ++stats_.srule_matches;
-      it->second.for_each_set([&](std::size_t port) {
-        out.push_back(OutputCopy{port, packet});
-      });
+      it->second.for_each_set(
+          [&](std::size_t port) { arena.emit(port, packet); });
     } else {
       ++stats_.drops;
     }
-    stats_.copies_out += out.size();
-    return out;
+    stats_.copies_out += arena.mark() - mark;
+    return arena.since(mark);
   }
 
   const auto pr = parse(packet);
   const auto hash = flow_hash(pr.outer_src, pr.outer_dst);
-
-  std::vector<OutputCopy> out;
 
   // Where do downstream copies point, and which section does the next hop
   // still need?
@@ -187,11 +194,24 @@ std::vector<OutputCopy> NetworkSwitch::process(const net::Packet& packet) {
                                ? elmo::SectionTag::kSpineRules
                                : elmo::SectionTag::kLeafRules;
   auto emit_down = [&](const net::PortBitmap& bitmap) {
+    if (down_to_hosts) {
+      // One stripped template, shared (refcounted) by every host copy.
+      net::PacketView host_copy;
+      bool built = false;
+      bitmap.for_each_set([&](std::size_t port) {
+        if (!built) {
+          host_copy = strip_for_host(packet, pr.sections);
+          built = true;
+        }
+        arena.emit(port, host_copy);
+      });
+      return;
+    }
     const std::size_t drop = pop_offset(pr.sections, down_needed);
-    bitmap.for_each_set([&](std::size_t port) {
-      out.push_back(OutputCopy{
-          port, make_copy(packet, drop, down_to_hosts, pr.sections)});
-    });
+    net::PacketView down_copy = packet;
+    if (drop > 0) down_copy.erase(net::kOuterHeaderBytes, drop);
+    bitmap.for_each_set(
+        [&](std::size_t port) { arena.emit(port, down_copy); });
   };
 
   if (pr.upstream) {
@@ -203,17 +223,17 @@ std::vector<OutputCopy> NetworkSwitch::process(const net::Packet& packet) {
                                ? elmo::SectionTag::kUSpine
                                : elmo::SectionTag::kCore;
     const std::size_t drop = pop_offset(pr.sections, up_needed);
+    net::PacketView up_copy = packet;
+    if (drop > 0) up_copy.erase(net::kOuterHeaderBytes, drop);
     const std::size_t base = downstream_ports();
     if (pr.upstream->multipath) {
       const std::size_t pick = pick_uplink(hash);
       uplink_load_[pick] += packet.size();
-      out.push_back(
-          OutputCopy{base + pick, make_copy(packet, drop, false, pr.sections)});
+      arena.emit(base + pick, up_copy);
     } else {
       pr.upstream->up.for_each_set([&](std::size_t port) {
         if (port < uplink_load_.size()) uplink_load_[port] += packet.size();
-        out.push_back(OutputCopy{
-            base + port, make_copy(packet, drop, false, pr.sections)});
+        arena.emit(base + port, up_copy);
       });
     }
   } else if (layer_ == topo::Layer::kCore && pr.core_bitmap) {
@@ -233,7 +253,20 @@ std::vector<OutputCopy> NetworkSwitch::process(const net::Packet& packet) {
     ++stats_.drops;
   }
 
-  stats_.copies_out += out.size();
+  stats_.copies_out += arena.mark() - mark;
+  return arena.since(mark);
+}
+
+std::vector<OutputCopy> NetworkSwitch::process(const net::Packet& packet) {
+  compat_arena_.clear();
+  const net::PacketView view{packet.bytes()};
+  const auto emissions = process(view, 0, compat_arena_);
+  std::vector<OutputCopy> out;
+  out.reserve(emissions.size());
+  for (auto& e : emissions) {
+    out.push_back(OutputCopy{e.out_port, e.packet.materialize()});
+  }
+  compat_arena_.clear();
   return out;
 }
 

@@ -17,6 +17,12 @@
 //   4. *Egress/deparser* — invalidates consumed sections per output copy:
 //      everything before the next hop's layer section is removed; copies
 //      headed to hosts lose the entire Elmo header.
+//
+// Replication is zero-copy: popping consumed sections is PacketView cursor
+// arithmetic, so all switch-to-switch copies of one packet share the sender's
+// buffer. The only bytes copied per process() call are the single stripped
+// host-delivery template (outer header with the Elmo flag cleared + payload),
+// which every host-bound emission then shares.
 #pragma once
 
 #include <cstdint>
@@ -25,13 +31,16 @@
 #include <vector>
 
 #include "dataplane/common.h"
+#include "dataplane/forwarding.h"
 #include "elmo/header.h"
 #include "net/bitmap.h"
 #include "net/packet.h"
+#include "net/packet_view.h"
 #include "topology/clos.h"
 
 namespace elmo::dp {
 
+// Materialized emission for the test-facing convenience wrapper.
 struct OutputCopy {
   std::size_t out_port = 0;
   net::Packet packet;
@@ -53,7 +62,7 @@ struct SwitchStats {
   std::uint64_t drops = 0;
 };
 
-class NetworkSwitch {
+class NetworkSwitch : public ForwardingElement {
  public:
   // `layer` is kLeaf, kSpine or kCore; `id` the global switch id of that
   // layer. The switch derives its p-rule match identifier (leaf id or pod
@@ -83,7 +92,14 @@ class NetworkSwitch {
   void remove_srule(net::Ipv4Address group);
   std::size_t srule_count() const noexcept { return group_table_.size(); }
 
-  // Full pipeline for one received packet.
+  // Full pipeline for one received packet: emissions are appended to `arena`
+  // as refcounted views over the incoming buffer (ForwardingElement).
+  std::span<Emission> process(const net::PacketView& packet,
+                              std::size_t ingress_port,
+                              EmissionArena& arena) override;
+
+  // Convenience wrapper for unit tests and tools: runs the pipeline on a
+  // standalone Packet and materializes each emission into its own Packet.
   std::vector<OutputCopy> process(const net::Packet& packet);
 
   const SwitchStats& stats() const noexcept { return stats_; }
@@ -100,16 +116,18 @@ class NetworkSwitch {
     net::Ipv4Address outer_dst;
   };
 
-  ParseResult parse(const net::Packet& packet) const;
+  ParseResult parse(const net::PacketView& packet) const;
 
   // Bytes (from the start of the Elmo header) to drop so the copy starts at
   // the first section the receiver still needs.
   std::size_t pop_offset(const std::vector<elmo::SectionExtent>& sections,
                          elmo::SectionTag first_needed) const;
 
-  net::Packet make_copy(const net::Packet& packet, std::size_t drop_bytes,
-                        bool strip_all,
-                        const std::vector<elmo::SectionExtent>& sections) const;
+  // The one deep copy of the pipeline: outer header with the VXLAN
+  // "Elmo present" flag cleared + payload, shared by every host-bound copy.
+  net::PacketView strip_for_host(
+      const net::PacketView& packet,
+      const std::vector<elmo::SectionExtent>& sections) const;
 
   std::size_t downstream_ports() const noexcept;
   std::size_t upstream_ports() const noexcept;
@@ -126,6 +144,7 @@ class NetworkSwitch {
   bool legacy_ = false;
   MultipathMode multipath_mode_ = MultipathMode::kEcmp;
   std::vector<std::uint64_t> uplink_load_;
+  EmissionArena compat_arena_;  // scratch for the Packet wrapper
 };
 
 }  // namespace elmo::dp

@@ -1,0 +1,146 @@
+#include "net/packet_view.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace elmo::net {
+
+PacketView::PacketView(Packet&& packet) {
+  auto released = std::move(packet).release();
+  head_ = released.head;
+  auto buffer = std::make_shared<PacketBuffer>(std::move(released.storage));
+  end_ = buffer->size();
+  buffer_ = std::move(buffer);
+}
+
+PacketView::PacketView(std::span<const std::uint8_t> data) {
+  count_copy(data.size());
+  buffer_ = std::make_shared<PacketBuffer>(
+      std::vector<std::uint8_t>{data.begin(), data.end()});
+  head_ = 0;
+  end_ = buffer_->size();
+}
+
+PacketView::PacketView(std::shared_ptr<const PacketBuffer> buffer,
+                       std::size_t head, std::size_t end)
+    : buffer_{std::move(buffer)}, head_{head}, end_{end} {
+  if (end_ < head_ || (buffer_ && end_ > buffer_->size())) {
+    throw std::out_of_range{"PacketView: range outside buffer"};
+  }
+}
+
+void PacketView::check_range(std::size_t offset, std::size_t count,
+                             const char* what) const {
+  if (offset > size() || count > size() - offset) {
+    throw std::out_of_range{what};
+  }
+}
+
+std::span<const std::uint8_t> PacketView::bytes() const {
+  if (!contiguous()) {
+    throw std::logic_error{"PacketView::bytes on a non-contiguous view"};
+  }
+  return {buffer_ ? buffer_->bytes().data() + head_ : nullptr, size()};
+}
+
+std::span<const std::uint8_t> PacketView::front(std::size_t n) const {
+  check_range(0, n, "PacketView::front beyond view size");
+  if (skip_len_ > 0 && n > skip_at_) {
+    throw std::logic_error{"PacketView::front spans the popped hole"};
+  }
+  return {buffer_->bytes().data() + head_, n};
+}
+
+std::span<const std::uint8_t> PacketView::from(std::size_t offset) const {
+  check_range(offset, 0, "PacketView::from beyond view size");
+  if (empty() && offset == 0) return {};
+  if (skip_len_ > 0 && offset < skip_at_) {
+    throw std::logic_error{"PacketView::from spans the popped hole"};
+  }
+  const std::size_t phys = head_ + offset + (skip_len_ > 0 ? skip_len_ : 0);
+  return {buffer_->bytes().data() + phys, size() - offset};
+}
+
+std::uint8_t PacketView::at(std::size_t logical_offset) const {
+  check_range(logical_offset, 1, "PacketView::at beyond view size");
+  const std::size_t phys = (skip_len_ > 0 && logical_offset >= skip_at_)
+                               ? head_ + logical_offset + skip_len_
+                               : head_ + logical_offset;
+  return buffer_->bytes()[phys];
+}
+
+void PacketView::pop_front(std::size_t n) {
+  check_range(0, n, "PacketView::pop_front beyond view size");
+  if (skip_len_ == 0) {
+    head_ += n;
+    return;
+  }
+  if (n < skip_at_) {
+    head_ += n;
+    skip_at_ -= n;
+    return;
+  }
+  // Consumed up to or through the hole: the hole's hidden bytes go too.
+  head_ += n + skip_len_;
+  skip_at_ = 0;
+  skip_len_ = 0;
+}
+
+void PacketView::erase(std::size_t offset, std::size_t count) {
+  check_range(offset, count, "PacketView::erase beyond view size");
+  if (count == 0) return;
+
+  if (offset == 0) {  // front erase == pop
+    pop_front(count);
+    return;
+  }
+  if (offset + count == size()) {  // trailing erase == truncation
+    if (skip_len_ > 0 && offset <= skip_at_) {
+      // The hole falls inside the truncated tail.
+      end_ = head_ + offset;
+      skip_at_ = 0;
+      skip_len_ = 0;
+    } else {
+      end_ = head_ + offset + skip_len_;
+    }
+    return;
+  }
+  if (skip_len_ == 0) {
+    skip_at_ = offset;
+    skip_len_ = count;
+    return;
+  }
+  if (offset <= skip_at_ && skip_at_ <= offset + count) {
+    // The erased range touches the existing hole; merge into one hole.
+    skip_at_ = offset;
+    skip_len_ += count;
+    return;
+  }
+  // A second disjoint hole cannot be represented: copy-on-write. Views
+  // sharing the old buffer are unaffected.
+  Packet flat = materialize();
+  flat.erase(offset, count);
+  *this = PacketView{std::move(flat)};
+}
+
+void PacketView::copy_to(std::span<std::uint8_t> out) const {
+  if (out.size() != size()) {
+    throw std::invalid_argument{"PacketView::copy_to size mismatch"};
+  }
+  const auto src = buffer_ ? buffer_->bytes() : std::span<const std::uint8_t>{};
+  const std::size_t first = skip_len_ > 0 ? skip_at_ : size();
+  std::copy_n(src.data() + head_, first, out.data());
+  if (skip_len_ > 0) {
+    std::copy_n(src.data() + head_ + skip_at_ + skip_len_, size() - skip_at_,
+                out.data() + first);
+  }
+}
+
+Packet PacketView::materialize(std::size_t headroom) const {
+  Packet out = Packet::with_size(size(), headroom);
+  copy_to(out.mutable_bytes());
+  count_copy(size());
+  return out;
+}
+
+}  // namespace elmo::net

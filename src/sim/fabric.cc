@@ -1,6 +1,5 @@
 #include "sim/fabric.h"
 
-#include <deque>
 #include <stdexcept>
 
 namespace elmo::sim {
@@ -26,6 +25,20 @@ Fabric::Fabric(const topo::ClosTopology& topology) : topo_{&topology} {
     cores_.push_back(
         std::make_unique<dp::NetworkSwitch>(topology, topo::Layer::kCore, c));
   }
+}
+
+dp::ForwardingElement& Fabric::element(const NodeRef& node) {
+  switch (node.layer) {
+    case topo::Layer::kHost:
+      return *hypervisors_.at(node.id);
+    case topo::Layer::kLeaf:
+      return *leaves_.at(node.id);
+    case topo::Layer::kSpine:
+      return *spines_.at(node.id);
+    case topo::Layer::kCore:
+      return *cores_.at(node.id);
+  }
+  throw std::logic_error{"Fabric: unknown node layer"};
 }
 
 void Fabric::install_group(const elmo::Controller& controller,
@@ -72,13 +85,13 @@ void Fabric::uninstall_group(const elmo::Controller& controller,
   }
 }
 
-void Fabric::account(const NodeRef& from, const NodeRef& to,
-                     const net::Packet& packet, SendResult& result) {
+void Fabric::account(const NodeRef& from, const NodeRef& to, std::size_t bytes,
+                     SendResult& result) {
   auto& link = links_[{from, to}];
   ++link.packets;
-  link.bytes += packet.size();
+  link.bytes += bytes;
   ++result.total_link_transmissions;
-  result.total_wire_bytes += packet.size();
+  result.total_wire_bytes += bytes;
 }
 
 NodeRef Fabric::neighbor_of(const NodeRef& node, std::size_t out_port) const {
@@ -116,51 +129,48 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
   SendResult result;
   auto encapsulated = hypervisor(src).encapsulate(group, payload);
   if (!encapsulated) return result;
+  net::PacketView packet{std::move(*encapsulated)};
 
   constexpr std::size_t kMaxHops = 8;  // > any Clos path; catches loops
   const NodeRef src_node{topo::Layer::kHost, src};
   const NodeRef first_leaf{topo::Layer::kLeaf, topo_->leaf_of_host(src)};
-  account(src_node, first_leaf, *encapsulated, result);
+  account(src_node, first_leaf, packet.size(), result);
 
-  std::deque<InFlight> queue;
+  queue_.clear();
   if (!lost()) {
-    queue.push_back(InFlight{first_leaf, std::move(*encapsulated), 1});
+    queue_.push_back(WorkItem{first_leaf, std::move(packet), 1});
   }
 
-  while (!queue.empty()) {
-    auto item = std::move(queue.front());
-    queue.pop_front();
-    result.max_hops = std::max(result.max_hops, item.hops);
-    if (item.hops > kMaxHops) {
-      throw std::runtime_error{"Fabric: packet exceeded max hops (loop?)"};
+  while (!queue_.empty()) {
+    auto item = std::move(queue_.front());
+    queue_.pop_front();
+    const bool at_host = item.at.layer == topo::Layer::kHost;
+    if (!at_host) {
+      result.max_hops = std::max(result.max_hops, item.hops);
+      if (item.hops > kMaxHops) {
+        throw std::runtime_error{"Fabric: packet exceeded max hops (loop?)"};
+      }
     }
 
-    dp::NetworkSwitch* sw = nullptr;
-    switch (item.at.layer) {
-      case topo::Layer::kLeaf:
-        sw = leaves_.at(item.at.id).get();
-        break;
-      case topo::Layer::kSpine:
-        sw = spines_.at(item.at.id).get();
-        break;
-      case topo::Layer::kCore:
-        sw = cores_.at(item.at.id).get();
-        break;
-      case topo::Layer::kHost:
-        throw std::logic_error{"Fabric: host in switch queue"};
-    }
+    arena_.clear();
+    const auto emissions = element(item.at).process(item.packet, 0, arena_);
 
-    for (auto& copy : sw->process(item.packet)) {
-      const auto next = neighbor_of(item.at, copy.out_port);
-      account(item.at, next, copy.packet, result);
+    if (at_host) {
+      // Hypervisor emissions are per-VM payload deliveries, not wire hops.
+      result.vm_deliveries += emissions.size();
+      continue;
+    }
+    for (auto& emission : emissions) {
+      const auto next = neighbor_of(item.at, emission.out_port);
+      account(item.at, next, emission.packet.size(), result);
       if (lost()) continue;
       if (next.layer == topo::Layer::kHost) {
         ++result.host_copies[next.id];
-        result.vm_deliveries +=
-            hypervisor(next.id).receive(copy.packet).size();
+        queue_.push_back(
+            WorkItem{next, std::move(emission.packet), item.hops});
       } else {
-        queue.push_back(
-            InFlight{next, std::move(copy.packet), item.hops + 1});
+        queue_.push_back(
+            WorkItem{next, std::move(emission.packet), item.hops + 1});
       }
     }
   }
@@ -173,13 +183,24 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
   return send(src, group, payload);
 }
 
+std::vector<SendResult> Fabric::send_batch(
+    std::span<const SendRequest> requests) {
+  std::vector<SendResult> results;
+  results.reserve(requests.size());
+  std::vector<std::uint8_t> payload;  // reused scratch across the batch
+  for (const auto& request : requests) {
+    payload.assign(request.payload_bytes, 0xab);
+    results.push_back(send(request.src, request.group, payload));
+  }
+  return results;
+}
+
 SendResult Fabric::send_unicast(topo::HostId src, topo::HostId dst,
                                 std::size_t payload_bytes) {
   SendResult result;
   if (src == dst) return result;
   const auto& t = *topo_;
   const auto wire_bytes = net::kOuterHeaderBytes + payload_bytes;
-  net::Packet packet = net::Packet::of_size(wire_bytes);
 
   const auto hash =
       dp::flow_hash(dp::host_address(src), dp::host_address(dst));
@@ -209,7 +230,7 @@ SendResult Fabric::send_unicast(topo::HostId src, topo::HostId dst,
 
   bool delivered = true;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    account(path[i], path[i + 1], packet, result);
+    account(path[i], path[i + 1], wire_bytes, result);
     if (lost()) {
       delivered = false;
       break;

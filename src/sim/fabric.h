@@ -1,24 +1,34 @@
 // Packet-level fabric simulator: instantiates one HypervisorSwitch per host
 // and one NetworkSwitch per leaf/spine/core, wires ports per the Clos
-// topology, and walks packets hop by hop with per-link byte accounting.
+// topology, and walks packets through an explicit FIFO event queue of
+// (node, PacketView) work items with per-link byte accounting.
 //
 // This is the "testbed" of the reproduction: applications (§5.2) and the
 // end-to-end examples run on it, and it cross-validates the analytic
 // TrafficEvaluator used by the large-scale benches.
+//
+// The walk is a zero-copy pipeline: every node is a dp::ForwardingElement,
+// work items carry refcounted PacketViews, and emissions land in one
+// per-fabric EmissionArena that is reused across hops and sends — the walk
+// performs no steady-state allocation and no per-link deep copies (see
+// DESIGN.md, "Forwarding pipeline").
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "dataplane/forwarding.h"
 #include "dataplane/hypervisor_switch.h"
 #include "dataplane/network_switch.h"
 #include "util/rng.h"
 #include "elmo/controller.h"
 #include "net/headers.h"
 #include "net/packet.h"
+#include "net/packet_view.h"
 #include "topology/clos.h"
 
 namespace elmo::sim {
@@ -46,6 +56,13 @@ struct SendResult {
   std::size_t max_hops = 0;  // longest switch path the packet took
 };
 
+// One multicast send for Fabric::send_batch.
+struct SendRequest {
+  topo::HostId src = 0;
+  net::Ipv4Address group;
+  std::size_t payload_bytes = 0;
+};
+
 class Fabric {
  public:
   explicit Fabric(const topo::ClosTopology& topology);
@@ -56,6 +73,9 @@ class Fabric {
   dp::NetworkSwitch& leaf(topo::LeafId leaf) { return *leaves_.at(leaf); }
   dp::NetworkSwitch& spine(topo::SpineId spine) { return *spines_.at(spine); }
   dp::NetworkSwitch& core(topo::CoreId core) { return *cores_.at(core); }
+
+  // The uniform forwarding view of any node (switch or hypervisor).
+  dp::ForwardingElement& element(const NodeRef& node);
 
   const topo::ClosTopology& topology() const noexcept { return *topo_; }
 
@@ -73,6 +93,10 @@ class Fabric {
 
   SendResult send(topo::HostId src, net::Ipv4Address group,
                   std::size_t payload_bytes);
+
+  // Walks a batch of sends back-to-back over the shared event queue and
+  // emission arena (no per-send allocation churn); one result per request.
+  std::vector<SendResult> send_batch(std::span<const SendRequest> requests);
 
   // Unicast VXLAN path between two hosts (baseline traffic and app-layer
   // replication). Standard IP routing is not the system under test, so this
@@ -94,14 +118,17 @@ class Fabric {
   }
 
  private:
-  struct InFlight {
+  // FIFO event-queue entry: a packet replica arriving at a node. `hops`
+  // counts switch traversals (host deliveries keep the emitting switch's
+  // count, so max_hops reports the longest switch path).
+  struct WorkItem {
     NodeRef at;
-    net::Packet packet;
+    net::PacketView packet;
     std::size_t hops = 0;
   };
 
-  void account(const NodeRef& from, const NodeRef& to,
-               const net::Packet& packet, SendResult& result);
+  void account(const NodeRef& from, const NodeRef& to, std::size_t bytes,
+               SendResult& result);
   bool lost() { return loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_); }
   NodeRef neighbor_of(const NodeRef& node, std::size_t out_port) const;
 
@@ -113,6 +140,10 @@ class Fabric {
   std::map<std::pair<NodeRef, NodeRef>, LinkStats> links_;
   double loss_rate_ = 0.0;
   util::Rng loss_rng_{1};
+
+  // Walk state, reused across sends (capacity persists, contents do not).
+  std::deque<WorkItem> queue_;
+  dp::EmissionArena arena_;
 };
 
 }  // namespace elmo::sim

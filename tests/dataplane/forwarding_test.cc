@@ -1,0 +1,187 @@
+// ForwardingElement conformance: both switch types drive through the same
+// interface, emissions are refcounted views (not copies), and the arena's
+// span/rewind contract holds.
+#include "dataplane/forwarding.h"
+
+#include <gtest/gtest.h>
+
+#include "dataplane/hypervisor_switch.h"
+#include "dataplane/network_switch.h"
+#include "elmo/encoder.h"
+
+namespace elmo::dp {
+namespace {
+
+class ForwardingTest : public ::testing::Test {
+ protected:
+  ForwardingTest()
+      : topo_{topo::ClosParams::running_example()}, codec_{topo_} {}
+
+  GroupEncoding encode(const MulticastTree& tree) {
+    EncoderConfig cfg;
+    cfg.hmax_leaf_override = 8;
+    cfg.hmax_spine = 4;
+    cfg.redundancy_limit = 2;
+    const GroupEncoder encoder{topo_, cfg};
+    return encoder.encode(tree, nullptr);
+  }
+
+  net::PacketView packet_from(topo::HostId sender, const MulticastTree& tree,
+                              std::size_t payload_bytes = 64) {
+    const auto enc = encode(tree);
+    HypervisorSwitch hv{topo_, sender};
+    HypervisorSwitch::GroupFlow flow;
+    flow.vni = 1;
+    flow.elmo_header = codec_.serialize(tree.sender_encoding(sender), enc);
+    hv.install_flow(group_addr_, flow);
+    auto packet = hv.encapsulate(
+        group_addr_, std::vector<std::uint8_t>(payload_bytes, 0x77));
+    return net::PacketView{std::move(*packet)};
+  }
+
+  topo::ClosTopology topo_;
+  elmo::HeaderCodec codec_;
+  net::Ipv4Address group_addr_ = net::Ipv4Address::multicast_group(77);
+};
+
+TEST_F(ForwardingTest, BothSwitchTypesDriveThroughTheBaseInterface) {
+  const MulticastTree tree{topo_, std::vector<topo::HostId>{0, 1, 2}};
+  NetworkSwitch leaf{topo_, topo::Layer::kLeaf, 0};
+  HypervisorSwitch hv{topo_, 1};
+  HypervisorSwitch::GroupFlow flow;
+  flow.vni = 1;
+  flow.local_vms = {0};
+  hv.install_flow(group_addr_, flow);
+
+  const auto packet = packet_from(0, tree);
+  EmissionArena arena;
+  for (ForwardingElement* element : {static_cast<ForwardingElement*>(&leaf),
+                                     static_cast<ForwardingElement*>(&hv)}) {
+    arena.clear();
+    const auto emissions =
+        element->process(packet, ForwardingElement::kNetworkPort, arena);
+    EXPECT_FALSE(emissions.empty());
+    EXPECT_EQ(emissions.size(), arena.size());
+  }
+}
+
+TEST_F(ForwardingTest, SwitchToSwitchEmissionsShareTheSendersBuffer) {
+  // Sender 0's leaf emits one local host copy and one uplink copy. The
+  // uplink copy must alias the incoming buffer (p-rule pop = cursor
+  // arithmetic); the single deep copy is the stripped host template.
+  const MulticastTree tree{topo_, std::vector<topo::HostId>{0, 1, 2}};
+  NetworkSwitch leaf{topo_, topo::Layer::kLeaf, 0};
+  const auto packet = packet_from(0, tree);
+
+  EmissionArena arena;
+  net::reset_copy_stats();
+  const auto emissions = leaf.process(packet, 0, arena);
+  EXPECT_EQ(net::copy_stats().copies, 1u);  // host template only
+
+  ASSERT_EQ(emissions.size(), 2u);
+  for (const auto& e : emissions) {
+    if (e.out_port >= topo_.leaf_down_ports()) {
+      // `packet` + this emission hold the sender's buffer.
+      EXPECT_EQ(e.packet.use_count(), 2);
+    } else {
+      EXPECT_EQ(e.packet.use_count(), 1);  // its own stripped template
+    }
+  }
+}
+
+TEST_F(ForwardingTest, HostEmissionsShareOneStrippedTemplate) {
+  // Hosts 2 and 3 live on leaf 1; walk sender 0's packet leaf0 -> spine ->
+  // leaf1 and check leaf1 materializes ONE template shared by both hosts.
+  const MulticastTree tree{topo_, std::vector<topo::HostId>{0, 2, 3}};
+  NetworkSwitch leaf0{topo_, topo::Layer::kLeaf, 0};
+  NetworkSwitch leaf1{topo_, topo::Layer::kLeaf, 1};
+  const auto packet = packet_from(0, tree);
+
+  EmissionArena arena;
+  auto up = leaf0.process(packet, 0, arena);
+  ASSERT_EQ(up.size(), 1u);
+  const auto up_port = up[0].out_port;
+  ASSERT_GE(up_port, topo_.leaf_down_ports());
+  NetworkSwitch spine{topo_, topo::Layer::kSpine,
+                      topo_.spine_at(0, up_port - topo_.leaf_down_ports())};
+
+  EmissionArena arena2;
+  auto down = spine.process(up[0].packet, 0, arena2);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].out_port, 1u);  // leaf 1
+
+  EmissionArena arena3;
+  net::reset_copy_stats();
+  auto host_copies = leaf1.process(down[0].packet, 0, arena3);
+  EXPECT_EQ(net::copy_stats().copies, 1u);
+  ASSERT_EQ(host_copies.size(), 2u);
+  for (const auto& e : host_copies) {
+    EXPECT_LT(e.out_port, topo_.leaf_down_ports());
+    // Both emissions — and nothing else — hold the one template buffer.
+    EXPECT_EQ(e.packet.use_count(), 2);
+    EXPECT_EQ(e.packet.size(), net::kOuterHeaderBytes + 64);
+  }
+}
+
+TEST_F(ForwardingTest, HypervisorEmitsZeroCopyPerVmPayloadViews) {
+  const MulticastTree tree{topo_, std::vector<topo::HostId>{0, 1}};
+  const std::size_t payload_bytes = 200;
+  const auto packet = packet_from(0, tree, payload_bytes);
+
+  HypervisorSwitch hv{topo_, 1};
+  HypervisorSwitch::GroupFlow flow;
+  flow.vni = 1;
+  flow.local_vms = {4, 9};
+  hv.install_flow(group_addr_, flow);
+
+  EmissionArena arena;
+  net::reset_copy_stats();
+  const auto emissions =
+      hv.process(packet, ForwardingElement::kNetworkPort, arena);
+  EXPECT_EQ(net::copy_stats().copies, 0u);  // decap is a cursor advance
+  ASSERT_EQ(emissions.size(), 2u);
+  EXPECT_EQ(emissions[0].out_port, 4u);
+  EXPECT_EQ(emissions[1].out_port, 9u);
+  for (const auto& e : emissions) {
+    EXPECT_EQ(e.packet.size(), payload_bytes);
+    EXPECT_EQ(e.packet.at(0), 0x77);
+    // Input view + two per-VM views share the same buffer.
+    EXPECT_EQ(e.packet.use_count(), 3);
+  }
+}
+
+TEST_F(ForwardingTest, EmissionsOutliveTheInputView) {
+  const MulticastTree tree{topo_, std::vector<topo::HostId>{0, 1, 2}};
+  NetworkSwitch leaf{topo_, topo::Layer::kLeaf, 0};
+  EmissionArena arena;
+  {
+    const auto packet = packet_from(0, tree);
+    leaf.process(packet, 0, arena);
+  }  // input view destroyed; refcounts keep the buffers alive
+  ASSERT_EQ(arena.size(), 2u);
+  for (const auto& e : arena.since(0)) {
+    const auto flat = e.packet.materialize();
+    EXPECT_EQ(flat.size(), e.packet.size());
+  }
+}
+
+TEST(EmissionArena, MarkSinceRewind) {
+  EmissionArena arena;
+  net::PacketView view{net::Packet{std::vector<std::uint8_t>{1, 2, 3}}};
+  arena.emit(0, view);
+  const auto mark = arena.mark();
+  arena.emit(5, view);
+  arena.emit(6, view);
+  const auto tail = arena.since(mark);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].out_port, 5u);
+  EXPECT_EQ(tail[1].out_port, 6u);
+  arena.rewind(mark);
+  EXPECT_EQ(arena.size(), 1u);
+  arena.clear();
+  EXPECT_EQ(arena.size(), 0u);
+  EXPECT_TRUE(arena.since(0).empty());
+}
+
+}  // namespace
+}  // namespace elmo::dp

@@ -80,5 +80,55 @@ TEST(Packet, MutableBytesWriteThrough) {
   EXPECT_EQ(p.bytes()[1], 0xee);
 }
 
+TEST(Packet, EraseOverflowProofBounds) {
+  // offset + count can overflow size_t; the check must not wrap around.
+  Packet p{std::vector<std::uint8_t>{0, 1, 2, 3}};
+  EXPECT_THROW(p.erase(2, static_cast<std::size_t>(-1)), std::out_of_range);
+  EXPECT_THROW(p.erase(5, 0), std::out_of_range);
+  EXPECT_NO_THROW(p.erase(4, 0));  // no-op at the end is legal
+  EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(Packet, PushFrontAfterHeadroomExhaustedRepeatedly) {
+  Packet p{std::vector<std::uint8_t>{42}, /*headroom=*/0};
+  for (int i = 0; i < 8; ++i) {
+    p.push_front(std::vector<std::uint8_t>(64, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(p.size(), 1u + 8 * 64);
+  EXPECT_EQ(p.bytes().front(), 7);
+  EXPECT_EQ(p.bytes().back(), 42);
+}
+
+TEST(Packet, WithSizeLeavesHeadroomForPrepends) {
+  auto p = Packet::with_size(4, /*headroom=*/16);
+  EXPECT_EQ(p.size(), 4u);
+  for (const auto b : p.bytes()) EXPECT_EQ(b, 0);
+  p.mutable_bytes()[0] = 9;
+  p.push_front(std::vector<std::uint8_t>{1, 2});
+  EXPECT_EQ(bytes_of(p), (std::vector<std::uint8_t>{1, 2, 9, 0, 0, 0}));
+}
+
+TEST(Packet, CopiesAreCounted) {
+  Packet p{std::vector<std::uint8_t>(100, 0x11)};
+  reset_copy_stats();
+  Packet q = p;          // copy construction
+  Packet r;
+  r = q;                 // copy assignment
+  EXPECT_EQ(copy_stats().copies, 2u);
+  EXPECT_EQ(copy_stats().bytes, 200u);
+  Packet moved = std::move(q);  // moves are free
+  EXPECT_EQ(copy_stats().copies, 2u);
+  EXPECT_EQ(moved.size(), 100u);
+}
+
+TEST(Packet, ReleaseHandsOverStorageAndEmptiesThePacket) {
+  Packet p{std::vector<std::uint8_t>{5, 6, 7}, /*headroom=*/8};
+  auto released = std::move(p).release();
+  EXPECT_EQ(released.head, 8u);
+  ASSERT_EQ(released.storage.size(), 11u);
+  EXPECT_EQ(released.storage[8], 5);
+  EXPECT_EQ(p.size(), 0u);
+}
+
 }  // namespace
 }  // namespace elmo::net

@@ -1,0 +1,156 @@
+#include "net/packet_view.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace elmo::net {
+namespace {
+
+std::vector<std::uint8_t> iota_bytes(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  std::iota(v.begin(), v.end(), std::uint8_t{0});
+  return v;
+}
+
+std::vector<std::uint8_t> gather(const PacketView& v) {
+  std::vector<std::uint8_t> out(v.size());
+  v.copy_to(out);
+  return out;
+}
+
+TEST(PacketView, AdoptsPacketWithoutCopying) {
+  Packet p{iota_bytes(16)};
+  reset_copy_stats();
+  PacketView view{std::move(p)};
+  EXPECT_EQ(copy_stats().copies, 0u);
+  EXPECT_EQ(view.size(), 16u);
+  EXPECT_TRUE(view.contiguous());
+  EXPECT_EQ(gather(view), iota_bytes(16));
+  EXPECT_EQ(view.bytes()[3], 3);
+}
+
+TEST(PacketView, CopiesAreRefcountBumps) {
+  PacketView a{Packet{iota_bytes(8)}};
+  reset_copy_stats();
+  PacketView b = a;
+  PacketView c = b;
+  EXPECT_EQ(copy_stats().copies, 0u);
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_EQ(gather(c), iota_bytes(8));
+}
+
+TEST(PacketView, PopFrontIsCursorArithmetic) {
+  PacketView v{Packet{iota_bytes(10)}};
+  reset_copy_stats();
+  v.pop_front(4);
+  EXPECT_EQ(copy_stats().copies, 0u);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v.bytes()[0], 4);
+  EXPECT_THROW(v.pop_front(7), std::out_of_range);
+}
+
+TEST(PacketView, EraseMakesHoleWithoutCopying) {
+  PacketView v{Packet{iota_bytes(10)}};
+  reset_copy_stats();
+  v.erase(3, 4);  // logical bytes 3..6 disappear
+  EXPECT_EQ(copy_stats().copies, 0u);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_FALSE(v.contiguous());
+  EXPECT_EQ(gather(v), (std::vector<std::uint8_t>{0, 1, 2, 7, 8, 9}));
+  EXPECT_EQ(v.at(2), 2);
+  EXPECT_EQ(v.at(3), 7);
+}
+
+TEST(PacketView, RepeatedEraseAtSameOffsetExtendsHole) {
+  // The pipeline's hot pattern: every hop pops more bytes at the same
+  // logical offset (right behind the outer encapsulation).
+  PacketView v{Packet{iota_bytes(20)}};
+  reset_copy_stats();
+  v.erase(5, 3);
+  v.erase(5, 4);  // extends the same hole
+  EXPECT_EQ(copy_stats().copies, 0u);
+  EXPECT_EQ(v.size(), 13u);
+  std::vector<std::uint8_t> expect{0, 1, 2, 3, 4, 12, 13, 14, 15, 16, 17, 18, 19};
+  EXPECT_EQ(gather(v), expect);
+}
+
+TEST(PacketView, SharedBufferUntouchedAfterMutatingHop) {
+  // CoW: a second disjoint hole forces a private copy; the sibling view
+  // sharing the original buffer must observe unchanged bytes.
+  PacketView original{Packet{iota_bytes(12)}};
+  PacketView sibling = original;
+  original.erase(2, 2);
+  reset_copy_stats();
+  original.erase(7, 2);  // disjoint from the hole at 2 -> CoW
+  EXPECT_GT(copy_stats().copies, 0u);
+  EXPECT_EQ(original.size(), 8u);
+  EXPECT_EQ(sibling.size(), 12u);
+  EXPECT_EQ(gather(sibling), iota_bytes(12));
+  EXPECT_EQ(sibling.use_count(), 1);  // original detached onto its own buffer
+}
+
+TEST(PacketView, FrontAndFromRespectTheHole) {
+  PacketView v{Packet{iota_bytes(10)}};
+  v.erase(4, 3);
+  EXPECT_EQ(v.front(4).back(), 3);
+  EXPECT_EQ(v.from(4).front(), 7);
+  EXPECT_EQ(v.from(4).size(), 3u);
+  EXPECT_THROW((void)v.front(5), std::logic_error);
+  EXPECT_THROW((void)v.from(3), std::logic_error);
+  EXPECT_THROW((void)v.bytes(), std::logic_error);
+}
+
+TEST(PacketView, PopThroughHoleCollapsesIt) {
+  PacketView v{Packet{iota_bytes(10)}};
+  v.erase(2, 3);  // logical: 0 1 5 6 7 8 9
+  v.pop_front(4); // consume 0 1 5 6
+  EXPECT_TRUE(v.contiguous());
+  EXPECT_EQ(gather(v), (std::vector<std::uint8_t>{7, 8, 9}));
+}
+
+TEST(PacketView, TrailingEraseTruncates) {
+  PacketView v{Packet{iota_bytes(10)}};
+  v.erase(6, 4);
+  EXPECT_TRUE(v.contiguous());
+  EXPECT_EQ(v.size(), 6u);
+  // Truncation past an existing hole also stays cursor-only.
+  PacketView w{Packet{iota_bytes(10)}};
+  w.erase(2, 2);
+  w.erase(5, 3);  // logical tail [5,8) of {0,1,4,5,6,7,8,9}
+  EXPECT_EQ(gather(w), (std::vector<std::uint8_t>{0, 1, 4, 5, 6}));
+}
+
+TEST(PacketView, MaterializeGathersAndCounts) {
+  PacketView v{Packet{iota_bytes(10)}};
+  v.erase(3, 4);
+  reset_copy_stats();
+  Packet flat = v.materialize();
+  EXPECT_EQ(copy_stats().copies, 1u);
+  EXPECT_EQ(copy_stats().bytes, 6u);
+  EXPECT_EQ(flat.size(), 6u);
+  const auto bytes = flat.bytes();
+  EXPECT_EQ(bytes[2], 2);
+  EXPECT_EQ(bytes[3], 7);
+}
+
+TEST(PacketView, BoundsChecked) {
+  PacketView v{Packet{iota_bytes(5)}};
+  EXPECT_THROW(v.erase(3, 3), std::out_of_range);
+  EXPECT_THROW(v.erase(6, 0), std::out_of_range);
+  // A count large enough to overflow offset+count must still throw.
+  EXPECT_THROW(v.erase(1, static_cast<std::size_t>(-1)), std::out_of_range);
+  EXPECT_THROW((void)v.at(5), std::out_of_range);
+  EXPECT_NO_THROW(v.erase(1, 4));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(PacketView, DefaultViewIsEmpty) {
+  PacketView v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.contiguous());
+  EXPECT_TRUE(v.bytes().empty());
+}
+
+}  // namespace
+}  // namespace elmo::net
