@@ -4,7 +4,8 @@
 // Right: traffic overhead vs ideal multicast (+ unicast/overlay baselines).
 //
 // Scale via env: ELMO_GROUPS (default 50,000; paper: 1,000,000),
-// ELMO_PODS (default 12 = 27,648 hosts), ELMO_TENANTS, ELMO_SEED.
+// ELMO_PODS (default 12 = 27,648 hosts), ELMO_TENANTS, ELMO_SEED,
+// ELMO_THREADS (worker threads; results are thread-count-invariant).
 #include <iostream>
 
 #include "figlib.h"
@@ -13,21 +14,27 @@ int main(int argc, char** argv) {
   using namespace elmo;
   const util::Flags flags{argc, argv};
   const auto scale = benchx::Scale::from_flags(flags);
+  util::ThreadPool pool{scale.threads};
+  benchx::PhaseTimer phases;
 
   const topo::ClosTopology topology{scale.topo_params()};
   util::Rng rng{scale.seed};
-  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/12), rng};
+  phases.start("workload");
+  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/12), rng, &pool};
   cloud::WorkloadParams wp;
   wp.total_groups = scale.groups;
-  const cloud::GroupWorkload workload{cloud, wp, rng};
+  const cloud::GroupWorkload workload{cloud, wp, rng, &pool};
+  phases.stop();
 
   std::cout << "fabric: " << topology.num_hosts() << " hosts, "
             << topology.num_leaves() << " leaves, " << cloud.tenants().size()
             << " tenants, " << workload.groups().size()
-            << " groups (WVE sizes), placement P=12\n";
+            << " groups (WVE sizes), placement P=12, " << pool.threads()
+            << " threads\n";
 
   EncoderConfig config;  // 325-byte budget, Hmax derived (~30 leaf p-rules)
   benchx::print_figure("Figure 4: P=12 placement, WVE group sizes", topology,
-                       workload, config, {0, 6, 12});
+                       workload, config, {0, 6, 12}, &pool, &phases);
+  benchx::emit_run_json("fig4_placement_p12", scale, phases);
   return 0;
 }

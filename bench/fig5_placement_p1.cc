@@ -9,21 +9,27 @@ int main(int argc, char** argv) {
   using namespace elmo;
   const util::Flags flags{argc, argv};
   const auto scale = benchx::Scale::from_flags(flags);
+  util::ThreadPool pool{scale.threads};
+  benchx::PhaseTimer phases;
 
   const topo::ClosTopology topology{scale.topo_params()};
   util::Rng rng{scale.seed};
-  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/1), rng};
+  phases.start("workload");
+  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/1), rng, &pool};
   cloud::WorkloadParams wp;
   wp.total_groups = scale.groups;
-  const cloud::GroupWorkload workload{cloud, wp, rng};
+  const cloud::GroupWorkload workload{cloud, wp, rng, &pool};
+  phases.stop();
 
   std::cout << "fabric: " << topology.num_hosts() << " hosts, "
             << topology.num_leaves() << " leaves, " << cloud.tenants().size()
             << " tenants, " << workload.groups().size()
-            << " groups (WVE sizes), placement P=1\n";
+            << " groups (WVE sizes), placement P=1, " << pool.threads()
+            << " threads\n";
 
   EncoderConfig config;
   benchx::print_figure("Figure 5: P=1 placement, WVE group sizes", topology,
-                       workload, config, {0, 6, 12});
+                       workload, config, {0, 6, 12}, &pool, &phases);
+  benchx::emit_run_json("fig5_placement_p1", scale, phases);
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "figlib.h"
 
+#include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "net/headers.h"
 #include "util/rng.h"
@@ -16,6 +18,9 @@ Scale Scale::from_flags(const util::Flags& flags) {
       std::max<std::int64_t>(
           20, static_cast<std::int64_t>(3000.0 * scale.groups / 1e6))));
   scale.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2019));
+  scale.threads = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, flags.get_int("threads",
+                       static_cast<std::int64_t>(util::default_thread_count()))));
   return scale;
 }
 
@@ -70,54 +75,174 @@ double FigureResult::overhead_without_popping(std::size_t payload) const {
   return ideal_bytes > 0 ? elmo_bytes / ideal_bytes : 1.0;
 }
 
+namespace {
+
+// Per-group state carried from the parallel phase into the merge pass.
+struct StagedGroup {
+  std::unique_ptr<elmo::MulticastTree> tree;
+  elmo::GroupEncoding encoding;
+  bool denied = false;  // a speculative s-rule reservation was refused
+  topo::HostId sender = 0;
+  std::uint64_t eval_seed = 0;
+  elmo::TrafficReport report;
+  std::uint64_t unicast_tx = 0;
+  std::uint64_t overlay_tx = 0;
+  std::optional<baselines::LiTree> li_tree;
+};
+
+// Groups per speculative chunk. Like cloud::kPlacementRound this is a fixed
+// constant, never derived from the thread count, so the merge sees the same
+// chunk boundaries (and produces the same output) at any parallelism.
+constexpr std::size_t kFigureChunk = 4096;
+
+}  // namespace
+
 FigureResult run_figure(const FigureInputs& inputs) {
   const auto& topology = inputs.topology;
   const elmo::GroupEncoder encoder{topology, inputs.config};
   elmo::SRuleSpace space{topology, inputs.config.srule_capacity};
   const elmo::TrafficEvaluator evaluator{topology};
-  util::Rng rng{inputs.seed};
 
   FigureResult result;
-  result.groups_total = inputs.workload.groups().size();
+  const auto groups = inputs.workload.groups();
+  result.groups_total = groups.size();
+  const bool report_progress = groups.size() >= 200'000;
+  std::size_t next_progress = groups.size() / 10;
 
-  for (const auto& group : inputs.workload.groups()) {
-    const elmo::MulticastTree tree{topology, group.member_hosts};
-    const auto encoding = encoder.encode(tree, &space);
+  auto parallel_for = [&](std::size_t begin, std::size_t end, auto&& body) {
+    if (inputs.pool != nullptr) {
+      inputs.pool->parallel_for(begin, end, body);
+    } else {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }
+  };
 
-    if (!encoding.uses_default() && encoding.s_rule_count() == 0) {
+  // Accumulates one group's contribution; called in group order only.
+  auto accumulate = [&](const StagedGroup& sg) {
+    if (!sg.encoding.uses_default() && sg.encoding.s_rule_count() == 0) {
       ++result.covered_p_rules_only;  // the Fig. 4/5 left-panel metric
     }
-    if (!encoding.uses_default()) ++result.covered_without_default;
-    if (encoding.s_rule_count() > 0) ++result.groups_with_srules;
+    if (!sg.encoding.uses_default()) ++result.covered_without_default;
+    if (sg.encoding.s_rule_count() > 0) ++result.groups_with_srules;
+    if (!sg.report.delivery.exactly_once()) ++result.delivery_failures;
 
-    const auto sender =
-        group.member_hosts[rng.index(group.member_hosts.size())];
-    // payload 0: report factors as transmissions + header bytes, so any
-    // packet size can be derived afterwards.
-    const auto report =
-        evaluator.evaluate(tree, encoding, sender, /*payload=*/0, rng());
-    if (!report.delivery.exactly_once()) ++result.delivery_failures;
-
-    result.elmo_transmissions += report.elmo_link_transmissions;
+    result.elmo_transmissions += sg.report.elmo_link_transmissions;
     result.elmo_header_wire_bytes +=
-        report.elmo_wire_bytes -
-        report.elmo_link_transmissions * net::kOuterHeaderBytes;
-    result.ideal_transmissions += report.ideal_link_transmissions;
+        sg.report.elmo_wire_bytes -
+        sg.report.elmo_link_transmissions * net::kOuterHeaderBytes;
+    result.ideal_transmissions += sg.report.ideal_link_transmissions;
     result.header_bytes.add(
-        static_cast<double>(report.header_bytes_at_source));
+        static_cast<double>(sg.report.header_bytes_at_source));
+    result.unicast_transmissions += sg.unicast_tx;
+    result.overlay_transmissions += sg.overlay_tx;
+  };
 
-    const auto unicast = baselines::unicast_traffic(
-        topology, group.member_hosts, sender, 1);
-    const auto overlay = baselines::overlay_traffic(
-        topology, group.member_hosts, sender, 1);
-    result.unicast_transmissions += unicast.link_transmissions;
-    result.overlay_transmissions += overlay.link_transmissions;
-
-    if (inputs.li != nullptr) {
-      inputs.li->install(inputs.li->build_tree(tree, rng()));
+  // Replays an encoding's s-rule reservations against the authoritative
+  // space; on failure rolls back and reports false.
+  auto try_apply = [&](const elmo::GroupEncoding& enc) {
+    std::size_t spines = 0;
+    for (const auto& [pod, bitmap] : enc.spine.s_rules) {
+      (void)bitmap;
+      if (!space.try_reserve_pod_spines(pod)) break;
+      ++spines;
     }
-    // Keep the s-rule reservations: the occupancy after all groups is the
-    // figure's center panel. (Encodings themselves are discarded.)
+    std::size_t leaves = 0;
+    if (spines == enc.spine.s_rules.size()) {
+      for (const auto& [leaf, bitmap] : enc.leaf.s_rules) {
+        (void)bitmap;
+        if (!space.try_reserve_leaf(leaf)) break;
+        ++leaves;
+      }
+      if (leaves == enc.leaf.s_rules.size()) return true;
+    }
+    for (std::size_t i = 0; i < leaves; ++i) {
+      space.release_leaf(enc.leaf.s_rules[i].first);
+    }
+    for (std::size_t i = 0; i < spines; ++i) {
+      space.release_pod_spines(enc.spine.s_rules[i].first);
+    }
+    return false;
+  };
+
+  std::vector<StagedGroup> staged;
+  for (std::size_t chunk = 0; chunk < groups.size(); chunk += kFigureChunk) {
+    const std::size_t chunk_end =
+        std::min(groups.size(), chunk + kFigureChunk);
+    staged.clear();
+    staged.resize(chunk_end - chunk);
+
+    // --- parallel phase: tree build, Algorithm 1 against speculative Fmax
+    // counters, traffic walk, baselines -----------------------------------
+    const auto t0 = std::chrono::steady_clock::now();
+    elmo::ConcurrentSRuleCounters speculative{space};
+    parallel_for(chunk, chunk_end, [&](std::size_t g) {
+      const auto& group = groups[g];
+      auto& sg = staged[g - chunk];
+      auto rng = util::Rng::stream(inputs.seed, g);
+
+      sg.tree =
+          std::make_unique<elmo::MulticastTree>(topology, group.member_hosts);
+      elmo::GroupEncoder::SRuleReservers reservers;
+      reservers.leaf = [&](std::uint32_t leaf) {
+        if (speculative.try_reserve_leaf(leaf)) return true;
+        sg.denied = true;
+        return false;
+      };
+      reservers.pod_spines = [&](std::uint32_t pod) {
+        if (speculative.try_reserve_pod_spines(pod)) return true;
+        sg.denied = true;
+        return false;
+      };
+      sg.encoding = encoder.encode_with(*sg.tree, reservers);
+
+      sg.sender = group.member_hosts[rng.index(group.member_hosts.size())];
+      sg.eval_seed = rng();
+      // payload 0: report factors as transmissions + header bytes, so any
+      // packet size can be derived afterwards.
+      sg.report = evaluator.evaluate(*sg.tree, sg.encoding, sg.sender,
+                                     /*payload=*/0, sg.eval_seed);
+      sg.unicast_tx =
+          baselines::unicast_traffic(topology, group.member_hosts, sg.sender,
+                                     1)
+              .link_transmissions;
+      sg.overlay_tx =
+          baselines::overlay_traffic(topology, group.member_hosts, sg.sender,
+                                     1)
+              .link_transmissions;
+      if (inputs.li != nullptr) {
+        sg.li_tree = inputs.li->build_tree(*sg.tree, rng());
+      }
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // --- serial in-order merge: commit reservations against the
+    // authoritative space, re-encode on speculative disagreement ----------
+    for (std::size_t g = chunk; g < chunk_end; ++g) {
+      auto& sg = staged[g - chunk];
+      if (!sg.denied && try_apply(sg.encoding)) {
+        ++result.speculative_commits;
+      } else {
+        ++result.serial_reencodes;
+        sg.encoding = encoder.encode(*sg.tree, &space);
+        sg.report = evaluator.evaluate(*sg.tree, sg.encoding, sg.sender,
+                                       /*payload=*/0, sg.eval_seed);
+      }
+      accumulate(sg);
+      if (sg.li_tree) inputs.li->install(*sg.li_tree);
+      // Keep the s-rule reservations: the occupancy after all groups is the
+      // figure's center panel. (Encodings themselves are discarded.)
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    result.parallel_seconds += std::chrono::duration<double>(t1 - t0).count();
+    result.merge_seconds += std::chrono::duration<double>(t2 - t1).count();
+
+    if (report_progress && chunk_end >= next_progress) {
+      std::fprintf(stderr, "  [run_figure] %zu/%zu groups (%.0f%%)\n",
+                   chunk_end, groups.size(),
+                   100.0 * static_cast<double>(chunk_end) /
+                       static_cast<double>(groups.size()));
+      next_progress += groups.size() / 10;
+    }
   }
 
   result.leaf_srules = space.leaf_stats();
@@ -133,11 +258,60 @@ FigureResult run_figure(const FigureInputs& inputs) {
   return result;
 }
 
+void PhaseTimer::start(const std::string& name) {
+  stop();
+  running_ = name;
+  started_ = std::chrono::steady_clock::now();
+}
+
+void PhaseTimer::stop() {
+  if (running_.empty()) return;
+  add(running_, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started_)
+                    .count());
+  running_.clear();
+}
+
+void PhaseTimer::add(const std::string& name, double seconds) {
+  for (auto& [n, s] : phases_) {
+    if (n == name) {
+      s += seconds;
+      return;
+    }
+  }
+  phases_.emplace_back(name, seconds);
+}
+
+std::string PhaseTimer::json() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s\"%s\": %.3f", i ? ", " : "",
+                  phases_[i].first.c_str(), phases_[i].second);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+void emit_run_json(const std::string& bench, const Scale& scale,
+                   PhaseTimer& phases) {
+  phases.stop();
+  std::printf(
+      "RUN {\"bench\": \"%s\", \"pods\": %zu, \"groups\": %zu, "
+      "\"tenants\": %zu, \"seed\": %llu, \"threads\": %zu, "
+      "\"phases\": %s}\n",
+      bench.c_str(), scale.pods, scale.groups, scale.tenants,
+      static_cast<unsigned long long>(scale.seed), scale.threads,
+      phases.json().c_str());
+}
+
 void print_figure(const std::string& title,
                   const topo::ClosTopology& topology,
                   const cloud::GroupWorkload& workload,
                   const elmo::EncoderConfig& base_config,
-                  const std::vector<std::size_t>& redundancy_values) {
+                  const std::vector<std::size_t>& redundancy_values,
+                  util::ThreadPool* pool, PhaseTimer* phases) {
   using util::TextTable;
   std::cout << "=== " << title << " ===\n";
 
@@ -152,9 +326,15 @@ void print_figure(const std::string& title,
     auto config = base_config;
     config.redundancy_limit = r;
     FigureInputs inputs{topology, workload, config,
-                        li_done ? nullptr : &li, /*seed=*/7};
+                        li_done ? nullptr : &li, /*seed=*/7, pool};
     const auto result = run_figure(inputs);
     li_done = true;
+    if (phases != nullptr) {
+      phases->add("R=" + std::to_string(r) + " encode+evaluate",
+                  result.parallel_seconds);
+      phases->add("R=" + std::to_string(r) + " merge",
+                  result.merge_seconds);
+    }
 
     if (result.delivery_failures > 0) {
       std::cout << "!! delivery failures: " << result.delivery_failures

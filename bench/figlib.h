@@ -10,9 +10,12 @@
 //   * header-size distribution at the source.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/hostcast.h"
 #include "baselines/li_multicast.h"
@@ -22,6 +25,7 @@
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace elmo::benchx {
 
@@ -31,6 +35,10 @@ struct Scale {
   std::size_t groups = 50'000;
   std::size_t tenants = 3000;
   std::uint64_t seed = 2019;
+  // Worker threads for workload generation and the encode/evaluate pass
+  // (ELMO_THREADS / --threads; defaults to the hardware concurrency).
+  // Results are bit-identical at any value — see DESIGN.md §5.
+  std::size_t threads = 1;
 
   static Scale from_flags(const util::Flags& flags);
   // Tenant population scaled to the group count so reduced runs stay
@@ -64,6 +72,13 @@ struct FigureResult {
   double overlay_ratio(std::size_t payload) const;
   // D2d ablation: traffic overhead if p-rules were NOT popped hop by hop.
   double overhead_without_popping(std::size_t payload) const;
+
+  // Wall-time breakdown of the pass (parallel encode+evaluate vs the
+  // serial in-order merge) and how the merge resolved each group.
+  double parallel_seconds = 0;
+  double merge_seconds = 0;
+  std::size_t speculative_commits = 0;
+  std::size_t serial_reencodes = 0;
 };
 
 struct FigureInputs {
@@ -73,14 +88,46 @@ struct FigureInputs {
   // When set, also feed every group's tree into the Li et al. baseline.
   baselines::LiMulticast* li = nullptr;
   std::uint64_t seed = 1;
+  // Runs the per-group encode/evaluate work on this pool (nullptr =
+  // serial). Output is bit-identical either way: every group draws from
+  // util::Rng::stream(seed, group index) and s-rule reservations are
+  // committed by a serial in-order merge (DESIGN.md §5).
+  util::ThreadPool* pool = nullptr;
 };
 
 FigureResult run_figure(const FigureInputs& inputs);
 
-// Renders the three Fig. 4/5 panels for a set of R values.
+// Wall-clock phase breakdown every bench reports in its trailing run JSON
+// (docs/BENCH_SCHEMA.md). Phases appear in insertion order; repeated names
+// accumulate.
+class PhaseTimer {
+ public:
+  // Starts timing `name`, closing any running phase.
+  void start(const std::string& name);
+  void stop();
+  // Records an externally measured duration.
+  void add(const std::string& name, double seconds);
+  // {"workload": 1.23, "encode": 4.56, ...}
+  std::string json() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> phases_;
+  std::string running_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+// Prints the one-line run-metadata JSON ("RUN {...}") every bench emits
+// last on stdout; see docs/BENCH_SCHEMA.md for the format.
+void emit_run_json(const std::string& bench, const Scale& scale,
+                   PhaseTimer& phases);
+
+// Renders the three Fig. 4/5 panels for a set of R values. When `phases`
+// is given, each R value's pass is recorded as a phase ("R=12").
 void print_figure(const std::string& title, const topo::ClosTopology& topology,
                   const cloud::GroupWorkload& workload,
                   const elmo::EncoderConfig& base_config,
-                  const std::vector<std::size_t>& redundancy_values);
+                  const std::vector<std::size_t>& redundancy_values,
+                  util::ThreadPool* pool = nullptr,
+                  PhaseTimer* phases = nullptr);
 
 }  // namespace elmo::benchx

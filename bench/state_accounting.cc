@@ -18,12 +18,17 @@ int main(int argc, char** argv) {
   scale.tenants = std::max<std::size_t>(
       20, static_cast<std::size_t>(3000.0 * scale.groups / 1e6));
 
+  util::ThreadPool pool{scale.threads};
+  benchx::PhaseTimer phases;
+
   const topo::ClosTopology topology{scale.topo_params()};
   util::Rng rng{scale.seed};
-  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/1), rng};
+  phases.start("workload");
+  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/1), rng, &pool};
   cloud::WorkloadParams wp;
   wp.total_groups = scale.groups;
-  const cloud::GroupWorkload workload{cloud, wp, rng};
+  const cloud::GroupWorkload workload{cloud, wp, rng, &pool};
+  phases.stop();
 
   // Per-entry byte costs (typical ASIC/software table models).
   constexpr double kGroupTableEntryBytes = 16;  // addr + port-vector handle
@@ -32,8 +37,10 @@ int main(int argc, char** argv) {
   EncoderConfig cfg;
   cfg.redundancy_limit = 12;
   baselines::LiMulticast li{topology};
-  benchx::FigureInputs inputs{topology, workload, cfg, &li, 7};
+  phases.start("figure pass");
+  benchx::FigureInputs inputs{topology, workload, cfg, &li, 7, &pool};
   const auto result = benchx::run_figure(inputs);
+  phases.stop();
 
   // Elmo state.
   const double elmo_network_entries =
@@ -90,5 +97,6 @@ int main(int argc, char** argv) {
                               1)
             << "% of Li et al.'s network-switch state out of the fabric by "
                "moving it into packets and hypervisors.\n";
+  benchx::emit_run_json("state_accounting", scale, phases);
   return 0;
 }

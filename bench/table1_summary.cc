@@ -14,36 +14,54 @@ int main(int argc, char** argv) {
   scale.tenants = std::max<std::size_t>(
       20, static_cast<std::size_t>(3000.0 * scale.groups / 1e6));
 
+  util::ThreadPool pool{scale.threads};
+  benchx::PhaseTimer phases;
+
   const topo::ClosTopology topology{scale.topo_params()};
   util::Rng rng{scale.seed};
-  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/12), rng};
+  phases.start("workload");
+  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/12), rng,
+                           &pool};
   cloud::WorkloadParams wp;
   wp.total_groups = scale.groups;
-  const cloud::GroupWorkload workload{cloud, wp, rng};
+  const cloud::GroupWorkload workload{cloud, wp, rng, &pool};
+  phases.stop();
 
+  phases.start("figures");
   EncoderConfig cfg0;
   cfg0.redundancy_limit = 0;
-  const auto r0 = benchx::run_figure({topology, workload, cfg0, nullptr, 7});
+  const auto r0 =
+      benchx::run_figure({topology, workload, cfg0, nullptr, 7, &pool});
   EncoderConfig cfg12;
   cfg12.redundancy_limit = 12;
   const auto r12 =
-      benchx::run_figure({topology, workload, cfg12, nullptr, 7});
+      benchx::run_figure({topology, workload, cfg12, nullptr, 7, &pool});
+  phases.stop();
 
-  // A quick churn slice for the update claim.
+  // A quick churn slice for the update claim, bulk-loaded through the
+  // parallel controller path.
+  phases.start("churn");
   Controller controller{topology, EncoderConfig{}};
   std::vector<GroupId> ids;
   {
-    util::Rng load_rng{scale.seed + 1};
-    std::size_t loaded = 0;
-    for (const auto& g : workload.groups()) {
-      if (++loaded > 5000) break;  // slice is enough for rates
-      std::vector<Member> members;
+    const std::size_t slice =
+        std::min<std::size_t>(5000, workload.groups().size());
+    std::vector<std::vector<Member>> member_lists(slice);
+    for (std::size_t gi = 0; gi < slice; ++gi) {
+      const auto& g = workload.groups()[gi];
+      auto load_rng = util::Rng::stream(scale.seed + 1, gi);
+      auto& members = member_lists[gi];
+      members.reserve(g.size());
       for (std::size_t i = 0; i < g.size(); ++i) {
         members.push_back(Member{g.member_hosts[i], g.member_vms[i],
                                  static_cast<MemberRole>(load_rng.index(3))});
       }
-      ids.push_back(controller.create_group(g.tenant, members));
     }
+    std::vector<Controller::GroupSpec> specs(slice);
+    for (std::size_t gi = 0; gi < slice; ++gi) {
+      specs[gi] = {workload.groups()[gi].tenant, member_lists[gi]};
+    }
+    ids = controller.create_groups(specs, &pool);
   }
   CountingSink sink{topology};
   controller.set_sink(&sink);
@@ -51,6 +69,7 @@ int main(int argc, char** argv) {
   ChurnParams cp;
   cp.events = 20'000;
   const double seconds = churn.run(cp, rng);
+  phases.stop();
 
   TextTable table{{"claim (paper, 1M groups)", "measured here"}};
   table.add_row(
@@ -91,5 +110,6 @@ int main(int argc, char** argv) {
   std::cout << "Table 1 summary at " << scale.groups << " groups, "
             << topology.num_hosts() << " hosts (paper scale: 1M groups)\n"
             << table.render();
+  benchx::emit_run_json("table1_summary", scale, phases);
   return 0;
 }

@@ -120,14 +120,19 @@ int main(int argc, char** argv) {
   const auto events =
       static_cast<std::size_t>(flags.get_int("events", 100'000));
 
+  util::ThreadPool pool{scale.threads};
+  benchx::PhaseTimer phases;
+
   const topo::ClosTopology topology{scale.topo_params()};
   util::Rng rng{scale.seed};
   scale.tenants = std::max<std::size_t>(
       20, static_cast<std::size_t>(3000.0 * churn_groups / 1e6));
-  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/1), rng};
+  phases.start("workload");
+  const cloud::Cloud cloud{topology, scale.cloud_params(/*P=*/1), rng, &pool};
   cloud::WorkloadParams wp;
   wp.total_groups = churn_groups;
-  const cloud::GroupWorkload workload{cloud, wp, rng};
+  const cloud::GroupWorkload workload{cloud, wp, rng, &pool};
+  phases.stop();
 
   std::cout << "churn: " << churn_groups << " groups, " << events
             << " join/leave events @1000/s, P=1, WVE sizes\n";
@@ -137,18 +142,35 @@ int main(int argc, char** argv) {
   config.redundancy_limit = 12;  // the paper's operating point: most state
                                  // in p-rules, few s-rules to churn
   Controller controller{topology, config};
+  phases.start("bulk load");
   std::vector<GroupId> ids;
-  ids.reserve(workload.groups().size());
-  for (const auto& g : workload.groups()) {
-    std::vector<Member> members;
-    members.reserve(g.size());
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      members.push_back(Member{g.member_hosts[i], g.member_vms[i],
-                               static_cast<MemberRole>(rng.index(3))});
+  {
+    const auto groups = workload.groups();
+    const std::uint64_t role_seed = rng();
+    std::vector<std::vector<Member>> member_lists(groups.size());
+    auto fill = [&](std::size_t gi) {
+      const auto& g = groups[gi];
+      auto role_rng = util::Rng::stream(role_seed, gi);
+      auto& members = member_lists[gi];
+      members.reserve(g.size());
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        members.push_back(Member{g.member_hosts[i], g.member_vms[i],
+                                 static_cast<MemberRole>(role_rng.index(3))});
+      }
+    };
+    pool.parallel_for(0, groups.size(), fill);
+    std::vector<Controller::GroupSpec> specs(groups.size());
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      specs[gi] = {groups[gi].tenant, member_lists[gi]};
     }
-    ids.push_back(controller.create_group(g.tenant, members));
+    Controller::BulkLoadStats stats;
+    ids = controller.create_groups(specs, &pool, &stats);
+    phases.add("bulk load encode", stats.encode_seconds);
+    phases.add("bulk load merge", stats.merge_seconds);
   }
+  phases.stop();
 
+  phases.start("elmo churn");
   CountingSink sink{topology};
   controller.set_sink(&sink);
   ChurnSimulator churn{controller, cloud, ids};
@@ -157,9 +179,12 @@ int main(int argc, char** argv) {
   const double seconds = churn.run(params, rng);
   std::cout << "executed " << churn.joins() << " joins, " << churn.leaves()
             << " leaves over " << seconds << " simulated seconds\n\n";
+  phases.stop();
 
   // --- Li et al. -----------------------------------------------------------
+  phases.start("li churn");
   const auto li = li_churn(topology, cloud, workload, events, 1000.0, rng);
+  phases.stop();
 
   auto cell = [](const CountingSink::Rates& r) {
     return TextTable::fmt(r.avg, 1) + " (" + TextTable::fmt(r.max, 0) + ")";
@@ -177,5 +202,8 @@ int main(int argc, char** argv) {
   std::cout << table.render();
   std::cout << "Table 2 shape: Elmo absorbs churn at hypervisors; cores need "
                "zero updates; Li et al. loads every layer.\n";
+  auto json_scale = scale;
+  json_scale.groups = churn_groups;
+  benchx::emit_run_json("table2_churn", json_scale, phases);
   return 0;
 }

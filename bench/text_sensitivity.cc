@@ -43,20 +43,25 @@ int main(int argc, char** argv) {
   TextTable table{{"configuration", "p-rule-only", "s-rules/leaf mean",
                    "overhead 1500B", "overhead 64B", "hdr bytes mean"}};
 
+  elmo::util::ThreadPool pool{scale.threads};
+  benchx::PhaseTimer phases;
+  phases.start("sweeps");
+
   auto run_config = [&](const std::string& label, std::size_t colocation,
                         cloud::GroupSizeDist dist, EncoderConfig config,
                         std::vector<std::size_t> rs) {
     util::Rng rng{scale.seed};
-    const cloud::Cloud cloud{topology, scale.cloud_params(colocation), rng};
+    const cloud::Cloud cloud{topology, scale.cloud_params(colocation), rng,
+                             &pool};
     cloud::WorkloadParams wp;
     wp.total_groups = scale.groups;
     wp.size_dist = dist;
-    const cloud::GroupWorkload workload{cloud, wp, rng};
+    const cloud::GroupWorkload workload{cloud, wp, rng, &pool};
     for (const auto r : rs) {
       auto cfg = config;
       cfg.redundancy_limit = r;
       const auto result = benchx::run_figure(
-          benchx::FigureInputs{topology, workload, cfg, nullptr, 7});
+          benchx::FigureInputs{topology, workload, cfg, nullptr, 7, &pool});
       row(table, label + " R=" + std::to_string(r), result);
     }
   };
@@ -115,17 +120,17 @@ int main(int argc, char** argv) {
     cloud::CloudParams cp;
     cp.tenants = 20;  // 1,024-host fabric
     cp.colocation = 4;
-    const cloud::Cloud cloud{two_tier, cp, rng};
+    const cloud::Cloud cloud{two_tier, cp, rng, &pool};
     cloud::WorkloadParams wp;
     wp.total_groups = 4000;
-    const cloud::GroupWorkload workload{cloud, wp, rng};
+    const cloud::GroupWorkload workload{cloud, wp, rng, &pool};
     TextTable tt{{"two-tier leaf-spine", "p-rule-only", "s-rules/leaf mean",
                   "overhead 1500B", "overhead 64B", "hdr bytes mean"}};
     for (const std::size_t r : {0u, 12u}) {
       EncoderConfig cfg;
       cfg.redundancy_limit = r;
       const auto result = benchx::run_figure(
-          benchx::FigureInputs{two_tier, workload, cfg, nullptr, 7});
+          benchx::FigureInputs{two_tier, workload, cfg, nullptr, 7, &pool});
       tt.add_row({"WVE R=" + std::to_string(r),
                   TextTable::fmt_pct(
                       static_cast<double>(result.covered_p_rules_only) /
@@ -168,5 +173,6 @@ int main(int argc, char** argv) {
                  "the rest spill to group tables, as the paper's note "
                  "anticipates for non-Clos fabrics)\n";
   }
+  benchx::emit_run_json("text_sensitivity", scale, phases);
   return 0;
 }

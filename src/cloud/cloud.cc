@@ -8,9 +8,17 @@
 #include <unordered_set>
 
 namespace elmo::cloud {
+namespace {
+
+// Tenants per speculative placement round. A fixed constant — never derived
+// from the thread count — so the round-start snapshots, and therefore the
+// placement, are identical no matter how many workers execute a round.
+constexpr std::size_t kPlacementRound = 64;
+
+}  // namespace
 
 Cloud::Cloud(const topo::ClosTopology& topology, const CloudParams& params,
-             util::Rng& rng)
+             util::Rng& rng, util::ThreadPool* pool)
     : topology_{&topology}, params_{params} {
   host_load_.assign(topology.num_hosts(), 0);
   leaf_free_slots_.assign(
@@ -18,14 +26,67 @@ Cloud::Cloud(const topo::ClosTopology& topology, const CloudParams& params,
       static_cast<std::uint32_t>(topology.params().hosts_per_leaf *
                                  params.max_vms_per_host));
 
-  tenants_.reserve(params.tenants);
+  const std::uint64_t seed = rng();
+  auto parallel_for = [&](std::size_t begin, std::size_t end, auto&& body) {
+    if (pool != nullptr) {
+      pool->parallel_for(begin, end, body);
+    } else {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }
+  };
+
+  // Tenant sizes first (stream per tenant), so placement knows every count.
+  std::vector<std::size_t> sizes(params.tenants, 0);
+  parallel_for(0, params.tenants, [&](std::size_t t) {
+    auto trng = util::Rng::stream(seed, t);
+    sizes[t] = sample_tenant_size(trng);
+  });
+
+  tenants_.resize(params.tenants);
   for (std::size_t t = 0; t < params.tenants; ++t) {
-    Tenant tenant;
-    tenant.id = static_cast<TenantId>(t);
-    const std::size_t vm_count = sample_tenant_size(rng);
-    place_tenant(tenant, vm_count, rng);
-    total_vms_ += tenant.size();
-    tenants_.push_back(std::move(tenant));
+    tenants_[t].id = static_cast<TenantId>(t);
+  }
+
+  // Speculative round placement (see header comment / DESIGN.md §5). The
+  // placement stream is salted so it is independent of the size stream.
+  constexpr std::uint64_t kPlaceSalt = 0x706c6163656d656eULL;  // "placemen"
+  for (std::size_t round = 0; round < params.tenants;
+       round += kPlacementRound) {
+    const std::size_t round_end =
+        std::min(params.tenants, round + kPlacementRound);
+    const auto snapshot_hosts = host_load_;
+    const auto snapshot_leaves = leaf_free_slots_;
+
+    parallel_for(round, round_end, [&](std::size_t t) {
+      auto prng = util::Rng::stream(seed ^ kPlaceSalt, t);
+      auto hosts = snapshot_hosts;   // per-tenant mutable view
+      auto leaves = snapshot_leaves;
+      place_tenant(tenants_[t], sizes[t], prng, hosts, leaves);
+    });
+
+    // In-order commit: a tenant's speculative placement is valid iff every
+    // chosen host still has a free slot after all earlier commits (the
+    // per-tenant constraints — distinct hosts, the co-location cap P — only
+    // involve its own choices and hold by construction).
+    for (std::size_t t = round; t < round_end; ++t) {
+      auto& tenant = tenants_[t];
+      const bool fits = std::all_of(
+          tenant.vm_hosts.begin(), tenant.vm_hosts.end(),
+          [&](topo::HostId h) {
+            return host_load_[h] < params_.max_vms_per_host;
+          });
+      if (fits) {
+        for (const auto h : tenant.vm_hosts) {
+          ++host_load_[h];
+          --leaf_free_slots_[topology.leaf_of_host(h)];
+        }
+      } else {
+        tenant.vm_hosts.clear();
+        auto prng = util::Rng::stream(seed ^ kPlaceSalt, t);
+        place_tenant(tenant, sizes[t], prng, host_load_, leaf_free_slots_);
+      }
+      total_vms_ += tenant.size();
+    }
   }
 }
 
@@ -44,7 +105,9 @@ std::size_t Cloud::sample_tenant_size(util::Rng& rng) const {
 }
 
 void Cloud::place_tenant(Tenant& tenant, std::size_t vm_count,
-                         util::Rng& rng) {
+                         util::Rng& rng,
+                         std::vector<std::uint16_t>& host_load,
+                         std::vector<std::uint32_t>& leaf_free_slots) const {
   const auto& topo = *topology_;
   std::unordered_set<topo::HostId> used_hosts;
   used_hosts.reserve(vm_count * 2);
@@ -68,7 +131,7 @@ void Cloud::place_tenant(Tenant& tenant, std::size_t vm_count,
     }
     for (std::size_t port = 0; port < topo.leaf_down_ports(); ++port) {
       const auto host = topo.host_at(leaf, port);
-      if (host_load_[host] < params_.max_vms_per_host &&
+      if (host_load[host] < params_.max_vms_per_host &&
           !used_hosts.contains(host)) {
         hosts.push_back(host);
       }
@@ -77,8 +140,8 @@ void Cloud::place_tenant(Tenant& tenant, std::size_t vm_count,
   };
 
   auto place_on = [&](topo::HostId host) {
-    ++host_load_[host];
-    --leaf_free_slots_[topo.leaf_of_host(host)];
+    ++host_load[host];
+    --leaf_free_slots[topo.leaf_of_host(host)];
     ++tenant_on_leaf[topo.leaf_of_host(host)];
     used_hosts.insert(host);
     tenant.vm_hosts.push_back(host);
@@ -133,7 +196,7 @@ void Cloud::place_tenant(Tenant& tenant, std::size_t vm_count,
       for (std::size_t probe = 0; probe < leaf_probes; ++probe) {
         const auto leaf =
             topo.leaf_at(pod, rng.index(topo.params().leaves_per_pod));
-        if (leaf_free_slots_[leaf] == 0) continue;
+        if (leaf_free_slots[leaf] == 0) continue;
         candidates = usable_hosts_under(leaf);
         if (!candidates.empty()) break;
       }
@@ -141,7 +204,7 @@ void Cloud::place_tenant(Tenant& tenant, std::size_t vm_count,
         for (std::size_t li = 0;
              li < topo.params().leaves_per_pod && candidates.empty(); ++li) {
           const auto leaf = topo.leaf_at(pod, li);
-          if (leaf_free_slots_[leaf] == 0) continue;
+          if (leaf_free_slots[leaf] == 0) continue;
           candidates = usable_hosts_under(leaf);
         }
       }
@@ -191,7 +254,7 @@ std::size_t sample_wve_group_size(util::Rng& rng) {
 }
 
 GroupWorkload::GroupWorkload(const Cloud& cloud, const WorkloadParams& params,
-                             util::Rng& rng)
+                             util::Rng& rng, util::ThreadPool* pool)
     : params_{params} {
   const auto tenants = cloud.tenants();
   // Tenants too small to host a minimum-size group get no groups.
@@ -225,33 +288,48 @@ GroupWorkload::GroupWorkload(const Cloud& cloud, const WorkloadParams& params,
     ++assigned;
   }
 
-  groups_.reserve(params.total_groups);
+  // Owner tenant of each group index (quotas are contiguous runs).
+  std::vector<TenantId> owner(params.total_groups);
+  std::size_t next = 0;
   for (std::size_t t = 0; t < tenants.size(); ++t) {
-    const auto& tenant = tenants[t];
-    for (std::size_t g = 0; g < quota[t]; ++g) {
-      std::size_t size = 0;
-      switch (params.size_dist) {
-        case GroupSizeDist::kWve:
-          size = sample_wve_group_size(rng);
-          break;
-        case GroupSizeDist::kUniform:
-          size = static_cast<std::size_t>(rng.uniform_int(
-              static_cast<std::int64_t>(params.min_group_size),
-              static_cast<std::int64_t>(tenant.size())));
-          break;
-      }
-      size = std::clamp(size, params.min_group_size, tenant.size());
+    std::fill_n(owner.begin() + static_cast<std::ptrdiff_t>(next), quota[t],
+                static_cast<TenantId>(t));
+    next += quota[t];
+  }
 
-      Group group;
-      group.tenant = tenant.id;
-      group.member_vms.reserve(size);
-      group.member_hosts.reserve(size);
-      for (const auto vm : rng.sample_indices(tenant.size(), size)) {
-        group.member_vms.push_back(static_cast<std::uint32_t>(vm));
-        group.member_hosts.push_back(tenant.vm_hosts[vm]);
-      }
-      groups_.push_back(std::move(group));
+  // Each group samples from its own stream — embarrassingly parallel, and
+  // bit-identical at any thread count (see the header comment).
+  const std::uint64_t seed = rng();
+  groups_.resize(params.total_groups);
+  auto sample_group = [&](std::size_t g) {
+    auto grng = util::Rng::stream(seed, g);
+    const auto& tenant = tenants[owner[g]];
+    std::size_t size = 0;
+    switch (params.size_dist) {
+      case GroupSizeDist::kWve:
+        size = sample_wve_group_size(grng);
+        break;
+      case GroupSizeDist::kUniform:
+        size = static_cast<std::size_t>(grng.uniform_int(
+            static_cast<std::int64_t>(params.min_group_size),
+            static_cast<std::int64_t>(tenant.size())));
+        break;
     }
+    size = std::clamp(size, params.min_group_size, tenant.size());
+
+    Group& group = groups_[g];
+    group.tenant = tenant.id;
+    group.member_vms.reserve(size);
+    group.member_hosts.reserve(size);
+    for (const auto vm : grng.sample_indices(tenant.size(), size)) {
+      group.member_vms.push_back(static_cast<std::uint32_t>(vm));
+      group.member_hosts.push_back(tenant.vm_hosts[vm]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, params.total_groups, sample_group);
+  } else {
+    for (std::size_t g = 0; g < params.total_groups; ++g) sample_group(g);
   }
 }
 

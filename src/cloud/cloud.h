@@ -20,6 +20,7 @@
 
 #include "topology/clos.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace elmo::cloud {
 
@@ -57,8 +58,17 @@ class Cloud {
  public:
   // Generates tenants and places their VMs. Throws std::runtime_error if the
   // fabric lacks capacity for the requested tenant population.
+  //
+  // One value is drawn from `rng` as the master seed; every tenant then
+  // samples its size and placement from a util::Rng::stream derived from
+  // (seed, tenant id). Placement runs in fixed-size rounds: tenants of a
+  // round place in parallel on `pool` against an immutable snapshot of the
+  // fabric load, then commit in tenant order; a tenant whose speculative
+  // hosts conflict with an earlier commit is re-placed serially. Round size
+  // is a constant, so the result is bit-identical at any thread count
+  // (pool == nullptr included) — see DESIGN.md §5.
   Cloud(const topo::ClosTopology& topology, const CloudParams& params,
-        util::Rng& rng);
+        util::Rng& rng, util::ThreadPool* pool = nullptr);
 
   const topo::ClosTopology& topology() const noexcept { return *topology_; }
   const CloudParams& params() const noexcept { return params_; }
@@ -72,7 +82,12 @@ class Cloud {
 
  private:
   std::size_t sample_tenant_size(util::Rng& rng) const;
-  void place_tenant(Tenant& tenant, std::size_t vm_count, util::Rng& rng);
+  // Places against the given load view (the authoritative vectors for the
+  // serial path, per-tenant copies of a round snapshot for the speculative
+  // path); mutates only the view and `tenant`.
+  void place_tenant(Tenant& tenant, std::size_t vm_count, util::Rng& rng,
+                    std::vector<std::uint16_t>& host_load,
+                    std::vector<std::uint32_t>& leaf_free_slots) const;
 
   const topo::ClosTopology* topology_;
   CloudParams params_;
@@ -113,8 +128,13 @@ struct WorkloadParams {
 
 class GroupWorkload {
  public:
+  // One value is drawn from `rng` as the master seed; tenant quotas are
+  // computed serially (largest-remainder rounding, deterministic), then
+  // each group samples its size and members from util::Rng::stream(seed,
+  // group index) — embarrassingly parallel and bit-identical at any thread
+  // count.
   GroupWorkload(const Cloud& cloud, const WorkloadParams& params,
-                util::Rng& rng);
+                util::Rng& rng, util::ThreadPool* pool = nullptr);
 
   std::span<const Group> groups() const noexcept { return groups_; }
   const WorkloadParams& params() const noexcept { return params_; }

@@ -1,6 +1,7 @@
 #include "elmo/controller.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <stdexcept>
 
@@ -132,6 +133,130 @@ GroupId Controller::create_group(std::uint32_t tenant,
     emit_srule_diffs(GroupEncoding{}, groups_.back()->encoding);
   }
   return id;
+}
+
+std::vector<GroupId> Controller::create_groups(
+    std::span<const GroupSpec> specs, util::ThreadPool* pool,
+    BulkLoadStats* stats) {
+  using clock = std::chrono::steady_clock;
+  std::vector<GroupId> ids;
+  ids.reserve(specs.size());
+  if (specs.empty()) return ids;
+
+  const auto base = groups_.size();
+  groups_.resize(base + specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ids.push_back(static_cast<GroupId>(base + i));
+  }
+
+  // Per-group staging produced by the parallel phase. `denied` records any
+  // speculative reservation refusal: the encoding then contains a
+  // capacity-forced default (or an uncovered legacy leaf) the serial order
+  // might not have produced, so the merge pass must not trust it.
+  struct Staged {
+    GroupEncoding encoding;
+    bool denied = false;
+  };
+  std::vector<Staged> staged(specs.size());
+  ConcurrentSRuleCounters speculative{srule_space_};
+  const auto* legacy = legacy_leaves_.empty() ? nullptr : &legacy_leaves_;
+
+  const auto encode_start = clock::now();
+  auto encode_one = [&](std::size_t i) {
+    const auto& spec = specs[i];
+    auto& slot = groups_[base + i].emplace();
+    slot.tenant = spec.tenant;
+    slot.address =
+        net::Ipv4Address::multicast_group(static_cast<GroupId>(base + i));
+    slot.members.assign(spec.members.begin(), spec.members.end());
+    slot.tree =
+        std::make_unique<MulticastTree>(*topo_, slot.receiver_hosts());
+
+    auto& st = staged[i];
+    GroupEncoder::SRuleReservers reservers;
+    reservers.leaf = [&speculative, &st](std::uint32_t leaf) {
+      const bool ok = speculative.try_reserve_leaf(leaf);
+      if (!ok) st.denied = true;
+      return ok;
+    };
+    reservers.pod_spines = [&speculative, &st](std::uint32_t pod) {
+      const bool ok = speculative.try_reserve_pod_spines(pod);
+      if (!ok) st.denied = true;
+      return ok;
+    };
+    st.encoding = encoder_.encode_with(*slot.tree, reservers, legacy);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, specs.size(), encode_one);
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) encode_one(i);
+  }
+  const auto merge_start = clock::now();
+
+  // Deterministic merge: in group-id order, commit each speculative
+  // encoding by replaying its reservations against the authoritative
+  // space. Any disagreement (denial during the parallel phase, or a
+  // reservation the serial order cannot grant) falls back to a plain
+  // serial encode — at that point the space state equals what a pure
+  // serial run would have seen for this group, so the fallback result is
+  // the serial result.
+  auto try_apply = [&](const GroupEncoding& enc) {
+    std::size_t pods_done = 0;
+    for (const auto& [pod, bitmap] : enc.spine.s_rules) {
+      (void)bitmap;
+      if (!srule_space_.try_reserve_pod_spines(pod)) break;
+      ++pods_done;
+    }
+    std::size_t leaves_done = 0;
+    if (pods_done == enc.spine.s_rules.size()) {
+      for (const auto& [leaf, bitmap] : enc.leaf.s_rules) {
+        (void)bitmap;
+        if (!srule_space_.try_reserve_leaf(leaf)) break;
+        ++leaves_done;
+      }
+      if (leaves_done == enc.leaf.s_rules.size()) return true;
+    }
+    for (std::size_t p = 0; p < pods_done; ++p) {
+      srule_space_.release_pod_spines(enc.spine.s_rules[p].first);
+    }
+    for (std::size_t l = 0; l < leaves_done; ++l) {
+      srule_space_.release_leaf(enc.leaf.s_rules[l].first);
+    }
+    return false;
+  };
+
+  std::size_t commits = 0;
+  std::size_t reencodes = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    auto& g = *groups_[base + i];
+    auto& st = staged[i];
+    if (!st.denied && try_apply(st.encoding)) {
+      g.encoding = std::move(st.encoding);
+      ++commits;
+    } else {
+      g.encoding = encoder_.encode(*g.tree, &srule_space_, legacy);
+      ++reencodes;
+    }
+    ++live_groups_;
+    if (sink_ != nullptr) {
+      std::unordered_set<topo::HostId> touched;
+      for (const auto& m : g.members) touched.insert(m.host);
+      for (const auto host : touched) sink_->hypervisor_update(host);
+      emit_srule_diffs(GroupEncoding{}, g.encoding);
+    }
+  }
+  const auto merge_end = clock::now();
+
+  if (stats != nullptr) {
+    stats->groups += specs.size();
+    stats->speculative_commits += commits;
+    stats->serial_reencodes += reencodes;
+    stats->encode_seconds +=
+        std::chrono::duration<double>(merge_start - encode_start).count();
+    stats->merge_seconds +=
+        std::chrono::duration<double>(merge_end - merge_start).count();
+  }
+  return ids;
 }
 
 void Controller::remove_group(GroupId group) {

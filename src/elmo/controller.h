@@ -23,6 +23,7 @@
 #include "elmo/tree.h"
 #include "net/headers.h"
 #include "topology/clos.h"
+#include "util/thread_pool.h"
 
 namespace elmo {
 
@@ -83,6 +84,37 @@ class Controller {
 
   // --- group lifecycle (tenant-facing API, paper §2) ----------------------
   GroupId create_group(std::uint32_t tenant, std::span<const Member> members);
+
+  // Bulk creation request for create_groups; `members` must stay alive for
+  // the duration of the call.
+  struct GroupSpec {
+    std::uint32_t tenant = 0;
+    std::span<const Member> members;
+  };
+
+  struct BulkLoadStats {
+    std::size_t groups = 0;
+    // Groups whose speculative encoding committed verbatim vs. groups the
+    // merge pass re-encoded serially (speculative Fmax disagreement — only
+    // possible with a finite srule_capacity near exhaustion).
+    std::size_t speculative_commits = 0;
+    std::size_t serial_reencodes = 0;
+    double encode_seconds = 0;  // parallel phase (tree build + Algorithm 1)
+    double merge_seconds = 0;   // deterministic in-order reconciliation
+  };
+
+  // Creates all `specs` as consecutive group ids. Per-group tree
+  // construction and Algorithm 1 run in parallel on `pool` against
+  // speculative sharded Fmax counters; a serial in-order merge pass then
+  // commits reservations against the authoritative SRuleSpace, re-encoding
+  // any group whose speculative capacity decisions cannot be reproduced.
+  // The resulting p-rules, s-rules and occupancies are bit-identical to
+  // calling create_group in a loop, at any thread count (pool == nullptr or
+  // 1 thread included); see DESIGN.md §5 for the argument.
+  std::vector<GroupId> create_groups(std::span<const GroupSpec> specs,
+                                     util::ThreadPool* pool = nullptr,
+                                     BulkLoadStats* stats = nullptr);
+
   void remove_group(GroupId group);
   void join(GroupId group, const Member& member);
   void leave(GroupId group, topo::HostId host);

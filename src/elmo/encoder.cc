@@ -12,6 +12,21 @@ GroupEncoder::GroupEncoder(const topo::ClosTopology& topology,
 GroupEncoding GroupEncoder::encode(const MulticastTree& tree,
                                    SRuleSpace* space,
                                    const std::vector<bool>* legacy_leaf) const {
+  SRuleReservers reservers;
+  if (space != nullptr) {
+    reservers.leaf = [space](std::uint32_t leaf) {
+      return space->try_reserve_leaf(leaf);
+    };
+    reservers.pod_spines = [space](std::uint32_t pod) {
+      return space->try_reserve_pod_spines(pod);
+    };
+  }
+  return encode_with(tree, reservers, legacy_leaf);
+}
+
+GroupEncoding GroupEncoder::encode_with(
+    const MulticastTree& tree, const SRuleReservers& reservers,
+    const std::vector<bool>* legacy_leaf) const {
   GroupEncoding out;
 
   // --- spine layer (logical spines, one per member pod) -------------------
@@ -28,13 +43,7 @@ GroupEncoding GroupEncoder::encode(const MulticastTree& tree,
         .redundancy_limit = config_.redundancy_limit,
         .mode = config_.redundancy_mode,
     };
-    SRuleReserver reserver;
-    if (space != nullptr) {
-      reserver = [space](std::uint32_t pod) {
-        return space->try_reserve_pod_spines(pod);
-      };
-    }
-    out.spine = cluster_layer(inputs, limits, reserver);
+    out.spine = cluster_layer(inputs, limits, reservers.pod_spines);
   }
 
   // --- leaf layer ----------------------------------------------------------
@@ -49,7 +58,7 @@ GroupEncoding GroupEncoder::encode(const MulticastTree& tree,
         // If their table is full the leaf stays uncovered (the paper's
         // incremental-deployment bottleneck); we do NOT put it in the
         // default p-rule, which a legacy chip cannot read either.
-        if (space != nullptr && space->try_reserve_leaf(leaf.leaf)) {
+        if (reservers.leaf && reservers.leaf(leaf.leaf)) {
           legacy_srules.emplace_back(leaf.leaf, leaf.host_ports);
         }
         continue;
@@ -62,13 +71,7 @@ GroupEncoding GroupEncoder::encode(const MulticastTree& tree,
         .redundancy_limit = config_.redundancy_limit,
         .mode = config_.redundancy_mode,
     };
-    SRuleReserver reserver;
-    if (space != nullptr) {
-      reserver = [space](std::uint32_t leaf) {
-        return space->try_reserve_leaf(leaf);
-      };
-    }
-    out.leaf = cluster_layer(inputs, limits, reserver);
+    out.leaf = cluster_layer(inputs, limits, reservers.leaf);
     out.leaf.s_rules.insert(out.leaf.s_rules.end(), legacy_srules.begin(),
                             legacy_srules.end());
   }

@@ -36,6 +36,22 @@ class GroupEncoder {
   GroupEncoding encode(const MulticastTree& tree, SRuleSpace* space,
                        const std::vector<bool>* legacy_leaf = nullptr) const;
 
+  // Capacity hooks for encode_with: how spill-over switches reserve their
+  // group-table entry. Empty functions disable s-rules (as a null space
+  // does). The parallel pipelines pass ConcurrentSRuleCounters-backed
+  // lambdas here and reconcile against the authoritative space afterwards.
+  struct SRuleReservers {
+    SRuleReserver leaf;        // called with a global leaf id
+    SRuleReserver pod_spines;  // called with a pod id
+  };
+
+  // encode() with caller-supplied reservation hooks; encode(space, ...) is
+  // exactly encode_with over the space's own try_reserve methods.
+  GroupEncoding encode_with(const MulticastTree& tree,
+                            const SRuleReservers& reservers,
+                            const std::vector<bool>* legacy_leaf
+                            = nullptr) const;
+
   // Releases the s-rule reservations a previous encode() made (controller
   // re-encoding path under churn).
   void release(const GroupEncoding& encoding, const MulticastTree& tree,

@@ -7,6 +7,7 @@
 // physical spine of that pod.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -21,6 +22,7 @@ class SRuleSpace {
   SRuleSpace(const topo::ClosTopology& topology, std::size_t fmax);
 
   std::size_t fmax() const noexcept { return fmax_; }
+  const topo::ClosTopology& topology() const noexcept { return *topo_; }
 
   // Reserve / release one entry at a leaf switch.
   bool try_reserve_leaf(topo::LeafId leaf);
@@ -51,6 +53,32 @@ class SRuleSpace {
   std::size_t fmax_;
   std::vector<std::uint32_t> leaf_rules_;
   std::vector<std::uint32_t> spine_rules_;
+};
+
+// Thread-safe *speculative* Fmax accounting for the parallel encode phase
+// (DESIGN.md §5). Counters are sharded per switch (one atomic each), seeded
+// from a snapshot of the authoritative SRuleSpace, and admit with fetch-add
+// (over-admissions rolled back). The view is advisory only: because worker
+// interleaving is arbitrary, a speculative admit/deny may disagree with what
+// the serial group order would have decided, so the deterministic merge pass
+// re-validates every reservation against the authoritative space and
+// serially re-encodes any group whose speculative decisions cannot be
+// committed verbatim. Final occupancies are therefore bit-identical to a
+// serial run at any thread count.
+class ConcurrentSRuleCounters {
+ public:
+  explicit ConcurrentSRuleCounters(const SRuleSpace& space);
+
+  std::size_t fmax() const noexcept { return fmax_; }
+
+  bool try_reserve_leaf(topo::LeafId leaf) noexcept;
+  bool try_reserve_pod_spines(topo::PodId pod) noexcept;
+
+ private:
+  const topo::ClosTopology* topo_;
+  std::size_t fmax_;
+  std::vector<std::atomic<std::uint32_t>> leaf_rules_;
+  std::vector<std::atomic<std::uint32_t>> spine_rules_;
 };
 
 }  // namespace elmo

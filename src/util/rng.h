@@ -117,6 +117,20 @@ class Rng {
   // Uses Floyd's algorithm; O(k) expected work.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  // Deterministic per-task stream: an Rng whose state depends only on
+  // (seed, stream), never on call order or thread count. This is the
+  // determinism primitive of every parallel pipeline (DESIGN.md §5): task i
+  // draws from Rng::stream(seed, i) and produces bit-identical output no
+  // matter which thread runs it. Two SplitMix64 rounds decorrelate
+  // neighbouring stream ids.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+    std::uint64_t s = seed;
+    const std::uint64_t a = splitmix64(s);
+    s = a ^ (stream + 0x9e3779b97f4a7c15ULL);
+    const std::uint64_t b = splitmix64(s);
+    return Rng{b};
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,198 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace elmo::util {
+namespace {
+
+// Each executor's pending slice, packed (lo << 32) | hi so pop and steal are
+// single CAS operations. Iteration spaces are therefore capped at 2^32.
+using PackedRange = std::uint64_t;
+
+constexpr PackedRange pack(std::uint32_t lo, std::uint32_t hi) noexcept {
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+constexpr std::uint32_t range_lo(PackedRange r) noexcept {
+  return static_cast<std::uint32_t>(r >> 32);
+}
+constexpr std::uint32_t range_hi(PackedRange r) noexcept {
+  return static_cast<std::uint32_t>(r);
+}
+
+thread_local bool tl_inside_loop = false;
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("ELMO_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+struct ThreadPool::Loop {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::vector<std::atomic<PackedRange>> ranges;
+  std::atomic<std::size_t> active{0};   // workers currently inside run_loop
+  std::atomic<bool> cancelled{false};   // set on first exception
+  std::mutex error_mutex;
+  std::exception_ptr error;             // guarded by error_mutex
+
+  explicit Loop(std::size_t executors) : ranges(executors) {}
+
+  bool drained() const noexcept {
+    for (const auto& r : ranges) {
+      const auto v = r.load(std::memory_order_acquire);
+      if (range_lo(v) < range_hi(v)) return false;
+    }
+    return true;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : executors_{threads == 0 ? default_thread_count() : threads} {
+  workers_.reserve(executors_ - 1);
+  for (std::size_t e = 1; e < executors_; ++e) {
+    workers_.emplace_back([this, e] { worker_main(e); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk{mutex_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_loop(Loop& loop, std::size_t executor) {
+  auto& own = loop.ranges[executor];
+  while (!loop.cancelled.load(std::memory_order_relaxed)) {
+    // Pop the front of our own slice.
+    PackedRange cur = own.load(std::memory_order_acquire);
+    std::size_t index;
+    bool have = false;
+    while (range_lo(cur) < range_hi(cur)) {
+      if (own.compare_exchange_weak(
+              cur, pack(range_lo(cur) + 1, range_hi(cur)),
+              std::memory_order_acq_rel)) {
+        index = range_lo(cur);
+        have = true;
+        break;
+      }
+    }
+    if (!have) {
+      // Steal the upper half of the largest remaining slice.
+      std::size_t victim = loop.ranges.size();
+      std::uint32_t best = 0;
+      for (std::size_t j = 0; j < loop.ranges.size(); ++j) {
+        if (j == executor) continue;
+        const auto v = loop.ranges[j].load(std::memory_order_acquire);
+        const auto left = range_hi(v) - range_lo(v);
+        if (range_lo(v) < range_hi(v) && left > best) {
+          best = left;
+          victim = j;
+        }
+      }
+      if (victim == loop.ranges.size()) break;  // nothing left anywhere
+      PackedRange v = loop.ranges[victim].load(std::memory_order_acquire);
+      while (range_lo(v) < range_hi(v)) {
+        const std::uint32_t mid =
+            range_lo(v) + (range_hi(v) - range_lo(v)) / 2;
+        if (loop.ranges[victim].compare_exchange_weak(
+                v, pack(range_lo(v), mid), std::memory_order_acq_rel)) {
+          // [mid, hi) is ours now; only this executor stores to its slot.
+          own.store(pack(mid, range_hi(v)), std::memory_order_release);
+          break;
+        }
+      }
+      continue;
+    }
+    try {
+      (*loop.body)(index);
+    } catch (...) {
+      std::lock_guard elk{loop.error_mutex};
+      if (!loop.error) loop.error = std::current_exception();
+      loop.cancelled.store(true, std::memory_order_release);
+    }
+  }
+  if (loop.cancelled.load(std::memory_order_relaxed)) {
+    // Drain every slice so waiters observe an empty loop.
+    for (auto& r : loop.ranges) {
+      r.store(pack(0, 0), std::memory_order_release);
+    }
+  }
+}
+
+void ThreadPool::worker_main(std::size_t executor) {
+  std::unique_lock lk{mutex_};
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lk, [&] {
+      return stop_ || (current_ != nullptr && generation_ != seen);
+    });
+    if (stop_) return;
+    Loop* loop = current_;
+    seen = generation_;
+    loop->active.fetch_add(1, std::memory_order_relaxed);
+    lk.unlock();
+    tl_inside_loop = true;
+    run_loop(*loop, executor);  // body exceptions are captured inside
+    tl_inside_loop = false;
+    lk.lock();
+    loop->active.fetch_sub(1, std::memory_order_relaxed);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  if (end > 0xffffffffULL) {
+    throw std::invalid_argument{"ThreadPool::parallel_for: range > 2^32"};
+  }
+  // Nested calls and the serial pool run inline: same iterations, same
+  // thread, exceptions surface directly.
+  if (tl_inside_loop || executors_ == 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::lock_guard submit{submit_mutex_};
+  Loop loop{executors_};
+  loop.body = &body;
+  for (std::size_t e = 0; e < executors_; ++e) {
+    const auto lo = begin + count * e / executors_;
+    const auto hi = begin + count * (e + 1) / executors_;
+    loop.ranges[e].store(pack(static_cast<std::uint32_t>(lo),
+                              static_cast<std::uint32_t>(hi)),
+                         std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard lk{mutex_};
+    current_ = &loop;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  tl_inside_loop = true;
+  run_loop(loop, /*executor=*/0);  // body exceptions are captured inside
+  tl_inside_loop = false;
+
+  std::unique_lock lk{mutex_};
+  done_cv_.wait(lk, [&] {
+    return loop.active.load(std::memory_order_relaxed) == 0 && loop.drained();
+  });
+  current_ = nullptr;
+  const auto error = loop.error;
+  lk.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace elmo::util
