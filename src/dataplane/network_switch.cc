@@ -166,6 +166,11 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
   const auto mark = arena.mark();
   ++stats_.packets_in;
 
+  if (down_) {
+    ++stats_.drops;
+    return arena.since(mark);
+  }
+
   if (legacy_) {
     // A legacy chip: ordinary IP-multicast group-table lookup on the outer
     // destination, no Elmo parsing, no header popping — every copy is the

@@ -86,6 +86,13 @@ class NetworkSwitch : public ForwardingElement {
   void set_legacy(bool legacy) noexcept { legacy_ = legacy; }
   bool is_legacy() const noexcept { return legacy_; }
 
+  // Failed-switch modeling (paper §3.3): a down switch blackholes every
+  // packet (counted as drops). The controller routes around failures via
+  // sender headers; this flag lets the simulated fabric verify that those
+  // headers really avoid the dead switch.
+  void set_down(bool down) noexcept { down_ = down; }
+  bool is_down() const noexcept { return down_; }
+
   // Group table (s-rules). Capacity policing is the controller's job
   // (SRuleSpace); the switch itself is a dumb table.
   void install_srule(net::Ipv4Address group, net::PortBitmap ports);
@@ -142,6 +149,7 @@ class NetworkSwitch : public ForwardingElement {
   std::unordered_map<std::uint32_t, net::PortBitmap> group_table_;
   SwitchStats stats_;
   bool legacy_ = false;
+  bool down_ = false;
   MultipathMode multipath_mode_ = MultipathMode::kEcmp;
   std::vector<std::uint64_t> uplink_load_;
   EmissionArena compat_arena_;  // scratch for the Packet wrapper

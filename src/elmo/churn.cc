@@ -69,8 +69,13 @@ CountingSink::Rates CountingSink::core_rates(double seconds) const {
 ChurnSimulator::ChurnSimulator(Controller& controller,
                                const cloud::Cloud& cloud,
                                std::span<const GroupId> groups)
+    : ChurnSimulator{controller, cloud.tenants(), groups} {}
+
+ChurnSimulator::ChurnSimulator(Controller& controller,
+                               std::span<const cloud::Tenant> tenants,
+                               std::span<const GroupId> groups)
     : controller_{&controller},
-      cloud_{&cloud},
+      tenants_{tenants},
       groups_{groups.begin(), groups.end()} {
   membership_.reserve(groups_.size());
   cumulative_weight_.reserve(groups_.size());
@@ -91,34 +96,36 @@ ChurnSimulator::ChurnSimulator(Controller& controller,
 
 double ChurnSimulator::run(const ChurnParams& params, util::Rng& rng) {
   for (std::size_t e = 0; e < params.events; ++e) {
-    // Pick a group with probability proportional to its (initial) size.
-    const double target = rng.uniform(0.0, cumulative_weight_.back());
-    const auto it = std::lower_bound(cumulative_weight_.begin(),
-                                     cumulative_weight_.end(), target);
-    const auto gi =
-        static_cast<std::size_t>(it - cumulative_weight_.begin());
-    const auto id = groups_[gi];
-
-    const auto& g = controller_->group(id);
-    const auto tenant_size = cloud_->tenants()[g.tenant].size();
-    const bool can_grow = membership_[gi].size() < tenant_size;
-    const bool must_grow = g.members.size() <= params.min_group_size;
-
-    if ((must_grow || rng.bernoulli(0.5)) && can_grow) {
-      do_join(gi, rng);
-    } else if (g.members.size() > params.min_group_size) {
-      do_leave(gi, rng);
-    } else {
-      continue;  // group pinned at min size and tenant exhausted
-    }
+    step(params.min_group_size, rng);
   }
   return static_cast<double>(params.events) / params.events_per_second;
+}
+
+void ChurnSimulator::step(std::size_t min_group_size, util::Rng& rng) {
+  // Pick a group with probability proportional to its (initial) size.
+  const double target = rng.uniform(0.0, cumulative_weight_.back());
+  const auto it = std::lower_bound(cumulative_weight_.begin(),
+                                   cumulative_weight_.end(), target);
+  const auto gi = static_cast<std::size_t>(it - cumulative_weight_.begin());
+  const auto id = groups_[gi];
+
+  const auto& g = controller_->group(id);
+  const auto tenant_size = tenants_[g.tenant].size();
+  const bool can_grow = membership_[gi].size() < tenant_size;
+  const bool must_grow = g.members.size() <= min_group_size;
+
+  if ((must_grow || rng.bernoulli(0.5)) && can_grow) {
+    do_join(gi, rng);
+  } else if (g.members.size() > min_group_size) {
+    do_leave(gi, rng);
+  }
+  // Else: group pinned at min size and tenant exhausted — no event.
 }
 
 void ChurnSimulator::do_join(std::size_t gi, util::Rng& rng) {
   const auto id = groups_[gi];
   const auto& g = controller_->group(id);
-  const auto& tenant = cloud_->tenants()[g.tenant];
+  const auto& tenant = tenants_[g.tenant];
 
   std::uint32_t vm;
   do {
@@ -137,9 +144,12 @@ void ChurnSimulator::do_join(std::size_t gi, util::Rng& rng) {
 void ChurnSimulator::do_leave(std::size_t gi, util::Rng& rng) {
   const auto id = groups_[gi];
   const auto& g = controller_->group(id);
-  const auto& victim = g.members[rng.index(g.members.size())];
-  membership_[gi].erase(victim.vm);
-  controller_->leave(id, victim.host);
+  const auto victim = g.members[rng.index(g.members.size())];
+  // Leave by (host, vm): leaving by host alone removes the *first* member on
+  // that host, which desyncs this mirror whenever two VMs of the group share
+  // a host (co-located placement, P >= 2).
+  const auto removed = controller_->leave(id, victim.host, victim.vm);
+  membership_[gi].erase(removed.vm);
   ++leaves_;
 }
 

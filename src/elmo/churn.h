@@ -63,18 +63,37 @@ class ChurnSimulator {
   ChurnSimulator(Controller& controller, const cloud::Cloud& cloud,
                  std::span<const GroupId> groups);
 
+  // Same, over an explicit tenant table (must outlive the simulator). Lets
+  // tests and the verify harness drive churn over hand-built placements,
+  // including tenants with several VMs on one host (vm_hosts entries may
+  // repeat), which the Cloud placer never produces.
+  ChurnSimulator(Controller& controller, std::span<const cloud::Tenant> tenants,
+                 std::span<const GroupId> groups);
+
   // Runs `params.events` events; returns the simulated duration in seconds.
   double run(const ChurnParams& params, util::Rng& rng);
 
+  // One join-or-leave event (the body of run()'s loop), for callers that
+  // validate invariants between events.
+  void step(std::size_t min_group_size, util::Rng& rng);
+
   std::size_t joins() const noexcept { return joins_; }
   std::size_t leaves() const noexcept { return leaves_; }
+
+  // Tenant-local VM indices the simulator believes are in group `gi` (index
+  // into the constructor's group list, not a GroupId).
+  const std::unordered_set<std::uint32_t>& membership(std::size_t gi) const {
+    return membership_.at(gi);
+  }
+  GroupId group_id(std::size_t gi) const { return groups_.at(gi); }
+  std::size_t num_groups() const noexcept { return groups_.size(); }
 
  private:
   void do_join(std::size_t group_index, util::Rng& rng);
   void do_leave(std::size_t group_index, util::Rng& rng);
 
   Controller* controller_;
-  const cloud::Cloud* cloud_;
+  std::span<const cloud::Tenant> tenants_;
   std::vector<GroupId> groups_;
   // Tenant-local VM indices currently in each group (parallel to groups_).
   std::vector<std::unordered_set<std::uint32_t>> membership_;

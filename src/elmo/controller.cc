@@ -294,14 +294,27 @@ void Controller::join(GroupId group, const Member& member) {
   }
 }
 
-void Controller::leave(GroupId group, topo::HostId host) {
+Member Controller::leave(GroupId group, topo::HostId host) {
+  return leave_matching(group, host, [&](const Member& m) {
+    return m.host == host;
+  });
+}
+
+Member Controller::leave(GroupId group, topo::HostId host, std::uint32_t vm) {
+  return leave_matching(group, host, [&](const Member& m) {
+    return m.host == host && m.vm == vm;
+  });
+}
+
+template <typename Pred>
+Member Controller::leave_matching(GroupId group, topo::HostId host,
+                                  Pred&& pred) {
   auto& g = state(group);
-  const auto it =
-      std::find_if(g.members.begin(), g.members.end(),
-                   [&](const Member& m) { return m.host == host; });
+  const auto it = std::find_if(g.members.begin(), g.members.end(), pred);
   if (it == g.members.end()) {
     throw std::invalid_argument{"Controller::leave: host not a member"};
   }
+  const Member removed = *it;
   const bool downstream_affected = can_receive(it->role);
   g.members.erase(it);
 
@@ -318,6 +331,7 @@ void Controller::leave(GroupId group, topo::HostId host) {
   if (sink_ != nullptr) {
     for (const auto h : touched) sink_->hypervisor_update(h);
   }
+  return removed;
 }
 
 Controller::FailureImpact Controller::fail_spine(topo::SpineId spine) {

@@ -9,7 +9,8 @@ TrafficReport TrafficEvaluator::evaluate(const MulticastTree& tree,
                                          topo::HostId sender,
                                          std::size_t payload_bytes,
                                          std::uint64_t flow_hash,
-                                         const topo::FailureSet* failures) const {
+                                         const topo::FailureSet* failures,
+                                         const std::vector<bool>* legacy_leaf) const {
   const auto& t = *topo_;
   const topo::FailureSet no_failures;
   const auto& fails = failures != nullptr ? *failures : no_failures;
@@ -84,13 +85,19 @@ TrafficReport TrafficEvaluator::evaluate(const MulticastTree& tree,
   const std::size_t leaf_stage = remaining_from(SectionTag::kLeafRules);
 
   // Downstream leaf processing: p-rule match, else s-rule, else default.
+  // A legacy leaf cannot parse the header at all, so only its group table
+  // (s-rule) applies — falling through to the default p-rule here would
+  // deliver copies the real switch drops.
   auto process_leaf_down = [&](topo::LeafId leaf) {
+    const bool legacy = legacy_leaf != nullptr && leaf < legacy_leaf->size() &&
+                        (*legacy_leaf)[leaf];
     const net::PortBitmap* bitmap = nullptr;
-    if (const auto it = leaf_prule.find(leaf); it != leaf_prule.end()) {
+    if (const auto it = leaf_prule.find(leaf);
+        !legacy && it != leaf_prule.end()) {
       bitmap = it->second;
     } else if (const auto sit = leaf_srule.find(leaf); sit != leaf_srule.end()) {
       bitmap = sit->second;
-    } else if (encoding.leaf.default_rule) {
+    } else if (!legacy && encoding.leaf.default_rule) {
       bitmap = &*encoding.leaf.default_rule;
     }
     if (bitmap == nullptr) return;

@@ -59,11 +59,15 @@ class TrafficEvaluator {
 
   // Walks one packet of `payload_bytes` (the tenant packet, before the VXLAN
   // outer headers) from `sender`. `flow_hash` seeds the multipath choice.
+  // `legacy_leaf` (optional, indexed by global leaf id) marks leaves whose
+  // switches cannot parse Elmo headers: like the real chip, they forward
+  // from their group table only — never from a p-rule or the default rule.
   TrafficReport evaluate(const MulticastTree& tree,
                          const GroupEncoding& encoding, topo::HostId sender,
                          std::size_t payload_bytes,
                          std::uint64_t flow_hash = 0,
-                         const topo::FailureSet* failures = nullptr) const;
+                         const topo::FailureSet* failures = nullptr,
+                         const std::vector<bool>* legacy_leaf = nullptr) const;
 
   // Ideal-multicast accounting only (bytes over the exact tree, no Elmo
   // header): the denominator of the paper's traffic-overhead ratio.

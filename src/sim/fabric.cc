@@ -45,14 +45,21 @@ void Fabric::install_group(const elmo::Controller& controller,
                            elmo::GroupId group) {
   const auto& g = controller.group(group);
 
+  // One flow per host, merged across co-located members: installing per
+  // member would overwrite the host's flow, dropping the earlier member's
+  // local VM (and its header template) whenever two VMs of the group share
+  // a host.
+  std::map<topo::HostId, dp::HypervisorSwitch::GroupFlow> flows;
   for (const auto& member : g.members) {
-    dp::HypervisorSwitch::GroupFlow flow;
+    auto& flow = flows[member.host];
     flow.vni = g.tenant;
     if (elmo::can_receive(member.role)) flow.local_vms.push_back(member.vm);
-    if (elmo::can_send(member.role)) {
+    if (elmo::can_send(member.role) && flow.elmo_header.empty()) {
       flow.elmo_header = controller.header_for(group, member.host);
     }
-    hypervisor(member.host).install_flow(g.address, std::move(flow));
+  }
+  for (auto& [host, flow] : flows) {
+    hypervisor(host).install_flow(g.address, std::move(flow));
   }
 
   for (const auto& [leaf_id, bitmap] : g.encoding.leaf.s_rules) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <iostream>
 #include <stdexcept>
 
 namespace elmo::util {
@@ -19,11 +20,22 @@ std::string upper(std::string_view s) {
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    const std::string_view arg{argv[i]};
-    if (arg.find('=') != std::string_view::npos && arg.rfind("--", 0) != 0) {
-      overrides_ += std::string{arg};
-      overrides_ += '\n';
+    std::string_view arg{argv[i]};
+    // google-benchmark's own flags pass through untouched (bench binaries
+    // hand the same argv to benchmark::Initialize).
+    if (arg.rfind("--benchmark", 0) == 0) continue;
+    if (arg.rfind("--", 0) == 0) arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      std::cerr << "Flags: ignoring unrecognized argument '" << argv[i]
+                << "' (expected KEY=VALUE or --key=value)\n";
+      continue;
     }
+    // Keys are normalized to upper case on capture so every documented
+    // spelling (THREADS=4, threads=4, --threads=4) resolves identically.
+    overrides_ += upper(arg.substr(0, eq));
+    overrides_ += arg.substr(eq);
+    overrides_ += '\n';
   }
 }
 

@@ -15,8 +15,10 @@ namespace elmo::util {
 class Flags {
  public:
   Flags() = default;
-  // Parses trailing KEY=VALUE arguments; unknown args are left untouched so
-  // google-benchmark flags pass through.
+  // Parses KEY=VALUE and --key=value arguments (keys case-insensitive).
+  // `--benchmark*` flags pass through silently for google-benchmark; any
+  // other token that is not a KEY=VALUE pair earns a stderr warning instead
+  // of being silently dropped.
   Flags(int argc, char** argv);
 
   // Lookup order: argv override, then environment "ELMO_<KEY>", then fallback.

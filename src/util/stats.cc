@@ -46,10 +46,20 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x) noexcept {
-  auto bucket = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  bucket = std::clamp<std::ptrdiff_t>(
-      bucket, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bucket)];
+  // Casting a NaN or ±inf scaled sample to an integer is UB, so non-finite
+  // samples are diverted to their own counter before any cast happens.
+  if (!std::isfinite(x)) {
+    ++non_finite_;
+    ++total_;
+    return;
+  }
+  const double scaled = (x - lo_) / width_;
+  // Clamp in floating point first: a huge finite sample can still overflow
+  // ptrdiff_t, which would be UB at the cast below.
+  const double max_bucket = static_cast<double>(counts_.size() - 1);
+  const auto bucket =
+      static_cast<std::size_t>(std::clamp(scaled, 0.0, max_bucket));
+  ++counts_[bucket];
   ++total_;
 }
 

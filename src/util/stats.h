@@ -66,8 +66,9 @@ class Distribution {
   OnlineStats stats_;
 };
 
-// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
-// edge buckets. Used for s-rule and header-size distributions.
+// Fixed-bucket histogram over [lo, hi); finite out-of-range samples clamp to
+// the edge buckets, non-finite samples (NaN, ±inf) land in a separate
+// overflow counter. Used for s-rule and header-size distributions.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -75,7 +76,10 @@ class Histogram {
   void add(double x) noexcept;
   std::size_t bucket_count() const noexcept { return counts_.size(); }
   std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  // Samples seen, including non-finite ones; bucket counts sum to
+  // total() - non_finite().
   std::size_t total() const noexcept { return total_; }
+  std::size_t non_finite() const noexcept { return non_finite_; }
   double bucket_lo(std::size_t bucket) const noexcept;
   double bucket_hi(std::size_t bucket) const noexcept;
 
@@ -88,6 +92,7 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t non_finite_ = 0;
 };
 
 }  // namespace elmo::util

@@ -1,0 +1,520 @@
+#include "verify/differ.h"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "dataplane/common.h"
+#include "elmo/evaluator.h"
+#include "sim/fabric.h"
+#include "verify/oracle.h"
+
+namespace elmo::verify {
+
+const char* to_string(Mutation mutation) {
+  switch (mutation) {
+    case Mutation::kNone:
+      return "none";
+    case Mutation::kClearPRuleBit:
+      return "clear-prule-bit";
+    case Mutation::kSetPRuleBit:
+      return "set-prule-bit";
+    case Mutation::kDropSRule:
+      return "drop-srule";
+    case Mutation::kDropLocalVm:
+      return "drop-local-vm";
+    case Mutation::kWrongSenderHeader:
+      return "wrong-sender-header";
+    case Mutation::kSkipMirrorUpdate:
+      return "skip-mirror-update";
+    case Mutation::kLeaveByHostOnly:
+      return "leave-by-host-only";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string str(std::uint64_t v) { return std::to_string(v); }
+
+const char* role_name(MemberRole role) {
+  switch (role) {
+    case MemberRole::kSender:
+      return "sender";
+    case MemberRole::kReceiver:
+      return "receiver";
+    case MemberRole::kBoth:
+      return "both";
+  }
+  return "?";
+}
+
+std::string describe(const Member& m) {
+  return "(host=" + str(m.host) + ", vm=" + str(m.vm) + ", " +
+         role_name(m.role) + ")";
+}
+
+class Runner {
+ public:
+  Runner(const Scenario& scenario, Mutation mutation)
+      : sc_{scenario},
+        mutation_{mutation},
+        topo_{scenario.params},
+        controller_{topo_, scenario.config},
+        fabric_{topo_},
+        legacy_{scenario.legacy_leaves},
+        oracle_{topo_, scenario.legacy_leaves} {
+    if (!legacy_.empty()) legacy_.resize(topo_.num_leaves(), false);
+  }
+
+  RunReport run() {
+    try {
+      setup();
+      if (failed_) return report_;
+      for (std::size_t i = 0; i < sc_.events.size(); ++i) {
+        step(i, sc_.events[i]);
+        ++report_.events_run;
+        if (failed_) return report_;
+      }
+    } catch (const std::exception& ex) {
+      fail(std::string{"exception: "} + ex.what());
+      return report_;
+    }
+    report_.ok = true;
+    report_.applied = applied_;
+    return report_;
+  }
+
+ private:
+  void fail(std::string message) {
+    if (failed_) return;
+    failed_ = true;
+    report_.ok = false;
+    report_.applied = applied_;
+    report_.failure = std::move(message);
+  }
+
+  void setup() {
+    if (!legacy_.empty()) {
+      controller_.set_legacy_leaves(legacy_);
+      for (topo::LeafId l = 0; l < topo_.num_leaves(); ++l) {
+        if (legacy_[l]) fabric_.leaf(l).set_legacy(true);
+      }
+    }
+    for (const auto& g : sc_.groups) {
+      ids_.push_back(controller_.create_group(
+          g.tenant, std::span<const Member>{g.members}));
+      oracle_.create_group(g.members);
+    }
+    for (std::size_t gi = 0; gi < ids_.size(); ++gi) {
+      fabric_.install_group(controller_, ids_[gi]);
+    }
+    select_mutation_target();
+    apply_fabric_mutation();
+    diff_membership("after setup");
+  }
+
+  void step(std::size_t index, const Event& ev) {
+    const std::string at = "event #" + str(index);
+    switch (ev.kind) {
+      case EventKind::kJoin: {
+        const auto id = ids_.at(ev.group_index);
+        const bool stale = mutation_ == Mutation::kSkipMirrorUpdate;
+        if (!stale) fabric_.uninstall_group(controller_, id);
+        controller_.join(id, ev.member);
+        oracle_.join(ev.group_index, ev.member);
+        if (stale) {
+          applied_ = true;
+        } else {
+          fabric_.install_group(controller_, id);
+          apply_fabric_mutation();
+        }
+        diff_membership(at);
+        break;
+      }
+      case EventKind::kLeave: {
+        const auto id = ids_.at(ev.group_index);
+        const bool stale = mutation_ == Mutation::kSkipMirrorUpdate;
+        if (!stale) fabric_.uninstall_group(controller_, id);
+        if (mutation_ == Mutation::kLeaveByHostOnly) {
+          // The pre-fix churn bug: leave by host alone removes the FIRST
+          // member on the host, which under co-location may not be the VM
+          // that actually left.
+          const auto& members = controller_.group(id).members;
+          const auto first = std::find_if(
+              members.begin(), members.end(),
+              [&](const Member& m) { return m.host == ev.member.host; });
+          if (first != members.end() && first->vm != ev.member.vm) {
+            applied_ = true;
+          }
+          controller_.leave(id, ev.member.host);
+        } else {
+          controller_.leave(id, ev.member.host, ev.member.vm);
+        }
+        if (!oracle_.leave(ev.group_index, ev.member.host, ev.member.vm)) {
+          fail(at + ": oracle mirror missing member " + describe(ev.member));
+          return;
+        }
+        if (stale) {
+          applied_ = true;
+        } else {
+          fabric_.install_group(controller_, id);
+          apply_fabric_mutation();
+        }
+        diff_membership(at);
+        break;
+      }
+      case EventKind::kFailSpine:
+        controller_.fail_spine(ev.switch_id);
+        oracle_.fail_spine(ev.switch_id);
+        fabric_.spine(ev.switch_id).set_down(true);
+        resync_headers();
+        break;
+      case EventKind::kFailCore:
+        controller_.fail_core(ev.switch_id);
+        oracle_.fail_core(ev.switch_id);
+        fabric_.core(ev.switch_id).set_down(true);
+        resync_headers();
+        break;
+      case EventKind::kRestoreSpine:
+        controller_.restore_spine(ev.switch_id);
+        oracle_.restore_spine(ev.switch_id);
+        fabric_.spine(ev.switch_id).set_down(false);
+        resync_headers();
+        break;
+      case EventKind::kRestoreCore:
+        controller_.restore_core(ev.switch_id);
+        oracle_.restore_core(ev.switch_id);
+        fabric_.core(ev.switch_id).set_down(false);
+        resync_headers();
+        break;
+      case EventKind::kSend:
+        check_send(ev.group_index, ev.sender, at);
+        break;
+    }
+  }
+
+  // Failures change only sender headers (upstream re-routing); refresh every
+  // hypervisor template but leave switch s-rules alone.
+  void resync_headers() {
+    for (std::size_t gi = 0; gi < ids_.size(); ++gi) {
+      fabric_.install_group(controller_, ids_[gi]);
+    }
+    apply_fabric_mutation();
+  }
+
+  void diff_membership(const std::string& at) {
+    for (std::size_t gi = 0; gi < ids_.size(); ++gi) {
+      auto ctrl = controller_.group(ids_[gi]).members;
+      auto mirror = oracle_.members(gi);
+      const auto by_host_vm = [](const Member& a, const Member& b) {
+        return a.host != b.host ? a.host < b.host : a.vm < b.vm;
+      };
+      std::sort(ctrl.begin(), ctrl.end(), by_host_vm);
+      std::sort(mirror.begin(), mirror.end(), by_host_vm);
+      if (ctrl.size() != mirror.size()) {
+        fail(at + ": group " + str(gi) + " membership desync: controller has " +
+             str(ctrl.size()) + " members, oracle mirror has " +
+             str(mirror.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < ctrl.size(); ++i) {
+        if (ctrl[i].host != mirror[i].host || ctrl[i].vm != mirror[i].vm ||
+            ctrl[i].role != mirror[i].role) {
+          fail(at + ": group " + str(gi) +
+               " membership desync: controller holds " + describe(ctrl[i]) +
+               " where oracle mirror holds " + describe(mirror[i]));
+          return;
+        }
+      }
+    }
+  }
+
+  void check_send(std::size_t gi, topo::HostId sender, const std::string& at) {
+    const auto id = ids_.at(gi);
+    const auto& g = controller_.group(id);
+    const auto ex = oracle_.expect(gi, g.encoding, sender);
+    const std::string ctx =
+        at + ": send group " + str(gi) + " from host " + str(sender);
+
+    const auto res = fabric_.send(sender, g.address, std::size_t{64});
+    ++report_.sends_checked;
+
+    // 1. Ideal receiver set: every expected host got a copy; exactly one,
+    //    and none back to the sender, unless failures legitimize duplicates.
+    for (const auto& [host, vms] : ex.expected_hosts) {
+      const auto it = res.host_copies.find(host);
+      const std::size_t copies = it == res.host_copies.end() ? 0 : it->second;
+      if (copies == 0) {
+        fail(ctx + ": member host " + str(host) + " (" + str(vms) +
+             " receiving VMs) got no copy");
+        return;
+      }
+      if (!ex.duplicates_allowed && copies != 1) {
+        fail(ctx + ": member host " + str(host) + " got " + str(copies) +
+             " copies with no failures active");
+        return;
+      }
+    }
+    if (!ex.duplicates_allowed) {
+      for (const auto& [host, copies] : res.host_copies) {
+        if (copies > 1) {
+          fail(ctx + ": host " + str(host) + " got " + str(copies) +
+               " copies with no failures active");
+          return;
+        }
+      }
+      if (res.host_copies.contains(sender)) {
+        fail(ctx + ": sender host received its own packet");
+        return;
+      }
+    }
+
+    // 2. Per-VM fan-out: each copy must reach exactly the receiving VMs the
+    //    controller mirror places on that host.
+    std::size_t want_vms = 0;
+    for (const auto& [host, copies] : res.host_copies) {
+      want_vms += copies * oracle_.receiving_vms_on(gi, host);
+    }
+    if (res.vm_deliveries != want_vms) {
+      fail(ctx + ": " + str(res.vm_deliveries) + " VM deliveries, expected " +
+           str(want_vms) + " (copies x mirrored receiving VMs)");
+      return;
+    }
+
+    // 3. Clos diameter: leaf-spine-core-spine-leaf.
+    if (res.max_hops > 5) {
+      fail(ctx + ": packet took " + str(res.max_hops) + " switch hops");
+      return;
+    }
+
+    // 4. Packet-level fabric vs analytic evaluator, same flow hash and
+    //    failure set: total host copies and distinct members reached must
+    //    agree bit-for-bit with the controller's current encoding.
+    const TrafficEvaluator evaluator{topo_};
+    const auto hash = dp::flow_hash(dp::host_address(sender), g.address);
+    const auto rep = evaluator.evaluate(
+        *g.tree, g.encoding, sender, 64, hash, &controller_.failures(),
+        legacy_.empty() ? nullptr : &legacy_);
+    std::size_t fabric_copies = 0;
+    for (const auto& [host, copies] : res.host_copies) fabric_copies += copies;
+    const std::size_t evaluator_copies = rep.delivery.members_reached +
+                                         rep.delivery.duplicate_deliveries +
+                                         rep.delivery.spurious_deliveries;
+    if (fabric_copies != evaluator_copies) {
+      fail(ctx + ": fabric delivered " + str(fabric_copies) +
+           " host copies, analytic evaluator predicts " +
+           str(evaluator_copies));
+      return;
+    }
+    if (rep.delivery.members_reached != ex.expected_hosts.size()) {
+      fail(ctx + ": evaluator reached " + str(rep.delivery.members_reached) +
+           " member hosts, oracle expects " + str(ex.expected_hosts.size()));
+      return;
+    }
+  }
+
+  // --- mutation machinery --------------------------------------------------
+
+  dp::HypervisorSwitch::GroupFlow build_flow(
+      const GroupState& g, topo::HostId host,
+      std::vector<std::uint8_t> header) const {
+    dp::HypervisorSwitch::GroupFlow flow;
+    flow.vni = g.tenant;
+    flow.elmo_header = std::move(header);
+    for (const auto& m : g.members) {
+      if (m.host == host && can_receive(m.role)) flow.local_vms.push_back(m.vm);
+    }
+    return flow;
+  }
+
+  std::vector<topo::HostId> sending_hosts(const GroupState& g) const {
+    std::vector<topo::HostId> hosts;
+    for (const auto& m : g.members) {
+      if (!can_send(m.role)) continue;
+      if (std::find(hosts.begin(), hosts.end(), m.host) == hosts.end()) {
+        hosts.push_back(m.host);
+      }
+    }
+    return hosts;
+  }
+
+  // Picks the concrete fault site once, from the initial encodings. Bounds
+  // are re-checked on every application because churn re-encodes groups.
+  void select_mutation_target() {
+    for (std::size_t gi = 0; gi < ids_.size() && !target_found_; ++gi) {
+      const auto& g = controller_.group(ids_[gi]);
+      switch (mutation_) {
+        case Mutation::kClearPRuleBit: {
+          // A set bit that is a real member host port of the matched leaf:
+          // clearing it must lose a delivery (a redundancy-only bit would
+          // not).
+          const auto& rules = g.encoding.leaf.p_rules;
+          for (std::size_t ri = 0; ri < rules.size() && !target_found_; ++ri) {
+            for (const auto leaf_id : rules[ri].switch_ids) {
+              const auto* entry = g.tree->find_leaf(leaf_id);
+              if (entry == nullptr) continue;
+              for (std::size_t p = 0; p < topo_.leaf_down_ports(); ++p) {
+                if (rules[ri].bitmap.test(p) && entry->host_ports.test(p)) {
+                  target_found_ = true;
+                  target_gi_ = gi;
+                  target_rule_ = ri;
+                  target_port_ = p;
+                  break;
+                }
+              }
+              if (target_found_) break;
+            }
+          }
+          break;
+        }
+        case Mutation::kSetPRuleBit: {
+          const auto& rules = g.encoding.leaf.p_rules;
+          for (std::size_t ri = 0; ri < rules.size() && !target_found_; ++ri) {
+            for (std::size_t p = 0; p < topo_.leaf_down_ports(); ++p) {
+              if (!rules[ri].bitmap.test(p)) {
+                target_found_ = true;
+                target_gi_ = gi;
+                target_rule_ = ri;
+                target_port_ = p;
+                break;
+              }
+            }
+          }
+          break;
+        }
+        case Mutation::kDropSRule: {
+          for (const auto& [leaf_id, bitmap] : g.encoding.leaf.s_rules) {
+            if (bitmap.any()) {
+              target_found_ = true;
+              target_gi_ = gi;
+              target_switch_ = leaf_id;
+              break;
+            }
+          }
+          break;
+        }
+        case Mutation::kDropLocalVm: {
+          for (const auto& m : g.members) {
+            if (can_receive(m.role)) {
+              target_found_ = true;
+              target_gi_ = gi;
+              target_host_ = m.host;
+              target_vm_ = m.vm;
+              break;
+            }
+          }
+          break;
+        }
+        case Mutation::kWrongSenderHeader: {
+          const auto senders = sending_hosts(g);
+          for (const auto s : senders) {
+            for (const auto& m : g.members) {
+              if (topo_.leaf_of_host(m.host) != topo_.leaf_of_host(s)) {
+                target_found_ = true;
+                target_gi_ = gi;
+                target_host_ = s;        // victim sender
+                target_other_ = m.host;  // header borrowed from here
+                break;
+              }
+            }
+            if (target_found_) break;
+          }
+          break;
+        }
+        default:
+          return;  // event-driven mutations have no fabric-side target
+      }
+    }
+  }
+
+  // (Re-)seeds the fabric-side fault. Called after every fabric sync so
+  // reinstalls cannot silently heal the mutation.
+  void apply_fabric_mutation() {
+    if (!target_found_) return;
+    const auto id = ids_.at(target_gi_);
+    const auto& g = controller_.group(id);
+    switch (mutation_) {
+      case Mutation::kClearPRuleBit:
+      case Mutation::kSetPRuleBit: {
+        if (target_rule_ >= g.encoding.leaf.p_rules.size()) return;
+        GroupEncoding mutated = g.encoding;
+        auto& bitmap = mutated.leaf.p_rules[target_rule_].bitmap;
+        if (target_port_ >= bitmap.size()) return;
+        bitmap.set(target_port_, mutation_ == Mutation::kSetPRuleBit);
+        for (const auto host : sending_hosts(g)) {
+          const auto route =
+              g.tree->sender_route(host, controller_.failures());
+          auto header =
+              controller_.encoder().codec().serialize(route.encoding, mutated);
+          fabric_.hypervisor(host).install_flow(
+              g.address, build_flow(g, host, std::move(header)));
+        }
+        applied_ = true;
+        break;
+      }
+      case Mutation::kDropSRule:
+        fabric_.leaf(target_switch_).remove_srule(g.address);
+        applied_ = true;
+        break;
+      case Mutation::kDropLocalVm: {
+        const auto senders = sending_hosts(g);
+        const bool sends = std::find(senders.begin(), senders.end(),
+                                     target_host_) != senders.end();
+        auto flow = build_flow(
+            g, target_host_,
+            sends ? controller_.header_for(id, target_host_)
+                  : std::vector<std::uint8_t>{});
+        const auto it =
+            std::find(flow.local_vms.begin(), flow.local_vms.end(), target_vm_);
+        if (it == flow.local_vms.end()) return;  // churned away; keep prior
+        flow.local_vms.erase(it);
+        fabric_.hypervisor(target_host_).install_flow(g.address,
+                                                      std::move(flow));
+        applied_ = true;
+        break;
+      }
+      case Mutation::kWrongSenderHeader: {
+        auto flow = build_flow(g, target_host_,
+                               controller_.header_for(id, target_other_));
+        fabric_.hypervisor(target_host_).install_flow(g.address,
+                                                      std::move(flow));
+        applied_ = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  const Scenario& sc_;
+  Mutation mutation_;
+  topo::ClosTopology topo_;
+  Controller controller_;
+  sim::Fabric fabric_;
+  std::vector<bool> legacy_;
+  DeliveryOracle oracle_;
+  std::vector<GroupId> ids_;
+  RunReport report_;
+  bool failed_ = false;
+  bool applied_ = false;
+
+  bool target_found_ = false;
+  std::size_t target_gi_ = 0;
+  std::size_t target_rule_ = 0;
+  std::size_t target_port_ = 0;
+  std::uint32_t target_switch_ = 0;
+  topo::HostId target_host_ = 0;
+  topo::HostId target_other_ = 0;
+  std::uint32_t target_vm_ = 0;
+};
+
+}  // namespace
+
+RunReport run_scenario(const Scenario& scenario, Mutation mutation) {
+  Runner runner{scenario, mutation};
+  return runner.run();
+}
+
+}  // namespace elmo::verify

@@ -1,0 +1,74 @@
+// Differential runner: executes one Scenario through the REAL pipeline
+// (Controller encode -> bit-exact header codec -> sim::Fabric event-queue
+// walk) and diffs every observable against the set-based DeliveryOracle and
+// the analytic TrafficEvaluator:
+//
+//   * after every membership event: controller member list == oracle mirror;
+//   * per send: every oracle-expected host got a copy (exactly one unless
+//     failures legitimize duplicates), the sender host got none, per-VM
+//     deliveries match copies x mirrored receiving VMs, switch hop count
+//     stays within the Clos diameter, and the packet-level fabric agrees
+//     with the analytic evaluator on total copies and members reached.
+//
+// Mutation mode turns the harness on itself: each Mutation seeds one known
+// fault into the pipeline (bit-flipped header templates, dropped s-rules or
+// flow VMs, stale mirrors, the pre-fix leave-by-host-only churn bug) and a
+// run is only useful evidence if the differ CATCHES it (applied && !ok).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "verify/scenario.h"
+
+namespace elmo::verify {
+
+enum class Mutation : std::uint8_t {
+  kNone = 0,
+  // Clear a member-host bit in a leaf p-rule of every sender's header
+  // template: that member silently stops receiving.
+  kClearPRuleBit,
+  // Set a spare bit in a leaf p-rule of every sender's header template: an
+  // extra copy the analytic evaluator does not predict.
+  kSetPRuleBit,
+  // Remove an s-rule the encoding spilled to a leaf's group table.
+  kDropSRule,
+  // Drop one receiving VM from a hypervisor flow: host copies arrive but the
+  // per-VM fan-out comes up short.
+  kDropLocalVm,
+  // Install the header template of a different (other-leaf) member into a
+  // sender's flow.
+  kWrongSenderHeader,
+  // Stop propagating membership changes to the data plane (stale fabric).
+  kSkipMirrorUpdate,
+  // Process leaves through the legacy leave(group, host) API, which removes
+  // the FIRST member on the host — the exact pre-fix ChurnSimulator desync
+  // under co-location.
+  kLeaveByHostOnly,
+};
+
+inline constexpr std::array<Mutation, 7> kAllMutations = {
+    Mutation::kClearPRuleBit,   Mutation::kSetPRuleBit,
+    Mutation::kDropSRule,       Mutation::kDropLocalVm,
+    Mutation::kWrongSenderHeader, Mutation::kSkipMirrorUpdate,
+    Mutation::kLeaveByHostOnly,
+};
+
+const char* to_string(Mutation mutation);
+
+struct RunReport {
+  bool ok = false;
+  // Mutation mode: the seeded fault actually fired in this scenario. A
+  // mutation is only *validated* by a run with applied && !ok; scan more
+  // seeds until one applies.
+  bool applied = false;
+  std::string failure;  // first divergence, human-readable; empty when ok
+  std::size_t events_run = 0;
+  std::size_t sends_checked = 0;
+};
+
+RunReport run_scenario(const Scenario& scenario,
+                       Mutation mutation = Mutation::kNone);
+
+}  // namespace elmo::verify

@@ -1,0 +1,88 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+
+namespace elmo::verify {
+
+DeliveryOracle::DeliveryOracle(const topo::ClosTopology& topology,
+                               std::vector<bool> legacy_leaves)
+    : topo_{&topology}, legacy_leaves_{std::move(legacy_leaves)} {
+  if (!legacy_leaves_.empty()) {
+    legacy_leaves_.resize(topology.num_leaves(), false);
+  }
+}
+
+void DeliveryOracle::create_group(std::vector<Member> members) {
+  groups_.push_back(std::move(members));
+}
+
+void DeliveryOracle::join(std::size_t group_index, const Member& member) {
+  groups_.at(group_index).push_back(member);
+}
+
+bool DeliveryOracle::leave(std::size_t group_index, topo::HostId host,
+                           std::uint32_t vm) {
+  auto& members = groups_.at(group_index);
+  const auto it =
+      std::find_if(members.begin(), members.end(), [&](const Member& m) {
+        return m.host == host && m.vm == vm;
+      });
+  if (it == members.end()) return false;
+  members.erase(it);
+  return true;
+}
+
+std::size_t DeliveryOracle::receiving_vms_on(std::size_t group_index,
+                                             topo::HostId host) const {
+  std::size_t count = 0;
+  for (const auto& m : groups_.at(group_index)) {
+    if (m.host == host && can_receive(m.role)) ++count;
+  }
+  return count;
+}
+
+bool DeliveryOracle::legacy_covered(const GroupEncoding& encoding,
+                                    topo::HostId host) const {
+  const auto leaf = topo_->leaf_of_host(host);
+  if (legacy_leaves_.empty() || !legacy_leaves_[leaf]) return true;
+  for (const auto& [id, bitmap] : encoding.leaf.s_rules) {
+    if (id == leaf) return bitmap.test(topo_->host_port_on_leaf(host));
+  }
+  return false;  // legacy leaf denied its s-rule (Fmax): dark by design
+}
+
+bool DeliveryOracle::reachable(topo::HostId sender, topo::HostId member) const {
+  const auto& t = *topo_;
+  const auto sender_leaf = t.leaf_of_host(sender);
+  const auto member_leaf = t.leaf_of_host(member);
+  if (sender_leaf == member_leaf) return true;  // served by u_leaf directly
+
+  const auto sender_pod = t.pod_of_leaf(sender_leaf);
+  const auto member_pod = t.pod_of_leaf(member_leaf);
+  for (std::size_t plane = 0; plane < t.params().spines_per_pod; ++plane) {
+    if (failures_.spine_failed(t.spine_at(sender_pod, plane))) continue;
+    if (member_pod == sender_pod) return true;  // one alive local spine is enough
+    if (failures_.spine_failed(t.spine_at(member_pod, plane))) continue;
+    for (std::size_t c = 0; c < t.params().cores_per_plane; ++c) {
+      if (!failures_.core_failed(t.core_at(plane, c))) return true;
+    }
+  }
+  return false;
+}
+
+DeliveryOracle::Expectation DeliveryOracle::expect(
+    std::size_t group_index, const GroupEncoding& encoding,
+    topo::HostId sender) const {
+  Expectation ex;
+  ex.duplicates_allowed = !failures_.empty();
+  for (const auto& m : groups_.at(group_index)) {
+    if (!can_receive(m.role)) continue;
+    if (m.host == sender) continue;  // local VMs never cross the fabric
+    if (!legacy_covered(encoding, m.host)) continue;
+    if (!reachable(sender, m.host)) continue;
+    ++ex.expected_hosts[m.host];
+  }
+  return ex;
+}
+
+}  // namespace elmo::verify

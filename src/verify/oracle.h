@@ -1,0 +1,85 @@
+// Set-based delivery oracle for the differential harness.
+//
+// The oracle mirrors what the controller is *supposed* to know — group
+// membership and the set of failed switches — and computes, for one send,
+// the ideal receiver set from first principles on the Clos topology: no
+// trees, no encodings, no header walks. The real pipeline (Controller
+// encode -> header codec -> sim::Fabric walk) must then deliver exactly to
+// that set.
+//
+// Two deliberate exceptions where the oracle consults system state:
+//   * Legacy coverage (§7): whether a legacy leaf got its forced s-rule is a
+//     capacity *policy* decision (Fmax greedy allocation) the oracle cannot
+//     re-derive, so it reads the group encoding's s-rule list. A legacy leaf
+//     without one is unreachable BY DESIGN and its members are excluded.
+//   * Nothing else. Pod reachability under failures in particular is
+//     recomputed independently from the failure mirror, NOT from
+//     SenderRoute — that is the point of the differential.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "elmo/controller.h"
+#include "elmo/rules.h"
+#include "topology/clos.h"
+
+namespace elmo::verify {
+
+class DeliveryOracle {
+ public:
+  DeliveryOracle(const topo::ClosTopology& topology,
+                 std::vector<bool> legacy_leaves);
+
+  // --- membership mirror (group-index keyed, parallel to the scenario) ----
+  void create_group(std::vector<Member> members);
+  void join(std::size_t group_index, const Member& member);
+  // Removes exactly (host, vm); returns false if that pair is not mirrored.
+  bool leave(std::size_t group_index, topo::HostId host, std::uint32_t vm);
+  const std::vector<Member>& members(std::size_t group_index) const {
+    return groups_.at(group_index);
+  }
+  std::size_t num_groups() const noexcept { return groups_.size(); }
+
+  // --- failure mirror ------------------------------------------------------
+  void fail_spine(topo::SpineId spine) { failures_.fail_spine(spine); }
+  void fail_core(topo::CoreId core) { failures_.fail_core(core); }
+  void restore_spine(topo::SpineId spine) { failures_.restore_spine(spine); }
+  void restore_core(topo::CoreId core) { failures_.restore_core(core); }
+  const topo::FailureSet& failures() const noexcept { return failures_; }
+
+  // Receiving-member VM count on `host` — what a hypervisor holding this
+  // group's flow must deliver per arriving copy, whether or not the host is
+  // network-reachable right now.
+  std::size_t receiving_vms_on(std::size_t group_index,
+                               topo::HostId host) const;
+
+  struct Expectation {
+    // Hosts that MUST receive the packet, with the receiving-VM count each
+    // copy fans out to. Exactly one copy per host unless duplicates_allowed.
+    std::map<topo::HostId, std::size_t> expected_hosts;
+    // Failure re-routing picks explicit per-plane routes by greedy set
+    // cover, which legitimately duplicates deliveries (§3.3) — so the
+    // exactly-once check is waived whenever the failure mirror is non-empty.
+    bool duplicates_allowed = false;
+  };
+
+  // Ideal receiver set for a send from `sender`: every receiving member's
+  // host, except the sender's own host (local delivery bypasses the fabric),
+  // members behind uncovered legacy leaves, and members in pods that no
+  // alive (spine, core, spine) path can reach under the failure mirror.
+  Expectation expect(std::size_t group_index, const GroupEncoding& encoding,
+                     topo::HostId sender) const;
+
+ private:
+  bool reachable(topo::HostId sender, topo::HostId member) const;
+  bool legacy_covered(const GroupEncoding& encoding, topo::HostId host) const;
+
+  const topo::ClosTopology* topo_;
+  std::vector<bool> legacy_leaves_;
+  std::vector<std::vector<Member>> groups_;
+  topo::FailureSet failures_;
+};
+
+}  // namespace elmo::verify

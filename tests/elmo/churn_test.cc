@@ -112,6 +112,42 @@ TEST_F(ChurnFixture, RejectsEmptyGroupList) {
   EXPECT_THROW(ChurnSimulator(controller, cloud, {}), std::invalid_argument);
 }
 
+TEST(ChurnColocation, ControllerMatchesSimulatorWithSharedHosts) {
+  topo::ClosTopology topology{topo::ClosParams::small_test()};
+  Controller controller{topology, EncoderConfig{}};
+
+  // Twelve VMs packed four-per-host: several group members share a host, so
+  // a leave that matched by host alone would remove the wrong VM.
+  std::vector<cloud::Tenant> tenants(1);
+  tenants[0].id = 0;
+  for (std::uint32_t vm = 0; vm < 12; ++vm) {
+    tenants[0].vm_hosts.push_back(vm / 4);
+  }
+
+  std::vector<Member> members;
+  for (std::uint32_t vm = 0; vm < 4; ++vm) {
+    members.push_back(Member{tenants[0].vm_hosts[vm], vm, MemberRole::kBoth});
+  }
+  const std::vector<GroupId> ids{controller.create_group(0, members)};
+  ChurnSimulator churn{controller, tenants, ids};
+
+  util::Rng rng{4242};
+  for (int i = 0; i < 400; ++i) {
+    churn.step(2, rng);
+    const auto& expected = churn.membership(0);
+    const auto& group = controller.group(ids[0]);
+    ASSERT_EQ(group.members.size(), expected.size()) << "after event " << i;
+    for (const auto& m : group.members) {
+      ASSERT_TRUE(expected.contains(m.vm))
+          << "after event " << i << ": controller holds vm " << m.vm
+          << " the simulator does not";
+      ASSERT_EQ(m.host, tenants[0].vm_hosts[m.vm]) << "after event " << i;
+    }
+  }
+  EXPECT_GT(churn.joins(), 0u);
+  EXPECT_GT(churn.leaves(), 0u);
+}
+
 TEST(CountingSink, RateMath) {
   const topo::ClosTopology t{topo::ClosParams::small_test()};
   CountingSink sink{t};

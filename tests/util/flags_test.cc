@@ -58,6 +58,31 @@ TEST(Flags, IgnoresDashDashArguments) {
   EXPECT_EQ(flags.get_string("benchmark_filter", "none"), "none");
 }
 
+TEST(Flags, DashDashKeyValuePairs) {
+  const char* argv[] = {"prog", "--threads=4", "--Ratio=0.5"};
+  Flags flags{3, const_cast<char**>(argv)};
+  EXPECT_EQ(flags.get_int("threads", 0), 4);
+  EXPECT_EQ(flags.get_int("THREADS", 0), 4);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0.0), 0.5);
+}
+
+TEST(Flags, LowercaseArgvKeysMatch) {
+  unsetenv("ELMO_THREADS");
+  const char* argv[] = {"prog", "threads=7"};
+  Flags flags{2, const_cast<char**>(argv)};
+  EXPECT_EQ(flags.get_int("threads", 0), 7);
+  EXPECT_EQ(flags.get_int("Threads", 0), 7);
+}
+
+TEST(Flags, WarnsButKeepsGoingOnMalformedTokens) {
+  // Tokens without '=' warn on stderr instead of being silently dropped;
+  // later valid pairs still take effect.
+  const char* argv[] = {"prog", "not-a-flag", "--also-bad", "OK=1"};
+  Flags flags{4, const_cast<char**>(argv)};
+  EXPECT_EQ(flags.get_int("ok", 0), 1);
+  EXPECT_EQ(flags.get_string("not-a-flag", "unset"), "unset");
+}
+
 TEST(Flags, DoubleParsing) {
   const char* argv[] = {"prog", "RATIO=0.25"};
   Flags flags{2, const_cast<char**>(argv)};

@@ -76,6 +76,36 @@ TEST(Percentile, NearestRankSemantics) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0), 15.0);
 }
 
+TEST(Percentile, SingleSamplePinsEveryRank) {
+  const std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(percentile(one, 0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 50), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 100), 7.5);
+}
+
+TEST(Histogram, NonFiniteSamplesGoToOverflowCounter) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(std::nan(""));
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(5.0);
+  EXPECT_EQ(h.non_finite(), 3u);
+  EXPECT_EQ(h.total(), 4u);
+  std::size_t in_buckets = 0;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) in_buckets += h.count(b);
+  EXPECT_EQ(in_buckets, h.total() - h.non_finite());
+}
+
+TEST(Histogram, HugeFiniteSamplesClampToEdgeBuckets) {
+  Histogram h{0.0, 10.0, 4};
+  h.add(std::numeric_limits<double>::max());
+  h.add(std::numeric_limits<double>::lowest());
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.non_finite(), 0u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
 TEST(Percentile, RejectsBadInput) {
   EXPECT_THROW(percentile({}, 50), std::invalid_argument);
   const std::vector<double> xs{1.0};

@@ -1,0 +1,133 @@
+// Differential delivery-oracle fuzz driver.
+//
+// Plain mode walks SEEDS consecutive seeds (starting at BASE_SEED), runs
+// each generated scenario through the full pipeline (Controller encode ->
+// header codec -> sim::Fabric walk), and diffs every observable against the
+// set-based DeliveryOracle. The first divergence prints its seed, shrinks to
+// a minimal repro, and emits a ready-to-paste GoogleTest fixture.
+//
+// Mutation mode (--mutate=1) validates the harness itself: every known
+// fault in the catalog is seeded into the pipeline and MUST be caught by
+// the differ on some seed — a mutation that survives means the harness has
+// a blind spot and the run fails.
+//
+// Flags (KEY=VALUE, --key=value, or ELMO_<KEY> env):
+//   --seeds=N      seeds to walk (default 50)
+//   --base_seed=N  first seed (default 1)
+//   --seed=N       run exactly one seed (overrides --seeds)
+//   --mutate=1     run the mutation self-check instead of plain fuzzing
+//   --shrink=0     disable shrinking on failure
+//   --verbose=1    per-seed progress lines
+//
+// Replaying a CI failure: tools/fuzz_pipeline --seed=<reported seed>
+#include <cstdio>
+#include <string>
+
+#include "util/flags.h"
+#include "verify/differ.h"
+#include "verify/scenario.h"
+#include "verify/shrink.h"
+
+namespace {
+
+using elmo::verify::Mutation;
+using elmo::verify::RunReport;
+using elmo::verify::Scenario;
+
+void report_failure(const Scenario& scenario, const RunReport& report,
+                    bool do_shrink) {
+  std::printf("FAIL seed=%llu: %s\n",
+              static_cast<unsigned long long>(scenario.seed),
+              report.failure.c_str());
+  std::printf("replay: tools/fuzz_pipeline --seed=%llu\n",
+              static_cast<unsigned long long>(scenario.seed));
+  if (!do_shrink) return;
+  const auto minimal = elmo::verify::shrink(scenario);
+  const auto shrunk = elmo::verify::run_scenario(minimal);
+  std::printf("shrunk to %zu group(s), %zu event(s): %s\n",
+              minimal.groups.size(), minimal.events.size(),
+              shrunk.failure.c_str());
+  std::printf("--- minimal repro fixture ---\n%s",
+              elmo::verify::to_fixture(minimal).c_str());
+}
+
+int run_plain(std::uint64_t base, std::size_t seeds, bool do_shrink,
+              bool verbose) {
+  std::size_t sends = 0;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = base + i;
+    const auto scenario = elmo::verify::generate_scenario(seed);
+    const auto report = elmo::verify::run_scenario(scenario);
+    if (!report.ok) {
+      report_failure(scenario, report, do_shrink);
+      return 1;
+    }
+    sends += report.sends_checked;
+    if (verbose) {
+      std::printf("seed=%llu ok (%zu events, %zu sends)\n",
+                  static_cast<unsigned long long>(seed), report.events_run,
+                  report.sends_checked);
+    }
+  }
+  std::printf("fuzz_pipeline: %zu seed(s) ok, %zu sends diffed against the "
+              "delivery oracle\n",
+              seeds, sends);
+  return 0;
+}
+
+int run_mutations(std::uint64_t base, std::size_t max_scans, bool verbose) {
+  int failures = 0;
+  for (const auto mutation : elmo::verify::kAllMutations) {
+    bool caught = false;
+    std::uint64_t caught_seed = 0;
+    std::size_t applied_runs = 0;
+    for (std::size_t i = 0; i < max_scans && !caught; ++i) {
+      const std::uint64_t seed = base + i;
+      const auto scenario = elmo::verify::generate_scenario(seed);
+      const auto report = elmo::verify::run_scenario(scenario, mutation);
+      if (report.applied) ++applied_runs;
+      if (report.applied && !report.ok) {
+        caught = true;
+        caught_seed = seed;
+        if (verbose) {
+          std::printf("  %s caught at seed=%llu: %s\n",
+                      elmo::verify::to_string(mutation),
+                      static_cast<unsigned long long>(seed),
+                      report.failure.c_str());
+        }
+      }
+    }
+    if (caught) {
+      std::printf("mutation %-20s CAUGHT (seed=%llu, applied in %zu runs)\n",
+                  elmo::verify::to_string(mutation),
+                  static_cast<unsigned long long>(caught_seed), applied_runs);
+    } else {
+      std::printf("mutation %-20s SURVIVED %zu seeds (applied in %zu runs) — "
+                  "the harness has a blind spot\n",
+                  elmo::verify::to_string(mutation), max_scans, applied_runs);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const elmo::util::Flags flags{argc, argv};
+  const auto base =
+      static_cast<std::uint64_t>(flags.get_int("BASE_SEED", 1));
+  const auto seeds = static_cast<std::size_t>(flags.get_int("SEEDS", 50));
+  const auto single = flags.get_int("SEED", -1);
+  const bool mutate = flags.get_bool("MUTATE", false);
+  const bool do_shrink = flags.get_bool("SHRINK", true);
+  const bool verbose = flags.get_bool("VERBOSE", false);
+
+  if (single >= 0) {
+    return run_plain(static_cast<std::uint64_t>(single), 1, do_shrink, true);
+  }
+  if (mutate) {
+    return run_mutations(base, seeds, verbose);
+  }
+  return run_plain(base, seeds, do_shrink, verbose);
+}
