@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "net/headers.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace elmo::benchx {
@@ -21,6 +22,10 @@ Scale Scale::from_flags(const util::Flags& flags) {
   scale.threads = static_cast<std::size_t>(std::max<std::int64_t>(
       1, flags.get_int("threads",
                        static_cast<std::int64_t>(util::default_thread_count()))));
+  scale.metrics = flags.get_string("metrics", "");
+  if (!scale.metrics.empty()) {
+    obs::MetricsRegistry::global().set_enabled(true);
+  }
   return scale;
 }
 
@@ -304,6 +309,12 @@ void emit_run_json(const std::string& bench, const Scale& scale,
       bench.c_str(), scale.pods, scale.groups, scale.tenants,
       static_cast<unsigned long long>(scale.seed), scale.threads,
       phases.json().c_str());
+  // The metrics exposition goes to its own sink ("-" = stderr) so the
+  // RUN-line/stdout contract of docs/BENCH_SCHEMA.md is untouched.
+  if (!scale.metrics.empty()) {
+    obs::write_metrics(scale.metrics,
+                       obs::MetricsRegistry::global().snapshot());
+  }
 }
 
 void print_figure(const std::string& title,

@@ -39,6 +39,10 @@ struct Scale {
   // (ELMO_THREADS / --threads; defaults to the hardware concurrency).
   // Results are bit-identical at any value — see DESIGN.md §5.
   std::size_t threads = 1;
+  // --metrics=<path> (or ELMO_METRICS): when non-empty, from_flags enables
+  // the global MetricsRegistry and emit_run_json writes the exposition there
+  // ("-" = stderr, ".json" suffix = JSON dump). Empty = telemetry disabled.
+  std::string metrics;
 
   static Scale from_flags(const util::Flags& flags);
   // Tenant population scaled to the group count so reduced runs stay

@@ -8,16 +8,27 @@
 // hardware speed", no per-copy allocation) is exactly a claim about this
 // number, so the bench records it per send alongside throughput.
 //
+// This bench is also the telemetry-overhead referee (DESIGN.md §9): every
+// fanout is timed twice — global registry disabled, then enabled — and the
+// JSON reports both throughputs plus the relative overhead. The budget is
+// <= 2% metrics-off vs a build without the telemetry layer, <= 8% on.
+//
 // Output is JSON on stdout, one object per fanout; recorded snapshots live
 // in bench/results/ (BENCH_packet_walk_baseline.json = the seed deep-copy
 // walk, BENCH_packet_walk.json = the CoW PacketView pipeline).
+// --metrics=<path> writes the metrics-on exposition ("-" = stderr);
+// --trace=<path> records one probe send per fanout into a chrome://tracing
+// JSON file.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "elmo/controller.h"
+#include "obs/metrics.h"
 #include "sim/fabric.h"
+#include "sim/flight_recorder.h"
 #include "topology/clos.h"
 #include "util/flags.h"
 
@@ -26,7 +37,9 @@ namespace {
 using namespace elmo;
 
 struct RunResult {
-  double sends_per_sec = 0;
+  double sends_per_sec = 0;           // telemetry disabled
+  double sends_per_sec_metrics_on = 0;
+  double metrics_on_overhead_pct = 0;
   double bytes_copied_per_send = 0;
   double copies_per_send = 0;
   std::uint64_t wire_bytes_per_send = 0;
@@ -35,7 +48,7 @@ struct RunResult {
 };
 
 RunResult run_fanout(std::size_t fanout, std::size_t payload_bytes,
-                     std::size_t iterations) {
+                     std::size_t iterations, sim::FlightRecorder* recorder) {
   // Two-tier leaf-spine: 32 leaves x 32 hosts = 1,024 hosts, enough for the
   // widest fanout while keeping fabric construction cheap.
   const topo::ClosTopology topology{topo::ClosParams::two_tier_leaf_spine()};
@@ -61,22 +74,51 @@ RunResult run_fanout(std::size_t fanout, std::size_t payload_bytes,
   const auto probe = fabric.send(0, group, payload);
   for (int i = 0; i < 3; ++i) (void)fabric.send(0, group, payload);
 
+  auto& reg = obs::MetricsRegistry::global();
+  const bool metrics_requested = reg.enabled();
+  auto timed_loop = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iterations; ++i) {
+      (void)fabric.send(0, group, payload);
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  // Leg 1: telemetry disabled — the number the zero-copy pipeline is judged
+  // by, and the metrics-off overhead reference.
+  reg.set_enabled(false);
   net::reset_copy_stats();
-  const auto start = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < iterations; ++i) {
-    (void)fabric.send(0, group, payload);
-  }
-  const auto elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double off_elapsed = timed_loop();
   const auto& copies = net::copy_stats();
+  const double bytes_copied =
+      static_cast<double>(copies.bytes) / static_cast<double>(iterations);
+  const double copy_count =
+      static_cast<double>(copies.copies) / static_cast<double>(iterations);
+
+  // Leg 2: telemetry enabled — same loop, counters and spans live.
+  reg.set_enabled(true);
+  const double on_elapsed = timed_loop();
+  if (metrics_requested) {
+    accumulate_fabric_metrics(fabric, reg);
+  }
+  reg.set_enabled(metrics_requested);
+
+  // One recorded probe per fanout for the flight-recorder trace.
+  if (recorder != nullptr) {
+    fabric.set_recorder(recorder);
+    (void)fabric.send(0, group, payload);
+    fabric.set_recorder(nullptr);
+  }
 
   RunResult r;
-  r.sends_per_sec = static_cast<double>(iterations) / elapsed;
-  r.bytes_copied_per_send =
-      static_cast<double>(copies.bytes) / static_cast<double>(iterations);
-  r.copies_per_send =
-      static_cast<double>(copies.copies) / static_cast<double>(iterations);
+  r.sends_per_sec = static_cast<double>(iterations) / off_elapsed;
+  r.sends_per_sec_metrics_on = static_cast<double>(iterations) / on_elapsed;
+  r.metrics_on_overhead_pct =
+      (off_elapsed > 0 ? (on_elapsed / off_elapsed - 1.0) * 100.0 : 0.0);
+  r.bytes_copied_per_send = bytes_copied;
+  r.copies_per_send = copy_count;
   r.wire_bytes_per_send = probe.total_wire_bytes;
   r.link_transmissions_per_send = probe.total_link_transmissions;
   r.hosts_reached = probe.host_copies.size();
@@ -91,6 +133,12 @@ int main(int argc, char** argv) {
       0, flags.get_int("PAYLOAD", 256)));  // ELMO_PAYLOAD / PAYLOAD=...
   const auto scale = static_cast<std::size_t>(
       std::max<std::int64_t>(1, flags.get_int("SCALE", 1)));
+  const auto metrics_path = flags.get_string("METRICS", "");
+  const auto trace_path = flags.get_string("TRACE", "");
+
+  auto& reg = elmo::obs::MetricsRegistry::global();
+  if (!metrics_path.empty()) reg.set_enabled(true);
+  elmo::sim::FlightRecorder recorder;
 
   std::printf("{\n  \"bench\": \"packet_walk\",\n  \"payload_bytes\": %zu,\n"
               "  \"results\": [\n",
@@ -98,18 +146,29 @@ int main(int argc, char** argv) {
   const std::size_t fanouts[] = {8, 64, 512};
   const std::size_t iters[] = {4000 * scale, 1000 * scale, 200 * scale};
   for (std::size_t i = 0; i < 3; ++i) {
-    const auto r = run_fanout(fanouts[i], payload, iters[i]);
+    const auto r =
+        run_fanout(fanouts[i], payload, iters[i],
+                   trace_path.empty() ? nullptr : &recorder);
     std::printf(
         "    {\"fanout\": %zu, \"sends_per_sec\": %.0f, "
+        "\"sends_per_sec_metrics_on\": %.0f, "
+        "\"metrics_on_overhead_pct\": %.1f, "
         "\"bytes_copied_per_send\": %.1f, \"copies_per_send\": %.2f, "
         "\"wire_bytes_per_send\": %llu, \"link_transmissions_per_send\": "
         "%llu, \"hosts_reached\": %zu}%s\n",
-        fanouts[i], r.sends_per_sec, r.bytes_copied_per_send,
-        r.copies_per_send,
+        fanouts[i], r.sends_per_sec, r.sends_per_sec_metrics_on,
+        r.metrics_on_overhead_pct, r.bytes_copied_per_send, r.copies_per_send,
         static_cast<unsigned long long>(r.wire_bytes_per_send),
         static_cast<unsigned long long>(r.link_transmissions_per_send),
         r.hosts_reached, i + 1 < 3 ? "," : "");
   }
   std::printf("  ]\n}\n");
+
+  if (!metrics_path.empty()) {
+    elmo::obs::write_metrics(metrics_path, reg.snapshot());
+  }
+  if (!trace_path.empty()) {
+    recorder.write(trace_path);
+  }
   return 0;
 }

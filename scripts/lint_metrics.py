@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Strict linter for the Prometheus text exposition our tools emit.
+
+Usage: scripts/lint_metrics.py <file> [<file> ...]   ("-" reads stdin)
+
+Validates the contract CI smoke jobs rely on (docs/BENCH_SCHEMA.md,
+DESIGN.md §9):
+
+  * every sample line parses as `name[{labels}] value`;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * every sample is preceded by a `# TYPE` line for its family;
+  * TYPE is one of counter / gauge / histogram;
+  * no family is declared or sampled twice (series within one family are
+    fine, duplicate identical series are not);
+  * counters and gauges are finite numbers; counters are non-negative;
+  * histogram families expose _bucket series with strictly increasing `le`
+    bounds ending in +Inf, cumulative (non-decreasing) bucket counts, and
+    a _sum/_count pair with _count equal to the +Inf bucket;
+  * the exposition includes elmo_uptime_seconds.
+
+Exit status 0 when every file is clean, 1 otherwise.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+VALID_TYPES = {"counter", "gauge", "histogram"}
+
+
+def base_family(name: str, types: dict) -> str:
+    """Maps histogram series names back to their declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def parse_value(raw: str):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def lint(path: str, text: str) -> list:
+    errors = []
+
+    def err(lineno, msg):
+        errors.append(f"{path}:{lineno}: {msg}")
+
+    types = {}          # family -> type
+    samples = {}        # family -> list of (lineno, name, labels, value)
+    seen_series = set() # (name, labels) duplicates
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                err(lineno, f"malformed comment line: {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) != 4:
+                    err(lineno, f"malformed TYPE line: {line!r}")
+                    continue
+                _, _, name, mtype = parts
+                if not NAME_RE.match(name):
+                    err(lineno, f"invalid metric name {name!r}")
+                if mtype not in VALID_TYPES:
+                    err(lineno, f"invalid type {mtype!r} for {name}")
+                if name in types:
+                    err(lineno, f"duplicate TYPE declaration for {name}")
+                if name in samples:
+                    err(lineno, f"TYPE for {name} appears after its samples")
+                types[name] = mtype
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name, labels, raw = m.group("name"), m.group("labels"), m.group("value")
+        value = parse_value(raw)
+        if value is None:
+            err(lineno, f"non-numeric value {raw!r} for {name}")
+            continue
+        family = base_family(name, types)
+        if family not in types:
+            err(lineno, f"sample {name} has no preceding # TYPE {family}")
+            continue
+        key = (name, labels or "")
+        if key in seen_series:
+            err(lineno, f"duplicate series {name}{{{labels or ''}}}")
+        seen_series.add(key)
+        samples.setdefault(family, []).append((lineno, name, labels, value))
+
+    for family, mtype in types.items():
+        rows = samples.get(family, [])
+        if not rows:
+            errors.append(f"{path}: family {family} declared but never sampled")
+            continue
+        if mtype in ("counter", "gauge"):
+            for lineno, name, labels, value in rows:
+                if labels is not None:
+                    err(lineno, f"{mtype} {name} must not carry labels")
+                if not math.isfinite(value):
+                    err(lineno, f"{mtype} {name} value is not finite")
+                elif mtype == "counter" and value < 0:
+                    err(lineno, f"counter {name} is negative ({value})")
+            continue
+
+        # Histogram: ordered buckets, +Inf terminal, _sum/_count coherence.
+        buckets, hsum, hcount = [], None, None
+        for lineno, name, labels, value in rows:
+            if name == family + "_bucket":
+                lm = re.match(r'^le="([^"]+)"$', labels or "")
+                if not lm:
+                    err(lineno, f"bucket of {family} lacks an le label")
+                    continue
+                bound = parse_value(lm.group(1))
+                if bound is None:
+                    err(lineno, f"bucket of {family} has bad bound {labels!r}")
+                    continue
+                buckets.append((lineno, bound, value))
+            elif name == family + "_sum":
+                hsum = (lineno, value)
+            elif name == family + "_count":
+                hcount = (lineno, value)
+            else:
+                err(lineno, f"unexpected series {name} in histogram {family}")
+        if not buckets:
+            errors.append(f"{path}: histogram {family} has no buckets")
+            continue
+        for (l1, b1, c1), (l2, b2, c2) in zip(buckets, buckets[1:]):
+            if not b1 < b2:
+                err(l2, f"histogram {family} bounds not increasing "
+                        f"({b1} then {b2})")
+            if c2 < c1:
+                err(l2, f"histogram {family} bucket counts not cumulative "
+                        f"({c1} then {c2})")
+        if buckets[-1][1] != math.inf:
+            err(buckets[-1][0], f"histogram {family} last bucket is not +Inf")
+        if hsum is None:
+            errors.append(f"{path}: histogram {family} missing _sum")
+        if hcount is None:
+            errors.append(f"{path}: histogram {family} missing _count")
+        elif hcount[1] != buckets[-1][2]:
+            err(hcount[0], f"histogram {family} _count ({hcount[1]}) != +Inf "
+                           f"bucket ({buckets[-1][2]})")
+
+    if "elmo_uptime_seconds" not in types:
+        errors.append(f"{path}: missing elmo_uptime_seconds")
+    return errors
+
+
+def main(argv):
+    paths = argv[1:] or ["-"]
+    failed = False
+    for path in paths:
+        text = sys.stdin.read() if path == "-" else open(path).read()
+        errors = lint("<stdin>" if path == "-" else path, text)
+        for e in errors:
+            print(e, file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            families = len([l for l in text.splitlines()
+                            if l.startswith("# TYPE ")])
+            print(f"{path}: OK ({families} metric families)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

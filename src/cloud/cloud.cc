@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace elmo::cloud {
 namespace {
@@ -14,6 +18,24 @@ namespace {
 // from the thread count — so the round-start snapshots, and therefore the
 // placement, are identical no matter how many workers execute a round.
 constexpr std::size_t kPlacementRound = 64;
+
+struct CloudMetricIds {
+  obs::MetricsRegistry::Id placement_seconds;
+  obs::MetricsRegistry::Id tenants_placed;
+  CloudMetricIds() {
+    auto& reg = obs::MetricsRegistry::global();
+    placement_seconds = reg.histogram(
+        "elmo_cloud_placement_seconds", obs::latency_bounds(),
+        "Full tenant VM placement (speculative rounds + commits)");
+    tenants_placed =
+        reg.counter("elmo_cloud_tenants_placed_total", "Tenants placed");
+  }
+};
+
+CloudMetricIds& cloud_metric_ids() {
+  static CloudMetricIds ids;
+  return ids;
+}
 
 }  // namespace
 
@@ -25,6 +47,12 @@ Cloud::Cloud(const topo::ClosTopology& topology, const CloudParams& params,
       topology.num_leaves(),
       static_cast<std::uint32_t>(topology.params().hosts_per_leaf *
                                  params.max_vms_per_host));
+
+  std::optional<obs::Span> span;
+  ELMO_METRIC({
+    span.emplace(reg, cloud_metric_ids().placement_seconds);
+    reg.add(cloud_metric_ids().tenants_placed, params.tenants);
+  });
 
   const std::uint64_t seed = rng();
   auto parallel_for = [&](std::size_t begin, std::size_t end, auto&& body) {

@@ -53,6 +53,7 @@ std::optional<net::Packet> HypervisorSwitch::encapsulate(
   net::Packet packet{payload};
   packet.push_front(header);
   ++stats_.sent;
+  stats_.bytes_sent += packet.size();
   return packet;
 }
 
@@ -61,6 +62,7 @@ std::span<Emission> HypervisorSwitch::process(const net::PacketView& packet,
                                               EmissionArena& arena) {
   const auto mark = arena.mark();
   ++stats_.received;
+  stats_.bytes_received += packet.size();
   const auto outer = packet.front(net::kOuterHeaderBytes);
   const auto ip =
       net::Ipv4Header::parse(outer.subspan(net::EthernetHeader::kSize));
@@ -84,6 +86,7 @@ std::span<Emission> HypervisorSwitch::process(const net::PacketView& packet,
   for (const auto vm : it->second.local_vms) {
     arena.emit(vm, payload);
     ++stats_.delivered_to_vms;
+    stats_.delivered_bytes += payload.size();
   }
   return arena.since(mark);
 }

@@ -32,10 +32,25 @@ namespace elmo::dp {
 
 struct HypervisorStats {
   std::uint64_t sent = 0;
+  std::uint64_t bytes_sent = 0;      // encapsulated bytes handed to the wire
   std::uint64_t received = 0;
+  std::uint64_t bytes_received = 0;
   std::uint64_t delivered_to_vms = 0;
+  std::uint64_t delivered_bytes = 0;  // payload bytes handed to local VMs
   std::uint64_t discarded = 0;  // no local members for the group
   std::uint64_t unicast_fallback = 0;
+
+  HypervisorStats& operator+=(const HypervisorStats& o) noexcept {
+    sent += o.sent;
+    bytes_sent += o.bytes_sent;
+    received += o.received;
+    bytes_received += o.bytes_received;
+    delivered_to_vms += o.delivered_to_vms;
+    delivered_bytes += o.delivered_bytes;
+    discarded += o.discarded;
+    unicast_fallback += o.unicast_fallback;
+    return *this;
+  }
 };
 
 class HypervisorSwitch : public ForwardingElement {

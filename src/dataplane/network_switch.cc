@@ -165,6 +165,7 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
                                            EmissionArena& arena) {
   const auto mark = arena.mark();
   ++stats_.packets_in;
+  stats_.bytes_in += packet.size();
 
   if (down_) {
     ++stats_.drops;
@@ -185,8 +186,10 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
     } else {
       ++stats_.drops;
     }
-    stats_.copies_out += arena.mark() - mark;
-    return arena.since(mark);
+    const auto out = arena.since(mark);
+    stats_.copies_out += out.size();
+    for (const auto& e : out) stats_.bytes_out += e.packet.size();
+    return out;
   }
 
   const auto pr = parse(packet);
@@ -207,6 +210,8 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
         if (!built) {
           host_copy = strip_for_host(packet, pr.sections);
           built = true;
+          ++stats_.header_pops;
+          stats_.header_pop_bytes += pr.sections.back().end;
         }
         arena.emit(port, host_copy);
       });
@@ -214,7 +219,11 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
     }
     const std::size_t drop = pop_offset(pr.sections, down_needed);
     net::PacketView down_copy = packet;
-    if (drop > 0) down_copy.erase(net::kOuterHeaderBytes, drop);
+    if (drop > 0) {
+      down_copy.erase(net::kOuterHeaderBytes, drop);
+      ++stats_.header_pops;
+      stats_.header_pop_bytes += drop;
+    }
     bitmap.for_each_set(
         [&](std::size_t port) { arena.emit(port, down_copy); });
   };
@@ -229,7 +238,11 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
                                : elmo::SectionTag::kCore;
     const std::size_t drop = pop_offset(pr.sections, up_needed);
     net::PacketView up_copy = packet;
-    if (drop > 0) up_copy.erase(net::kOuterHeaderBytes, drop);
+    if (drop > 0) {
+      up_copy.erase(net::kOuterHeaderBytes, drop);
+      ++stats_.header_pops;
+      stats_.header_pop_bytes += drop;
+    }
     const std::size_t base = downstream_ports();
     if (pr.upstream->multipath) {
       const std::size_t pick = pick_uplink(hash);
@@ -258,8 +271,10 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
     ++stats_.drops;
   }
 
-  stats_.copies_out += arena.mark() - mark;
-  return arena.since(mark);
+  const auto out = arena.since(mark);
+  stats_.copies_out += out.size();
+  for (const auto& e : out) stats_.bytes_out += e.packet.size();
+  return out;
 }
 
 std::vector<OutputCopy> NetworkSwitch::process(const net::Packet& packet) {

@@ -54,12 +54,32 @@ enum class MultipathMode : std::uint8_t { kEcmp, kLeastLoaded };
 
 struct SwitchStats {
   std::uint64_t packets_in = 0;
+  std::uint64_t bytes_in = 0;
   std::uint64_t copies_out = 0;
+  std::uint64_t bytes_out = 0;
   std::uint64_t prule_matches = 0;   // forwarded via parser-matched p-rule
   std::uint64_t upstream_matches = 0;
   std::uint64_t srule_matches = 0;
   std::uint64_t default_matches = 0;
   std::uint64_t drops = 0;
+  std::uint64_t header_pops = 0;       // copies whose consumed sections were
+                                       // invalidated (incl. host strips)
+  std::uint64_t header_pop_bytes = 0;  // Elmo bytes removed by those pops
+
+  SwitchStats& operator+=(const SwitchStats& o) noexcept {
+    packets_in += o.packets_in;
+    bytes_in += o.bytes_in;
+    copies_out += o.copies_out;
+    bytes_out += o.bytes_out;
+    prule_matches += o.prule_matches;
+    upstream_matches += o.upstream_matches;
+    srule_matches += o.srule_matches;
+    default_matches += o.default_matches;
+    drops += o.drops;
+    header_pops += o.header_pops;
+    header_pop_bytes += o.header_pop_bytes;
+    return *this;
+  }
 };
 
 class NetworkSwitch : public ForwardingElement {

@@ -2,11 +2,34 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace elmo {
 namespace {
+
+struct ClusteringMetricIds {
+  obs::MetricsRegistry::Id cluster_seconds;
+  obs::MetricsRegistry::Id min_k_union_merges;
+  ClusteringMetricIds() {
+    auto& reg = obs::MetricsRegistry::global();
+    cluster_seconds = reg.histogram(
+        "elmo_controller_cluster_seconds", obs::latency_bounds(),
+        "MIN-K-UNION p-rule clustering (Algorithm 1), per layer encode");
+    min_k_union_merges = reg.counter(
+        "elmo_controller_min_k_union_merges_total",
+        "Overflow rules greedily merged into kept p-rules");
+  }
+};
+
+ClusteringMetricIds& clustering_metric_ids() {
+  static ClusteringMetricIds ids;
+  return ids;
+}
 
 // A candidate p-rule under construction: an output bitmap plus the switches
 // it covers (with their original input bitmaps, needed for the redundancy
@@ -82,6 +105,9 @@ LayerEncoding cluster_layer(std::span<const LayerInput> inputs,
   if (inputs.empty()) return out;
   if (limits.kmax == 0) throw std::invalid_argument{"cluster_layer: kmax == 0"};
 
+  std::optional<obs::Span> span;
+  ELMO_METRIC(span.emplace(reg, clustering_metric_ids().cluster_seconds));
+
   // --- Phase 1: exact rules; identical bitmaps share (in kmax chunks) -----
   std::unordered_map<net::PortBitmap, std::vector<const LayerInput*>,
                      net::PortBitmapHash>
@@ -151,6 +177,7 @@ LayerEncoding cluster_layer(std::span<const LayerInput> inputs,
                          overflow.inputs.end());
       base.min_pop = std::min(base.min_pop, overflow.min_pop);
       base.sum_pop += overflow.sum_pop;
+      ELMO_METRIC(reg.add(clustering_metric_ids().min_k_union_merges));
     } else {
       overflow_spill.push_back(std::move(overflow));
     }

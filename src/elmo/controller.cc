@@ -3,12 +3,59 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <optional>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace elmo {
 namespace {
+
+// Controller telemetry (DESIGN.md §9): phase histograms feed the spans around
+// create_groups, the counters the membership-churn entry points. Registered
+// once on first use.
+struct ControllerMetricIds {
+  obs::MetricsRegistry::Id encode_seconds;
+  obs::MetricsRegistry::Id merge_seconds;
+  obs::MetricsRegistry::Id tree_seconds;
+  obs::MetricsRegistry::Id groups_created;
+  obs::MetricsRegistry::Id speculative_commits;
+  obs::MetricsRegistry::Id serial_reencodes;
+  obs::MetricsRegistry::Id joins;
+  obs::MetricsRegistry::Id leaves;
+  obs::MetricsRegistry::Id failures;
+  ControllerMetricIds() {
+    auto& reg = obs::MetricsRegistry::global();
+    encode_seconds = reg.histogram(
+        "elmo_controller_encode_seconds", obs::latency_bounds(),
+        "Parallel speculative encode phase of create_groups, per batch");
+    merge_seconds = reg.histogram(
+        "elmo_controller_merge_seconds", obs::latency_bounds(),
+        "Deterministic in-order merge phase of create_groups, per batch");
+    tree_seconds = reg.histogram(
+        "elmo_controller_tree_seconds", obs::latency_bounds(),
+        "Multicast tree construction, per group");
+    groups_created =
+        reg.counter("elmo_controller_groups_created_total", "Groups created");
+    speculative_commits = reg.counter(
+        "elmo_controller_speculative_commits_total",
+        "Bulk-encode groups whose speculative s-rule reservations committed");
+    serial_reencodes = reg.counter(
+        "elmo_controller_serial_reencodes_total",
+        "Bulk-encode groups that fell back to a serial re-encode");
+    joins = reg.counter("elmo_controller_joins_total", "Membership joins");
+    leaves = reg.counter("elmo_controller_leaves_total", "Membership leaves");
+    failures = reg.counter("elmo_controller_failures_total",
+                           "Switch failures handled (spine or core)");
+  }
+};
+
+ControllerMetricIds& controller_metric_ids() {
+  static ControllerMetricIds ids;
+  return ids;
+}
 
 std::uint64_t group_flow_hash(GroupId group) {
   std::uint64_t s = 0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(group) << 1);
@@ -122,6 +169,7 @@ GroupId Controller::create_group(std::uint32_t tenant,
   g.members.assign(members.begin(), members.end());
   groups_.emplace_back(std::move(g));
   ++live_groups_;
+  ELMO_METRIC(reg.add(controller_metric_ids().groups_created));
   reencode(*groups_.back());
 
   if (sink_ != nullptr) {
@@ -169,8 +217,12 @@ std::vector<GroupId> Controller::create_groups(
     slot.address =
         net::Ipv4Address::multicast_group(static_cast<GroupId>(base + i));
     slot.members.assign(spec.members.begin(), spec.members.end());
-    slot.tree =
-        std::make_unique<MulticastTree>(*topo_, slot.receiver_hosts());
+    {
+      std::optional<obs::Span> tree_span;
+      ELMO_METRIC(tree_span.emplace(reg, controller_metric_ids().tree_seconds));
+      slot.tree =
+          std::make_unique<MulticastTree>(*topo_, slot.receiver_hosts());
+    }
 
     auto& st = staged[i];
     GroupEncoder::SRuleReservers reservers;
@@ -256,6 +308,17 @@ std::vector<GroupId> Controller::create_groups(
     stats->merge_seconds +=
         std::chrono::duration<double>(merge_end - merge_start).count();
   }
+  ELMO_METRIC({
+    const auto& m = controller_metric_ids();
+    reg.observe(m.encode_seconds, std::chrono::duration<double>(
+                                      merge_start - encode_start)
+                                      .count());
+    reg.observe(m.merge_seconds,
+                std::chrono::duration<double>(merge_end - merge_start).count());
+    reg.add(m.groups_created, specs.size());
+    reg.add(m.speculative_commits, commits);
+    reg.add(m.serial_reencodes, reencodes);
+  });
   return ids;
 }
 
@@ -275,6 +338,7 @@ void Controller::join(GroupId group, const Member& member) {
   const GroupEncoding before = g.encoding;
   const bool downstream_affected = can_receive(member.role);
   g.members.push_back(member);
+  ELMO_METRIC(reg.add(controller_metric_ids().joins));
 
   std::unordered_set<topo::HostId> touched;
   touched.insert(member.host);  // flow rule (plus header template if sender)
@@ -317,6 +381,7 @@ Member Controller::leave_matching(GroupId group, topo::HostId host,
   const Member removed = *it;
   const bool downstream_affected = can_receive(it->role);
   g.members.erase(it);
+  ELMO_METRIC(reg.add(controller_metric_ids().leaves));
 
   std::unordered_set<topo::HostId> touched;
   touched.insert(host);  // flow rule removal
@@ -336,6 +401,7 @@ Member Controller::leave_matching(GroupId group, topo::HostId host,
 
 Controller::FailureImpact Controller::fail_spine(topo::SpineId spine) {
   failures_.fail_spine(spine);
+  ELMO_METRIC(reg.add(controller_metric_ids().failures));
   const auto pod = topo_->pod_of_spine(spine);
   const auto plane = topo_->plane_of_spine(spine);
 
@@ -368,6 +434,7 @@ Controller::FailureImpact Controller::fail_spine(topo::SpineId spine) {
 
 Controller::FailureImpact Controller::fail_core(topo::CoreId core) {
   failures_.fail_core(core);
+  ELMO_METRIC(reg.add(controller_metric_ids().failures));
   const auto plane = topo_->plane_of_core(core);
 
   FailureImpact impact;

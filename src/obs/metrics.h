@@ -1,0 +1,156 @@
+// Fleet telemetry: a lock-cheap metrics registry (counters, gauges,
+// fixed-bucket histograms) with per-thread sharding.
+//
+// Design (DESIGN.md §9):
+//   * Registration (`counter`/`gauge`/`histogram`) returns a stable integer
+//     Id. Registering an existing name returns the existing Id, so
+//     independent modules can share a metric by name.
+//   * Writes go to per-thread shards: each thread owns a private cell per
+//     counter/histogram, cached as a raw pointer in thread-local storage, so
+//     the hot path is one relaxed-atomic add with no locks and no hashing.
+//     The registry mutex is touched only on the first write of a (thread,
+//     metric) pair and on scrape.
+//   * Gauges are registry-level cells (last-write-wins set, or a monotone
+//     `gauge_max` high-water mark); they do not shard.
+//   * `snapshot()` aggregates all shards, invokes registered pull-model
+//     collectors (components export internal counters at scrape time
+//     without paying anything per event), and renders to a Prometheus-style
+//     text exposition or a JSON dump.
+//   * Disabled registries (`set_enabled(false)`) turn every write into a
+//     single relaxed bool load. The global registry starts disabled; benches
+//     enable it when `--metrics=<path>` is given. `ELMO_METRIC(stmt)`
+//     compiles out entirely under -DELMO_NO_METRICS.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace elmo::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+// One aggregated metric at scrape time.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;  // counter / gauge
+  // Histogram only. `buckets` holds per-bucket (non-cumulative) counts, one
+  // per bound plus the trailing +Inf bucket; bucket i counts observations
+  // v <= bounds[i].
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t observations = 0;
+  double sum = 0;
+};
+
+struct Snapshot {
+  double uptime_seconds = 0;  // since registry creation or last reset()
+  std::vector<MetricSample> metrics;  // sorted by name
+
+  // Prometheus text exposition format (HELP/TYPE comments, cumulative
+  // histogram buckets with le labels, _sum/_count series).
+  std::string prometheus() const;
+  // {"uptime_seconds": ..., "metrics": [{...}, ...]} with cumulative
+  // histogram buckets, mirroring the exposition.
+  std::string json() const;
+
+  const MetricSample* find(std::string_view name) const;
+  // Convenience: counter/gauge value, or 0 when absent.
+  double value(std::string_view name) const;
+};
+
+// Pull-model collectors push one-shot samples into this at scrape time.
+class CollectorSink {
+ public:
+  virtual ~CollectorSink() = default;
+  virtual void counter(std::string_view name, double value,
+                       std::string_view help = {}) = 0;
+  virtual void gauge(std::string_view name, double value,
+                     std::string_view help = {}) = 0;
+};
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+
+  explicit MetricsRegistry(bool enabled = true);
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- registration (idempotent by name; kind mismatch throws) ------------
+  Id counter(std::string_view name, std::string_view help = {});
+  Id gauge(std::string_view name, std::string_view help = {});
+  // `bounds` are strictly increasing upper bounds; an implicit +Inf bucket
+  // is appended. Re-registering must pass identical bounds.
+  Id histogram(std::string_view name, std::vector<double> bounds,
+               std::string_view help = {});
+
+  // --- writes (no-ops while disabled) -------------------------------------
+  void add(Id id, std::uint64_t delta = 1);
+  void gauge_set(Id id, double value);
+  void gauge_max(Id id, double value);  // monotone high-water mark
+  void observe(Id id, double value);
+
+  // --- pull-model collectors ----------------------------------------------
+  // Re-registering a name replaces the previous collector. The collector
+  // must stay valid until unregistered (or the registry is destroyed); it
+  // is invoked outside the registry lock.
+  using Collector = std::function<void(CollectorSink&)>;
+  void register_collector(std::string name, Collector fn);
+  void unregister_collector(std::string_view name);
+
+  // --- scrape --------------------------------------------------------------
+  Snapshot snapshot() const;
+  // Zeroes every cell and restarts the uptime clock. Collectors stay.
+  void reset();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Process-wide registry; starts disabled.
+  static MetricsRegistry& global();
+
+ private:
+  struct Impl;
+  friend struct Impl;
+
+  std::atomic<bool> enabled_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Writes `snap` to `path`: "-" means stderr; a ".json" suffix selects the
+// JSON dump, anything else the Prometheus text exposition. Returns false
+// (with a perror-style message on stderr) when the file cannot be written.
+bool write_metrics(const std::string& path, const Snapshot& snap);
+
+// Shared bucket ladder for wall-clock spans: 1µs .. 100s, decades.
+std::vector<double> latency_bounds();
+
+}  // namespace elmo::obs
+
+// Runtime-gated instrumentation statement: `stmt` may refer to the global
+// registry as `reg`. Compiles away entirely under -DELMO_NO_METRICS;
+// otherwise costs one relaxed load while metrics are disabled.
+#if defined(ELMO_NO_METRICS)
+#define ELMO_METRIC(stmt) ((void)0)
+#else
+#define ELMO_METRIC(stmt)                                        \
+  do {                                                           \
+    auto& reg = ::elmo::obs::MetricsRegistry::global();          \
+    if (reg.enabled()) {                                         \
+      stmt;                                                      \
+    }                                                            \
+  } while (0)
+#endif

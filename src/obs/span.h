@@ -1,0 +1,41 @@
+// RAII wall-clock span: observes elapsed seconds into a histogram on
+// destruction. Costs two steady_clock reads when the registry is enabled and
+// nothing (not even a clock read) when it is disabled at construction.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace elmo::obs {
+
+class Span {
+ public:
+  Span(MetricsRegistry& reg, MetricsRegistry::Id hist) noexcept
+      : reg_{&reg}, hist_{hist}, armed_{reg.enabled()} {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~Span() { finish(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Ends the span early; subsequent destruction is a no-op.
+  double finish() noexcept {
+    if (!armed_) return 0;
+    armed_ = false;
+    const auto elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    reg_->observe(hist_, elapsed);
+    return elapsed;
+  }
+
+ private:
+  MetricsRegistry* reg_;
+  MetricsRegistry::Id hist_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace elmo::obs

@@ -1,8 +1,33 @@
 #include "sim/fabric.h"
 
+#include <optional>
 #include <stdexcept>
 
+#include "obs/span.h"
+#include "sim/flight_recorder.h"
+
 namespace elmo::sim {
+
+namespace {
+
+// Global-registry ids, registered once on first use (registration takes the
+// registry lock; the per-send hot path must not).
+struct FabricMetricIds {
+  obs::MetricsRegistry::Id send_seconds;
+  FabricMetricIds() {
+    auto& reg = obs::MetricsRegistry::global();
+    send_seconds = reg.histogram(
+        "elmo_fabric_send_seconds", obs::latency_bounds(),
+        "Wall-clock time of one multicast fabric walk (event-queue drain)");
+  }
+};
+
+FabricMetricIds& fabric_metric_ids() {
+  static FabricMetricIds ids;
+  return ids;
+}
+
+}  // namespace
 
 Fabric::Fabric(const topo::ClosTopology& topology) : topo_{&topology} {
   hypervisors_.reserve(topology.num_hosts());
@@ -99,6 +124,8 @@ void Fabric::account(const NodeRef& from, const NodeRef& to, std::size_t bytes,
   link.bytes += bytes;
   ++result.total_link_transmissions;
   result.total_wire_bytes += bytes;
+  ++walk_stats_.link_transmissions;
+  walk_stats_.wire_bytes += bytes;
 }
 
 NodeRef Fabric::neighbor_of(const NodeRef& node, std::size_t out_port) const {
@@ -138,6 +165,13 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
   if (!encapsulated) return result;
   net::PacketView packet{std::move(*encapsulated)};
 
+  std::optional<obs::Span> span;
+  ELMO_METRIC(span.emplace(reg, fabric_metric_ids().send_seconds));
+  if (recorder_ != nullptr) {
+    recorder_->send_begin(walk_stats_.sends, group.value, src);
+  }
+  ++walk_stats_.sends;
+
   constexpr std::size_t kMaxHops = 8;  // > any Clos path; catches loops
   const NodeRef src_node{topo::Layer::kHost, src};
   const NodeRef first_leaf{topo::Layer::kLeaf, topo_->leaf_of_host(src)};
@@ -146,11 +180,17 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
   queue_.clear();
   if (!lost()) {
     queue_.push_back(WorkItem{first_leaf, std::move(packet), 1});
+    ++walk_stats_.enqueues;
+    walk_stats_.max_queue_depth = std::max<std::uint64_t>(
+        walk_stats_.max_queue_depth, queue_.size());
+  } else {
+    ++walk_stats_.lost_copies;
   }
 
   while (!queue_.empty()) {
     auto item = std::move(queue_.front());
     queue_.pop_front();
+    ++walk_stats_.work_items;
     const bool at_host = item.at.layer == topo::Layer::kHost;
     if (!at_host) {
       result.max_hops = std::max(result.max_hops, item.hops);
@@ -159,26 +199,49 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
       }
     }
 
+    double item_start_us = 0;
+    if (recorder_ != nullptr) item_start_us = recorder_->now_us();
+
     arena_.clear();
     const auto emissions = element(item.at).process(item.packet, 0, arena_);
 
     if (at_host) {
       // Hypervisor emissions are per-VM payload deliveries, not wire hops.
       result.vm_deliveries += emissions.size();
+      walk_stats_.vm_deliveries += emissions.size();
+      if (recorder_ != nullptr) {
+        recorder_->process(item.at, item_start_us,
+                           static_cast<std::uint32_t>(emissions.size()),
+                           static_cast<std::uint32_t>(queue_.size()),
+                           static_cast<std::uint32_t>(item.hops));
+      }
       continue;
     }
     for (auto& emission : emissions) {
       const auto next = neighbor_of(item.at, emission.out_port);
       account(item.at, next, emission.packet.size(), result);
-      if (lost()) continue;
+      if (lost()) {
+        ++walk_stats_.lost_copies;
+        continue;
+      }
       if (next.layer == topo::Layer::kHost) {
         ++result.host_copies[next.id];
+        ++walk_stats_.host_copies;
         queue_.push_back(
             WorkItem{next, std::move(emission.packet), item.hops});
       } else {
         queue_.push_back(
             WorkItem{next, std::move(emission.packet), item.hops + 1});
       }
+      ++walk_stats_.enqueues;
+    }
+    walk_stats_.max_queue_depth = std::max<std::uint64_t>(
+        walk_stats_.max_queue_depth, queue_.size());
+    if (recorder_ != nullptr) {
+      recorder_->process(item.at, item_start_us,
+                         static_cast<std::uint32_t>(emissions.size()),
+                         static_cast<std::uint32_t>(queue_.size()),
+                         static_cast<std::uint32_t>(item.hops));
     }
   }
   return result;
@@ -206,6 +269,7 @@ SendResult Fabric::send_unicast(topo::HostId src, topo::HostId dst,
                                 std::size_t payload_bytes) {
   SendResult result;
   if (src == dst) return result;
+  ++walk_stats_.unicast_sends;
   const auto& t = *topo_;
   const auto wire_bytes = net::kOuterHeaderBytes + payload_bytes;
 
@@ -244,8 +308,103 @@ SendResult Fabric::send_unicast(topo::HostId src, topo::HostId dst,
     }
   }
   result.max_hops = path.size() - 2;
-  if (delivered) ++result.host_copies[dst];
+  if (delivered) {
+    ++result.host_copies[dst];
+  } else {
+    ++walk_stats_.lost_copies;
+  }
   return result;
+}
+
+dp::SwitchStats Fabric::aggregate_switch_stats(topo::Layer layer) const {
+  dp::SwitchStats total;
+  const auto* pool = layer == topo::Layer::kLeaf    ? &leaves_
+                     : layer == topo::Layer::kSpine ? &spines_
+                                                    : &cores_;
+  for (const auto& sw : *pool) total += sw->stats();
+  return total;
+}
+
+dp::HypervisorStats Fabric::aggregate_hypervisor_stats() const {
+  dp::HypervisorStats total;
+  for (const auto& hv : hypervisors_) total += hv->stats();
+  return total;
+}
+
+void accumulate_fabric_metrics(const Fabric& fabric,
+                               obs::MetricsRegistry& reg) {
+  auto add = [&reg](std::string_view name, std::uint64_t value,
+                    std::string_view help) {
+    const auto id = reg.counter(name, help);
+    if (value > 0) reg.add(id, value);
+  };
+
+  struct LayerName {
+    topo::Layer layer;
+    const char* tag;
+  };
+  for (const auto& [layer, tag] : {LayerName{topo::Layer::kLeaf, "leaf"},
+                                   LayerName{topo::Layer::kSpine, "spine"},
+                                   LayerName{topo::Layer::kCore, "core"}}) {
+    const auto s = fabric.aggregate_switch_stats(layer);
+    const std::string p = std::string{"elmo_dp_"} + tag + "_";
+    add(p + "packets_in_total", s.packets_in, "Packets entering the pipeline");
+    add(p + "bytes_in_total", s.bytes_in, "Bytes entering the pipeline");
+    add(p + "copies_out_total", s.copies_out, "Replicated copies emitted");
+    add(p + "bytes_out_total", s.bytes_out, "Bytes emitted across all copies");
+    add(p + "prule_matches_total", s.prule_matches,
+        "Packets forwarded via a parser-matched p-rule bitmap");
+    add(p + "upstream_matches_total", s.upstream_matches,
+        "Packets forwarded via the layer's upstream rule");
+    add(p + "srule_matches_total", s.srule_matches,
+        "Packets forwarded via a group-table s-rule");
+    add(p + "default_matches_total", s.default_matches,
+        "Packets that fell back to the default p-rule");
+    add(p + "drops_total", s.drops, "Packets dropped (no rule, or switch down)");
+    add(p + "header_pops_total", s.header_pops,
+        "Copies whose consumed Elmo sections were invalidated");
+    add(p + "header_pop_bytes_total", s.header_pop_bytes,
+        "Elmo header bytes removed by pops");
+  }
+
+  const auto h = fabric.aggregate_hypervisor_stats();
+  add("elmo_dp_host_sent_total", h.sent, "Multicast packets encapsulated");
+  add("elmo_dp_host_bytes_sent_total", h.bytes_sent,
+      "Encapsulated bytes handed to the wire");
+  add("elmo_dp_host_received_total", h.received,
+      "Fabric packets received by hypervisors");
+  add("elmo_dp_host_bytes_received_total", h.bytes_received,
+      "Bytes received by hypervisors");
+  add("elmo_dp_host_vm_deliveries_total", h.delivered_to_vms,
+      "Per-VM payload deliveries");
+  add("elmo_dp_host_delivered_bytes_total", h.delivered_bytes,
+      "Payload bytes handed to local VMs");
+  add("elmo_dp_host_redundant_copies_total", h.discarded,
+      "Copies received by hosts with no local members (redundancy)");
+  add("elmo_dp_host_unicast_fallback_total", h.unicast_fallback,
+      "Sends that fell back to per-member unicast");
+
+  const auto& w = fabric.walk_stats();
+  add("elmo_fabric_sends_total", w.sends, "Multicast walks started");
+  add("elmo_fabric_unicast_sends_total", w.unicast_sends,
+      "Unicast path walks");
+  add("elmo_fabric_work_items_total", w.work_items,
+      "Event-queue entries processed");
+  add("elmo_fabric_enqueues_total", w.enqueues, "Event-queue entries pushed");
+  add("elmo_fabric_vm_deliveries_total", w.vm_deliveries,
+      "VM deliveries observed by the walk");
+  add("elmo_fabric_host_copies_total", w.host_copies,
+      "Copies delivered to host ports");
+  add("elmo_fabric_link_transmissions_total", w.link_transmissions,
+      "Per-link transmissions accounted");
+  add("elmo_fabric_wire_bytes_total", w.wire_bytes,
+      "Bytes placed on the wire");
+  add("elmo_fabric_lost_copies_total", w.lost_copies,
+      "Copies dropped by the loss model");
+  const auto depth_id = reg.gauge(
+      "elmo_fabric_max_queue_depth",
+      "High-water mark of pending event-queue items");
+  reg.gauge_max(depth_id, static_cast<double>(w.max_queue_depth));
 }
 
 }  // namespace elmo::sim

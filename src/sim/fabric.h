@@ -24,6 +24,7 @@
 #include "dataplane/forwarding.h"
 #include "dataplane/hypervisor_switch.h"
 #include "dataplane/network_switch.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "elmo/controller.h"
 #include "net/headers.h"
@@ -32,6 +33,8 @@
 #include "topology/clos.h"
 
 namespace elmo::sim {
+
+class FlightRecorder;
 
 // One endpoint of the walk: either a network switch or a host hypervisor.
 struct NodeRef {
@@ -54,6 +57,22 @@ struct SendResult {
   std::uint64_t total_wire_bytes = 0;
   std::uint64_t total_link_transmissions = 0;
   std::size_t max_hops = 0;  // longest switch path the packet took
+};
+
+// Aggregate event-queue activity across every send since construction (or
+// reset_walk_stats()). Complements per-element SwitchStats/HypervisorStats
+// with walk-level totals the queue itself observes.
+struct FabricWalkStats {
+  std::uint64_t sends = 0;              // multicast walks started
+  std::uint64_t unicast_sends = 0;
+  std::uint64_t work_items = 0;         // queue entries processed
+  std::uint64_t enqueues = 0;
+  std::uint64_t max_queue_depth = 0;    // high-water mark of pending items
+  std::uint64_t vm_deliveries = 0;
+  std::uint64_t host_copies = 0;
+  std::uint64_t link_transmissions = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t lost_copies = 0;        // dropped by the loss model
 };
 
 // One multicast send for Fabric::send_batch.
@@ -117,6 +136,21 @@ class Fabric {
     loss_rng_.reseed(seed);
   }
 
+  // Optional flight recorder (nullptr detaches). Not owned; must outlive the
+  // sends it observes. A detached fabric pays one pointer test per work item.
+  void set_recorder(FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  FlightRecorder* recorder() const noexcept { return recorder_; }
+
+  const FabricWalkStats& walk_stats() const noexcept { return walk_stats_; }
+  void reset_walk_stats() noexcept { walk_stats_ = FabricWalkStats{}; }
+
+  // Sums per-element stats over every switch of `layer` (kLeaf/kSpine/kCore)
+  // or every hypervisor.
+  dp::SwitchStats aggregate_switch_stats(topo::Layer layer) const;
+  dp::HypervisorStats aggregate_hypervisor_stats() const;
+
  private:
   // FIFO event-queue entry: a packet replica arriving at a node. `hops`
   // counts switch traversals (host deliveries keep the emitting switch's
@@ -140,10 +174,19 @@ class Fabric {
   std::map<std::pair<NodeRef, NodeRef>, LinkStats> links_;
   double loss_rate_ = 0.0;
   util::Rng loss_rng_{1};
+  FabricWalkStats walk_stats_;
+  FlightRecorder* recorder_ = nullptr;
 
   // Walk state, reused across sends (capacity persists, contents do not).
   std::deque<WorkItem> queue_;
   dp::EmissionArena arena_;
 };
+
+// One-shot export: registers the telemetry names (idempotent) and adds the
+// fabric's *current* per-element and walk totals into `reg`. Call once per
+// fabric at the end of a run — calling again adds the totals again. Suits
+// short-lived fabrics (bench iterations, fuzz scenarios) where a live
+// pull-model collector would dangle after the fabric dies.
+void accumulate_fabric_metrics(const Fabric& fabric, obs::MetricsRegistry& reg);
 
 }  // namespace elmo::sim

@@ -1,0 +1,121 @@
+#include "sim/flight_recorder.h"
+
+#include <cstdio>
+
+#include "sim/mtrace.h"
+
+namespace elmo::sim {
+namespace {
+
+std::string fmt_us(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  return buf;
+}
+
+// Track ids: one synthetic "thread" per fabric layer keeps the timeline
+// readable (hosts, leaves, spines, cores stack as separate rows).
+int tid_of(const NodeRef& node) { return static_cast<int>(node.layer); }
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t max_events)
+    : max_events_{max_events}, origin_{std::chrono::steady_clock::now()} {
+  events_.reserve(std::min<std::size_t>(max_events_, 4096));
+}
+
+double FlightRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void FlightRecorder::send_begin(std::uint64_t send_index, std::uint32_t group,
+                                std::uint32_t src_host) {
+  if (full()) return;
+  Event e;
+  e.type = Event::Type::kSend;
+  e.ts_us = now_us();
+  e.a = group;
+  e.b = src_host;
+  e.c = send_index;
+  events_.push_back(e);
+}
+
+void FlightRecorder::process(const NodeRef& node, double start_us,
+                             std::uint32_t fanout, std::uint32_t queue_depth,
+                             std::uint32_t hop) {
+  if (full()) return;
+  Event e;
+  e.type = Event::Type::kProcess;
+  e.node = node;
+  e.ts_us = start_us;
+  e.dur_us = now_us() - start_us;
+  e.a = fanout;
+  e.b = queue_depth;
+  e.c = hop;
+  events_.push_back(e);
+}
+
+void FlightRecorder::clear() {
+  events_.clear();
+  dropped_ = 0;
+  origin_ = std::chrono::steady_clock::now();
+}
+
+std::string FlightRecorder::chrome_trace_json() const {
+  std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& obj) {
+    if (!first) out += ",\n";
+    first = false;
+    out += obj;
+  };
+  emit(R"({"name": "process_name", "ph": "M", "pid": 1, )"
+       R"("args": {"name": "elmo fabric walk"}})");
+  const char* layer_names[] = {"hosts", "leaves", "spines", "cores"};
+  for (int t = 0; t < 4; ++t) {
+    emit(R"({"name": "thread_name", "ph": "M", "pid": 1, "tid": )" +
+         std::to_string(t) + R"(, "args": {"name": ")" + layer_names[t] +
+         "\"}}");
+  }
+  for (const auto& e : events_) {
+    if (e.type == Event::Type::kSend) {
+      emit(R"({"name": "send", "ph": "i", "s": "g", "pid": 1, "tid": 0, )"
+           R"("ts": )" +
+           fmt_us(e.ts_us) + R"(, "args": {"send_index": )" +
+           std::to_string(e.c) + R"(, "group": )" + std::to_string(e.a) +
+           R"(, "src_host": )" + std::to_string(e.b) + "}}");
+      continue;
+    }
+    emit(R"({"name": ")" + to_string(e.node) +
+         R"(", "ph": "X", "pid": 1, "tid": )" +
+         std::to_string(tid_of(e.node)) + R"(, "ts": )" + fmt_us(e.ts_us) +
+         R"(, "dur": )" + fmt_us(e.dur_us) + R"(, "args": {"fanout": )" +
+         std::to_string(e.a) + R"(, "queue_depth": )" + std::to_string(e.b) +
+         R"(, "hop": )" + std::to_string(e.c) + "}}");
+    emit(R"({"name": "queue_depth", "ph": "C", "pid": 1, "ts": )" +
+         fmt_us(e.ts_us + e.dur_us) + R"(, "args": {"depth": )" +
+         std::to_string(e.b) + "}}");
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool FlightRecorder::write(const std::string& path) const {
+  const auto text = chrome_trace_json();
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FlightRecorder: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace elmo::sim

@@ -1,0 +1,74 @@
+// Fabric flight recorder: an optional, bounded in-memory log of event-queue
+// activity (per-node processing spans, queue depth, per-hop fan-out, send
+// boundaries) that exports chrome://tracing JSON — load the file at
+// chrome://tracing or https://ui.perfetto.dev to see the walk on a timeline.
+//
+// Recording is strictly opt-in: a Fabric with no recorder attached pays one
+// null-pointer test per work item. Timestamps are microseconds relative to
+// recorder construction (or the last clear()), taken from steady_clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fabric.h"
+
+namespace elmo::sim {
+
+class FlightRecorder {
+ public:
+  // `max_events` bounds memory; past it new events are counted in dropped()
+  // and discarded.
+  explicit FlightRecorder(std::size_t max_events = std::size_t{1} << 20);
+
+  // Microseconds since construction / last clear(). Callers sample this
+  // before a unit of work and hand it back to process().
+  double now_us() const;
+
+  // A new multicast send enters the fabric.
+  void send_begin(std::uint64_t send_index, std::uint32_t group,
+                  std::uint32_t src_host);
+  // One work item was processed at `node`: started at `start_us` (from
+  // now_us()), emitted `fanout` copies, with `queue_depth` items still
+  // pending and `hop` switch traversals so far.
+  void process(const NodeRef& node, double start_us, std::uint32_t fanout,
+               std::uint32_t queue_depth, std::uint32_t hop);
+
+  void clear();
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+  // Chrome trace-event JSON ("X" duration events per work item with
+  // fanout/queue-depth/hop args, "C" counter track for queue depth, "i"
+  // instants at send boundaries).
+  std::string chrome_trace_json() const;
+
+  bool write(const std::string& path) const;
+
+ private:
+  struct Event {
+    enum class Type : std::uint8_t { kSend, kProcess };
+    Type type = Type::kProcess;
+    NodeRef node;
+    double ts_us = 0;
+    double dur_us = 0;
+    std::uint32_t a = 0;  // send: group      | process: fanout
+    std::uint32_t b = 0;  // send: src host   | process: queue depth
+    std::uint64_t c = 0;  // send: send index | process: hop
+  };
+
+  bool full() {
+    if (events_.size() < max_events_) return false;
+    ++dropped_;
+    return true;
+  }
+
+  std::size_t max_events_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace elmo::sim

@@ -24,9 +24,51 @@ MtraceReport mtrace(Fabric& fabric, const elmo::Controller& controller,
                     std::size_t payload_bytes) {
   const auto& g = controller.group(group);
   fabric.reset_link_stats();
+
+  // Per-element counter snapshot before the probe; the report carries the
+  // delta, i.e. what this one packet did.
+  const auto leaves_before = fabric.aggregate_switch_stats(topo::Layer::kLeaf);
+  const auto spines_before =
+      fabric.aggregate_switch_stats(topo::Layer::kSpine);
+  const auto cores_before = fabric.aggregate_switch_stats(topo::Layer::kCore);
+  const auto hosts_before = fabric.aggregate_hypervisor_stats();
+
   const auto result = fabric.send(sender, g.address, payload_bytes);
 
+  auto switch_delta = [](dp::SwitchStats after, const dp::SwitchStats& before) {
+    after.packets_in -= before.packets_in;
+    after.bytes_in -= before.bytes_in;
+    after.copies_out -= before.copies_out;
+    after.bytes_out -= before.bytes_out;
+    after.prule_matches -= before.prule_matches;
+    after.upstream_matches -= before.upstream_matches;
+    after.srule_matches -= before.srule_matches;
+    after.default_matches -= before.default_matches;
+    after.drops -= before.drops;
+    after.header_pops -= before.header_pops;
+    after.header_pop_bytes -= before.header_pop_bytes;
+    return after;
+  };
+
   MtraceReport report;
+  report.counters.leaves = switch_delta(
+      fabric.aggregate_switch_stats(topo::Layer::kLeaf), leaves_before);
+  report.counters.spines = switch_delta(
+      fabric.aggregate_switch_stats(topo::Layer::kSpine), spines_before);
+  report.counters.cores = switch_delta(
+      fabric.aggregate_switch_stats(topo::Layer::kCore), cores_before);
+  {
+    auto h = fabric.aggregate_hypervisor_stats();
+    h.sent -= hosts_before.sent;
+    h.bytes_sent -= hosts_before.bytes_sent;
+    h.received -= hosts_before.received;
+    h.bytes_received -= hosts_before.bytes_received;
+    h.delivered_to_vms -= hosts_before.delivered_to_vms;
+    h.delivered_bytes -= hosts_before.delivered_bytes;
+    h.discarded -= hosts_before.discarded;
+    h.unicast_fallback -= hosts_before.unicast_fallback;
+    report.counters.hypervisors = h;
+  }
   report.total_wire_bytes = result.total_wire_bytes;
   report.max_depth = result.max_hops + 1;
   for (const auto& [host, copies] : result.host_copies) {
@@ -75,6 +117,21 @@ std::string MtraceReport::render() const {
     out << std::string(2 * hop.depth, ' ') << to_string(hop.from) << " -> "
         << to_string(hop.to) << "  (" << hop.bytes << "B on wire)\n";
   }
+  auto layer_line = [&out](const char* name, const dp::SwitchStats& s) {
+    if (s.packets_in == 0) return;
+    out << "  " << name << ": " << s.packets_in << " in, " << s.copies_out
+        << " out, " << s.prule_matches << " p-rule, " << s.upstream_matches
+        << " upstream, " << s.srule_matches << " s-rule, "
+        << s.default_matches << " default, " << s.drops << " drops, "
+        << s.header_pops << " pops (" << s.header_pop_bytes << "B)\n";
+  };
+  out << "counters (probe delta):\n";
+  layer_line("leaf ", counters.leaves);
+  layer_line("spine", counters.spines);
+  layer_line("core ", counters.cores);
+  const auto& h = counters.hypervisors;
+  out << "  host : " << h.received << " received, " << h.delivered_to_vms
+      << " VM deliveries, " << h.discarded << " discarded\n";
   return out.str();
 }
 

@@ -24,12 +24,25 @@ struct MtraceHop {
   std::size_t depth = 0;      // hops from the sender
 };
 
+// What the probe alone did to the per-element counters: fleet-wide
+// SwitchStats summed over each switch layer, plus hypervisor deltas. The
+// delta view turns the aggregate telemetry (DESIGN.md §9) into a per-probe
+// diagnosis — e.g. default_matches > 0 means this group's header did not
+// cover some switch and the probe fell back to the default p-rule there.
+struct MtraceCounters {
+  dp::SwitchStats leaves;
+  dp::SwitchStats spines;
+  dp::SwitchStats cores;
+  dp::HypervisorStats hypervisors;
+};
+
 struct MtraceReport {
   std::vector<MtraceHop> hops;        // breadth-first order
   std::size_t members_reached = 0;
   std::size_t redundant_copies = 0;   // non-member hosts hit
   std::size_t max_depth = 0;
   std::uint64_t total_wire_bytes = 0;
+  MtraceCounters counters;            // probe-only deltas
 
   // Human-readable tree rendering.
   std::string render() const;

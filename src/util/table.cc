@@ -9,8 +9,15 @@
 namespace elmo::util {
 
 TextTable::TextTable(std::vector<std::string> header)
-    : header_{std::move(header)} {
+    : header_{std::move(header)}, aligns_(header_.size(), Align::kLeft) {
   if (header_.empty()) throw std::invalid_argument{"TextTable: empty header"};
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (column >= header_.size()) {
+    throw std::out_of_range{"TextTable::set_align: no such column"};
+  }
+  aligns_[column] = align;
 }
 
 void TextTable::add_row(std::vector<std::string> cells) {
@@ -29,10 +36,12 @@ std::string TextTable::render() const {
     }
   }
   std::ostringstream out;
-  auto emit_row = [&](const std::vector<std::string>& row) {
+  auto emit_row = [&](const std::vector<std::string>& row, bool is_header) {
     out << "|";
     for (std::size_t c = 0; c < widths.size(); ++c) {
-      out << " " << std::left << std::setw(static_cast<int>(widths[c]))
+      const bool right = !is_header && aligns_[c] == Align::kRight;
+      out << " " << (right ? std::right : std::left)
+          << std::setw(static_cast<int>(widths[c]))
           << (c < row.size() ? row[c] : "") << " |";
     }
     out << "\n";
@@ -43,9 +52,9 @@ std::string TextTable::render() const {
     out << "\n";
   };
   emit_rule();
-  emit_row(header_);
+  emit_row(header_, /*is_header=*/true);
   emit_rule();
-  for (const auto& row : rows_) emit_row(row);
+  for (const auto& row : rows_) emit_row(row, /*is_header=*/false);
   emit_rule();
   return out.str();
 }
@@ -88,6 +97,10 @@ std::string TextTable::fmt_si(double v, int precision) {
 
 std::string TextTable::fmt_pct(double fraction, int precision) {
   return fmt(fraction * 100.0, precision) + "%";
+}
+
+std::string TextTable::fmt_rate(double per_sec, int precision) {
+  return fmt_si(per_sec, precision) + "/s";
 }
 
 }  // namespace elmo::util

@@ -9,9 +9,14 @@ namespace elmo::util {
 
 class TextTable {
  public:
+  enum class Align : std::uint8_t { kLeft, kRight };
+
   explicit TextTable(std::vector<std::string> header);
 
   void add_row(std::vector<std::string> cells);
+  // Alignment of one column's cells (default kLeft). Numeric/rate columns
+  // read best right-aligned so magnitudes line up.
+  void set_align(std::size_t column, Align align);
   std::string render() const;
 
   // Formatting helpers shared by benches.
@@ -19,9 +24,11 @@ class TextTable {
   static std::string fmt_count(std::uint64_t v);      // 12,345,678
   static std::string fmt_si(double v, int precision = 1);  // 1.2M, 3.4K
   static std::string fmt_pct(double fraction, int precision = 1);
+  static std::string fmt_rate(double per_sec, int precision = 1);  // 1.2M/s
 
  private:
   std::vector<std::string> header_;
+  std::vector<Align> aligns_;
   std::vector<std::vector<std::string>> rows_;
 };
 

@@ -2,10 +2,45 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace elmo::util {
 namespace {
+
+struct PoolMetricIds {
+  obs::MetricsRegistry::Id loops;
+  obs::MetricsRegistry::Id iterations;
+  obs::MetricsRegistry::Id steals;
+  obs::MetricsRegistry::Id loop_seconds;
+  obs::MetricsRegistry::Id executors;
+  obs::MetricsRegistry::Id max_pending;
+  PoolMetricIds() {
+    auto& reg = obs::MetricsRegistry::global();
+    loops = reg.counter("elmo_threadpool_loops_total",
+                        "parallel_for invocations dispatched to workers");
+    iterations = reg.counter("elmo_threadpool_iterations_total",
+                             "Loop iterations executed across all workers");
+    steals = reg.counter("elmo_threadpool_steals_total",
+                         "Range halves stolen from other executors");
+    loop_seconds = reg.histogram(
+        "elmo_threadpool_loop_seconds", obs::latency_bounds(),
+        "Wall-clock time of one parallel_for (submit to drain)");
+    executors = reg.gauge("elmo_threadpool_executors",
+                          "Executors (workers + caller) of the pool");
+    max_pending = reg.gauge(
+        "elmo_threadpool_max_pending_iterations",
+        "High-water mark of iterations pending at loop submission");
+  }
+};
+
+PoolMetricIds& pool_metric_ids() {
+  static PoolMetricIds ids;
+  return ids;
+}
 
 // Each executor's pending slice, packed (lo << 32) | hi so pop and steal are
 // single CAS operations. Iteration spaces are therefore capped at 2^32.
@@ -108,6 +143,7 @@ void ThreadPool::run_loop(Loop& loop, std::size_t executor) {
                 v, pack(range_lo(v), mid), std::memory_order_acq_rel)) {
           // [mid, hi) is ours now; only this executor stores to its slot.
           own.store(pack(mid, range_hi(v)), std::memory_order_release);
+          ELMO_METRIC(reg.add(pool_metric_ids().steals));
           break;
         }
       }
@@ -165,6 +201,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
 
   std::lock_guard submit{submit_mutex_};
+  std::optional<obs::Span> span;
+  ELMO_METRIC({
+    const auto& m = pool_metric_ids();
+    reg.add(m.loops);
+    reg.add(m.iterations, count);
+    reg.gauge_set(m.executors, static_cast<double>(executors_));
+    reg.gauge_max(m.max_pending, static_cast<double>(count));
+    span.emplace(reg, m.loop_seconds);
+  });
   Loop loop{executors_};
   loop.body = &body;
   for (std::size_t e = 0; e < executors_; ++e) {

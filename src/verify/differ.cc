@@ -7,7 +7,9 @@
 
 #include "dataplane/common.h"
 #include "elmo/evaluator.h"
+#include "obs/metrics.h"
 #include "sim/fabric.h"
+#include "sim/flight_recorder.h"
 #include "verify/oracle.h"
 
 namespace elmo::verify {
@@ -57,7 +59,8 @@ std::string describe(const Member& m) {
 
 class Runner {
  public:
-  Runner(const Scenario& scenario, Mutation mutation)
+  Runner(const Scenario& scenario, Mutation mutation,
+         const RunObservability* observability)
       : sc_{scenario},
         mutation_{mutation},
         topo_{scenario.params},
@@ -66,27 +69,40 @@ class Runner {
         legacy_{scenario.legacy_leaves},
         oracle_{topo_, scenario.legacy_leaves} {
     if (!legacy_.empty()) legacy_.resize(topo_.num_leaves(), false);
+    if (observability != nullptr) {
+      registry_ = observability->registry;
+      fabric_.set_recorder(observability->recorder);
+    }
   }
 
   RunReport run() {
     try {
       setup();
-      if (failed_) return report_;
+      if (failed_) return finish();
       for (std::size_t i = 0; i < sc_.events.size(); ++i) {
         step(i, sc_.events[i]);
         ++report_.events_run;
-        if (failed_) return report_;
+        if (failed_) return finish();
       }
     } catch (const std::exception& ex) {
       fail(std::string{"exception: "} + ex.what());
-      return report_;
+      return finish();
     }
     report_.ok = true;
     report_.applied = applied_;
-    return report_;
+    return finish();
   }
 
  private:
+  // The fabric's totals flow into the registry exactly once, whether the
+  // run passed, diverged, or threw.
+  RunReport finish() {
+    if (registry_ != nullptr) {
+      accumulate_fabric_metrics(fabric_, *registry_);
+    }
+    return report_;
+  }
+
   void fail(std::string message) {
     if (failed_) return;
     failed_ = true;
@@ -493,6 +509,7 @@ class Runner {
   topo::ClosTopology topo_;
   Controller controller_;
   sim::Fabric fabric_;
+  obs::MetricsRegistry* registry_ = nullptr;
   std::vector<bool> legacy_;
   DeliveryOracle oracle_;
   std::vector<GroupId> ids_;
@@ -512,8 +529,9 @@ class Runner {
 
 }  // namespace
 
-RunReport run_scenario(const Scenario& scenario, Mutation mutation) {
-  Runner runner{scenario, mutation};
+RunReport run_scenario(const Scenario& scenario, Mutation mutation,
+                       const RunObservability* observability) {
+  Runner runner{scenario, mutation, observability};
   return runner.run();
 }
 

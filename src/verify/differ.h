@@ -22,6 +22,13 @@
 
 #include "verify/scenario.h"
 
+namespace elmo::obs {
+class MetricsRegistry;
+}
+namespace elmo::sim {
+class FlightRecorder;
+}
+
 namespace elmo::verify {
 
 enum class Mutation : std::uint8_t {
@@ -68,7 +75,17 @@ struct RunReport {
   std::size_t sends_checked = 0;
 };
 
+// Optional telemetry taps for one run (DESIGN.md §9). Both may be null.
+// `recorder` is attached to the scenario's fabric for the whole run; the
+// registry receives the fabric's per-element and walk totals when the run
+// finishes (accumulate_fabric_metrics — one shot per run).
+struct RunObservability {
+  obs::MetricsRegistry* registry = nullptr;
+  sim::FlightRecorder* recorder = nullptr;
+};
+
 RunReport run_scenario(const Scenario& scenario,
-                       Mutation mutation = Mutation::kNone);
+                       Mutation mutation = Mutation::kNone,
+                       const RunObservability* observability = nullptr);
 
 }  // namespace elmo::verify

@@ -71,6 +71,29 @@ TEST_F(MtraceFixture, RenderMentionsEveryLayer) {
   EXPECT_NE(text.find("members reached"), std::string::npos);
 }
 
+TEST_F(MtraceFixture, CounterDeltasCoverTheProbe) {
+  const auto id = make_group({0, 1, 17});
+  // Pre-probe traffic must not leak into the delta.
+  (void)fabric.send(0, controller.group(id).address, std::size_t{64});
+  const auto report = mtrace(fabric, controller, id, 0, 64);
+
+  // One probe: the sender's leaf sees it once, every delivery fans out of a
+  // hypervisor, and nothing is dropped on a healthy fabric.
+  const auto& c = report.counters;
+  EXPECT_GE(c.leaves.packets_in, 1u);
+  EXPECT_GE(c.leaves.copies_out, 2u);  // host1 (same rack) + spine path
+  EXPECT_GT(c.leaves.bytes_in, 0u);
+  EXPECT_GT(c.leaves.bytes_out, 0u);
+  EXPECT_EQ(c.leaves.drops, 0u);
+  EXPECT_EQ(c.hypervisors.received, report.members_reached);
+  EXPECT_EQ(c.hypervisors.delivered_to_vms, report.members_reached);
+  // Cross-pod probe traverses spines, so the pop accounting must move.
+  EXPECT_GT(c.leaves.header_pops + c.spines.header_pops, 0u);
+
+  const auto text = report.render();
+  EXPECT_NE(text.find("counters (probe delta):"), std::string::npos);
+}
+
 TEST_F(MtraceFixture, RedundantCopiesAttributed) {
   // Force default-rule spurious deliveries with a tiny header budget.
   elmo::EncoderConfig cfg;

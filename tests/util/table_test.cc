@@ -52,5 +52,32 @@ TEST(TextTable, FmtPct) {
   EXPECT_EQ(TextTable::fmt_pct(1.0, 0), "100%");
 }
 
+TEST(TextTable, FmtRateAppendsPerSecond) {
+  EXPECT_EQ(TextTable::fmt_rate(950, 0), "950/s");
+  EXPECT_EQ(TextTable::fmt_rate(1500), "1.5K/s");
+  EXPECT_EQ(TextTable::fmt_rate(2.5e6, 1), "2.5M/s");
+  EXPECT_EQ(TextTable::fmt_rate(3.2e9, 1), "3.2G/s");
+}
+
+TEST(TextTable, RightAlignedColumns) {
+  TextTable table{{"name", "rate"}};
+  table.set_align(1, TextTable::Align::kRight);
+  table.add_row({"sends", "1.5K/s"});
+  table.add_row({"walks", "950/s"});
+  const auto out = table.render();
+  // Right-aligned data cells get their padding on the left; the shorter rate
+  // must therefore appear with leading spaces before the closing separator.
+  EXPECT_NE(out.find("| sends | 1.5K/s |"), std::string::npos);
+  EXPECT_NE(out.find("| walks |  950/s |"), std::string::npos);
+  // Header row stays left-aligned.
+  EXPECT_NE(out.find("| rate   |"), std::string::npos);
+}
+
+TEST(TextTable, SetAlignRejectsBadColumn) {
+  TextTable table{{"a"}};
+  EXPECT_THROW(table.set_align(1, TextTable::Align::kRight),
+               std::out_of_range);
+}
+
 }  // namespace
 }  // namespace elmo::util

@@ -4,7 +4,10 @@
 // each generated scenario through the full pipeline (Controller encode ->
 // header codec -> sim::Fabric walk), and diffs every observable against the
 // set-based DeliveryOracle. The first divergence prints its seed, shrinks to
-// a minimal repro, and emits a ready-to-paste GoogleTest fixture.
+// a minimal repro, and emits a ready-to-paste GoogleTest fixture — plus,
+// alongside it, the failing scenario's metrics snapshot and flight-recorder
+// trace (fuzz_seed_<N>.metrics.prom / .metrics.json / .trace.json), so
+// triage starts from counters instead of a rerun.
 //
 // Mutation mode (--mutate=1) validates the harness itself: every known
 // fault in the catalog is seeded into the pipeline and MUST be caught by
@@ -12,17 +15,24 @@
 // a blind spot and the run fails.
 //
 // Flags (KEY=VALUE, --key=value, or ELMO_<KEY> env):
-//   --seeds=N      seeds to walk (default 50)
-//   --base_seed=N  first seed (default 1)
-//   --seed=N       run exactly one seed (overrides --seeds)
-//   --mutate=1     run the mutation self-check instead of plain fuzzing
-//   --shrink=0     disable shrinking on failure
-//   --verbose=1    per-seed progress lines
+//   --seeds=N        seeds to walk (default 50)
+//   --base_seed=N    first seed (default 1)
+//   --seed=N         run exactly one seed (overrides --seeds)
+//   --mutate=1       run the mutation self-check instead of plain fuzzing
+//   --shrink=0       disable shrinking on failure
+//   --verbose=1      per-seed progress lines
+//   --metrics=<path> aggregate telemetry over the whole campaign; written at
+//                    exit ("-" = stderr, ".json" = JSON dump)
+//   --trace=<path>   single-seed replay only: record the fabric walk as
+//                    chrome://tracing JSON
+//   --artifacts=DIR  where failing-seed dumps land (default ".")
 //
 // Replaying a CI failure: tools/fuzz_pipeline --seed=<reported seed>
 #include <cstdio>
 #include <string>
 
+#include "obs/metrics.h"
+#include "sim/flight_recorder.h"
 #include "util/flags.h"
 #include "verify/differ.h"
 #include "verify/scenario.h"
@@ -31,17 +41,46 @@
 namespace {
 
 using elmo::verify::Mutation;
+using elmo::verify::RunObservability;
 using elmo::verify::RunReport;
 using elmo::verify::Scenario;
 
+struct Options {
+  bool do_shrink = true;
+  bool verbose = false;
+  std::string metrics;    // campaign-wide exposition path; empty = off
+  std::string trace;      // single-seed replay trace path; empty = off
+  std::string artifacts = ".";
+};
+
+// Re-runs the failing scenario with a private registry + recorder and dumps
+// snapshot and trace next to the shrunken fixture.
+void dump_failure_artifacts(const Scenario& scenario, const Options& opt) {
+  elmo::obs::MetricsRegistry registry{/*enabled=*/true};
+  elmo::sim::FlightRecorder recorder;
+  RunObservability observability{&registry, &recorder};
+  (void)elmo::verify::run_scenario(scenario, Mutation::kNone, &observability);
+
+  const auto stem = opt.artifacts + "/fuzz_seed_" +
+                    std::to_string(scenario.seed);
+  const auto snap = registry.snapshot();
+  elmo::obs::write_metrics(stem + ".metrics.prom", snap);
+  elmo::obs::write_metrics(stem + ".metrics.json", snap);
+  recorder.write(stem + ".trace.json");
+  std::printf("failure artifacts: %s.metrics.prom, %s.metrics.json, "
+              "%s.trace.json\n",
+              stem.c_str(), stem.c_str(), stem.c_str());
+}
+
 void report_failure(const Scenario& scenario, const RunReport& report,
-                    bool do_shrink) {
+                    const Options& opt) {
   std::printf("FAIL seed=%llu: %s\n",
               static_cast<unsigned long long>(scenario.seed),
               report.failure.c_str());
   std::printf("replay: tools/fuzz_pipeline --seed=%llu\n",
               static_cast<unsigned long long>(scenario.seed));
-  if (!do_shrink) return;
+  dump_failure_artifacts(scenario, opt);
+  if (!opt.do_shrink) return;
   const auto minimal = elmo::verify::shrink(scenario);
   const auto shrunk = elmo::verify::run_scenario(minimal);
   std::printf("shrunk to %zu group(s), %zu event(s): %s\n",
@@ -51,19 +90,29 @@ void report_failure(const Scenario& scenario, const RunReport& report,
               elmo::verify::to_fixture(minimal).c_str());
 }
 
-int run_plain(std::uint64_t base, std::size_t seeds, bool do_shrink,
-              bool verbose) {
+int run_plain(std::uint64_t base, std::size_t seeds, const Options& opt) {
+  elmo::obs::MetricsRegistry* registry = nullptr;
+  if (!opt.metrics.empty()) {
+    registry = &elmo::obs::MetricsRegistry::global();
+    registry->set_enabled(true);
+  }
+  elmo::sim::FlightRecorder recorder;
+  const bool trace_on = !opt.trace.empty() && seeds == 1;
+
   std::size_t sends = 0;
   for (std::size_t i = 0; i < seeds; ++i) {
     const std::uint64_t seed = base + i;
     const auto scenario = elmo::verify::generate_scenario(seed);
-    const auto report = elmo::verify::run_scenario(scenario);
+    RunObservability observability{registry, trace_on ? &recorder : nullptr};
+    const auto report = elmo::verify::run_scenario(
+        scenario, Mutation::kNone,
+        (registry != nullptr || trace_on) ? &observability : nullptr);
     if (!report.ok) {
-      report_failure(scenario, report, do_shrink);
+      report_failure(scenario, report, opt);
       return 1;
     }
     sends += report.sends_checked;
-    if (verbose) {
+    if (opt.verbose) {
       std::printf("seed=%llu ok (%zu events, %zu sends)\n",
                   static_cast<unsigned long long>(seed), report.events_run,
                   report.sends_checked);
@@ -72,6 +121,10 @@ int run_plain(std::uint64_t base, std::size_t seeds, bool do_shrink,
   std::printf("fuzz_pipeline: %zu seed(s) ok, %zu sends diffed against the "
               "delivery oracle\n",
               seeds, sends);
+  if (registry != nullptr) {
+    elmo::obs::write_metrics(opt.metrics, registry->snapshot());
+  }
+  if (trace_on) recorder.write(opt.trace);
   return 0;
 }
 
@@ -120,14 +173,20 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<std::size_t>(flags.get_int("SEEDS", 50));
   const auto single = flags.get_int("SEED", -1);
   const bool mutate = flags.get_bool("MUTATE", false);
-  const bool do_shrink = flags.get_bool("SHRINK", true);
-  const bool verbose = flags.get_bool("VERBOSE", false);
+
+  Options opt;
+  opt.do_shrink = flags.get_bool("SHRINK", true);
+  opt.verbose = flags.get_bool("VERBOSE", false);
+  opt.metrics = flags.get_string("METRICS", "");
+  opt.trace = flags.get_string("TRACE", "");
+  opt.artifacts = flags.get_string("ARTIFACTS", ".");
 
   if (single >= 0) {
-    return run_plain(static_cast<std::uint64_t>(single), 1, do_shrink, true);
+    opt.verbose = true;
+    return run_plain(static_cast<std::uint64_t>(single), 1, opt);
   }
   if (mutate) {
-    return run_mutations(base, seeds, verbose);
+    return run_mutations(base, seeds, opt.verbose);
   }
-  return run_plain(base, seeds, do_shrink, verbose);
+  return run_plain(base, seeds, opt);
 }

@@ -1,0 +1,124 @@
+// Pretty-printer for the Prometheus-style metrics exposition the benches and
+// tools write via --metrics=<path> (DESIGN.md §9).
+//
+//   tools/metrics_dump <file>      # or "-" / no argument for stdin
+//
+// Counters get a right-aligned rate column (value / elmo_uptime_seconds,
+// K/M/G suffixes); histograms are folded from their _sum/_count series into
+// one row with observation count, rate, and mean.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "util/table.h"
+
+namespace {
+
+struct Series {
+  std::string type;  // counter | gauge | histogram | untyped
+  double value = 0;
+  bool seen = false;
+};
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1fus", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", s);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  const std::string path = argc > 1 ? argv[1] : "-";
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "metrics_dump: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+
+  // name -> series; histogram _sum/_count series are folded under the base
+  // name. Insertion-ordered output would need a vector; the exposition is
+  // already name-sorted, so a map keeps that order.
+  std::map<std::string, Series> series;
+  std::map<std::string, std::pair<double, double>> hists;  // sum, count
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls{line};
+      std::string hash, kind, name, type;
+      ls >> hash >> kind >> name >> type;
+      if (kind == "TYPE") series[name].type = type;
+      continue;
+    }
+    const auto space = line.find_last_of(' ');
+    if (space == std::string::npos) continue;
+    std::string name = line.substr(0, space);
+    const double value = std::strtod(line.c_str() + space + 1, nullptr);
+    if (const auto brace = name.find('{'); brace != std::string::npos) {
+      name.resize(brace);  // histogram buckets fold under the series name
+    }
+    if (name.ends_with("_bucket")) continue;
+    if (name.ends_with("_sum")) {
+      hists[name.substr(0, name.size() - 4)].first = value;
+      continue;
+    }
+    if (name.ends_with("_count")) {
+      const auto base = name.substr(0, name.size() - 6);
+      if (series.contains(base) && series[base].type == "histogram") {
+        hists[base].second = value;
+        continue;
+      }
+    }
+    auto& s = series[name];
+    s.value = value;
+    s.seen = true;
+  }
+
+  const double uptime = series.contains("elmo_uptime_seconds")
+                            ? series["elmo_uptime_seconds"].value
+                            : 0.0;
+
+  using elmo::util::TextTable;
+  TextTable table{{"metric", "type", "value", "rate", "notes"}};
+  table.set_align(2, TextTable::Align::kRight);
+  table.set_align(3, TextTable::Align::kRight);
+  for (const auto& [name, s] : series) {
+    if (s.type == "histogram") {
+      const auto it = hists.find(name);
+      if (it == hists.end()) continue;
+      const auto [sum, count] = it->second;
+      table.add_row(
+          {name, "histogram",
+           TextTable::fmt_count(static_cast<std::uint64_t>(count)),
+           uptime > 0 ? TextTable::fmt_rate(count / uptime) : "",
+           count > 0 ? "mean " + fmt_seconds(sum / count) : ""});
+      continue;
+    }
+    if (!s.seen) continue;
+    const bool is_counter = s.type == "counter";
+    table.add_row(
+        {name, s.type.empty() ? "untyped" : s.type,
+         is_counter ? TextTable::fmt_count(static_cast<std::uint64_t>(s.value))
+                    : TextTable::fmt(s.value),
+         is_counter && uptime > 0 ? TextTable::fmt_rate(s.value / uptime) : "",
+         ""});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
