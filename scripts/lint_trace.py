@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Strict linter for the chrome://tracing JSON the FlightRecorder emits.
+
+Usage: scripts/lint_trace.py <file> [<file> ...]   ("-" reads stdin)
+
+Validates the contract CI smoke jobs rely on (DESIGN.md §9):
+
+  * the file parses as JSON with a `traceEvents` list;
+  * every event carries `name`, `ph`, and `pid`, with `ph` one of
+    M / X / C / i;
+  * X (duration) events carry numeric `ts`, a non-negative `dur`, and a
+    `tid`; i (instant) events carry `ts` and a scope `s`; C (counter)
+    events carry `ts` and a numeric `args` payload;
+  * timestamps are monotonic (non-decreasing) within each (pid, tid) lane —
+    the walk is single-threaded per lane, so regressions mean clock misuse;
+  * the `elmo_recorder_stats` metadata event is present and consistent:
+    its `events` count equals the number of recorded (X + i) events, and
+    `dropped` > 0 is only legal when the buffer filled (events ==
+    max_events).
+
+Exit status 0 when every file is clean, 1 otherwise.
+"""
+
+import json
+import sys
+
+VALID_PHASES = {"M", "X", "C", "i"}
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def lint(path, text):
+    errors = []
+
+    def err(i, msg):
+        errors.append(f"{path}: event #{i}: {msg}")
+
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as ex:
+        return [f"{path}: not valid JSON: {ex}"]
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return [f"{path}: missing traceEvents list"]
+
+    stats = None
+    recorded = 0            # X + i events actually in the buffer
+    last_ts = {}            # (pid, tid) -> last seen ts
+    for i, ev in enumerate(doc["traceEvents"]):
+        if not isinstance(ev, dict):
+            err(i, "event is not an object")
+            continue
+        for field in ("name", "ph", "pid"):
+            if field not in ev:
+                err(i, f"missing required field {field!r}")
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            err(i, f"unknown phase {ph!r}")
+            continue
+
+        if ph == "M":
+            if ev.get("name") == "elmo_recorder_stats":
+                stats = ev.get("args")
+            continue
+
+        if not is_number(ev.get("ts")):
+            err(i, f"{ph} event lacks a numeric ts")
+            continue
+        if ph == "X":
+            recorded += 1
+            if "tid" not in ev:
+                err(i, "X event lacks a tid")
+            if not is_number(ev.get("dur")) or ev["dur"] < 0:
+                err(i, "X event lacks a non-negative dur")
+        elif ph == "i":
+            recorded += 1
+            if ev.get("s") not in ("g", "p", "t"):
+                err(i, f"instant event has bad scope {ev.get('s')!r}")
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not all(
+                    is_number(v) for v in args.values()):
+                err(i, "counter event args must be numeric")
+
+        lane = (ev.get("pid"), ev.get("tid"))
+        if lane in last_ts and ev["ts"] < last_ts[lane]:
+            err(i, f"ts regressed in lane pid={lane[0]} tid={lane[1]} "
+                   f"({last_ts[lane]} then {ev['ts']})")
+        last_ts[lane] = ev["ts"]
+
+    if stats is None:
+        errors.append(f"{path}: missing elmo_recorder_stats metadata event")
+        return errors
+    for field in ("events", "dropped", "max_events"):
+        if not is_number(stats.get(field)):
+            errors.append(
+                f"{path}: elmo_recorder_stats lacks numeric {field!r}")
+            return errors
+    if stats["events"] != recorded:
+        errors.append(
+            f"{path}: elmo_recorder_stats says {stats['events']} events, "
+            f"trace holds {recorded}")
+    if stats["events"] > stats["max_events"]:
+        errors.append(
+            f"{path}: {stats['events']} events exceed the declared bound "
+            f"{stats['max_events']}")
+    if stats["dropped"] > 0 and stats["events"] != stats["max_events"]:
+        errors.append(
+            f"{path}: {stats['dropped']} events dropped but the buffer "
+            f"never filled ({stats['events']}/{stats['max_events']})")
+    return errors
+
+
+def main(argv):
+    paths = argv[1:] or ["-"]
+    failed = False
+    for path in paths:
+        text = sys.stdin.read() if path == "-" else open(path).read()
+        errors = lint("<stdin>" if path == "-" else path, text)
+        for e in errors:
+            print(e, file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            doc = json.loads(text)
+            print(f"{path}: OK ({len(doc['traceEvents'])} trace events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -24,6 +24,10 @@
 
 #include "net/packet_view.h"
 
+namespace elmo::obs {
+class ProvenanceSink;
+}
+
 namespace elmo::dp {
 
 struct Emission {
@@ -67,6 +71,15 @@ class ForwardingElement {
   virtual std::span<Emission> process(const net::PacketView& packet,
                                       std::size_t ingress_port,
                                       EmissionArena& arena) = 0;
+
+  // Optional decision-provenance sink (nullptr detaches). Not owned; must
+  // outlive the packets it observes. A detached element pays one pointer
+  // test per process() call (DESIGN.md §10).
+  void set_provenance(obs::ProvenanceSink* sink) noexcept { prov_ = sink; }
+  obs::ProvenanceSink* provenance() const noexcept { return prov_; }
+
+ protected:
+  obs::ProvenanceSink* prov_ = nullptr;
 };
 
 }  // namespace elmo::dp

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/provenance.h"
+
 namespace elmo::dp {
 
 void HypervisorSwitch::install_flow(net::Ipv4Address group, GroupFlow flow) {
@@ -69,6 +71,11 @@ std::span<Emission> HypervisorSwitch::process(const net::PacketView& packet,
   const auto it = flows_.find(ip.dst.value);
   if (it == flows_.end() || it->second.local_vms.empty()) {
     ++stats_.discarded;
+    if (prov_ != nullptr) {
+      obs::HopDecision dec;
+      dec.rule = obs::RuleClass::kHostDiscard;
+      prov_->record_decision(dec);
+    }
     return arena.since(mark);
   }
   // Elmo-capable leaves strip all p-rules at egress; behind a legacy leaf
@@ -88,7 +95,15 @@ std::span<Emission> HypervisorSwitch::process(const net::PacketView& packet,
     ++stats_.delivered_to_vms;
     stats_.delivered_bytes += payload.size();
   }
-  return arena.since(mark);
+  const auto out = arena.since(mark);
+  if (prov_ != nullptr) {
+    obs::HopDecision dec;
+    dec.rule = obs::RuleClass::kHostDeliver;
+    dec.vm_deliveries = static_cast<std::uint32_t>(out.size());
+    dec.popped_bytes = net::kOuterHeaderBytes + elmo_bytes;
+    prov_->record_decision(dec);
+  }
+  return out;
 }
 
 std::vector<HypervisorSwitch::Delivery> HypervisorSwitch::receive(

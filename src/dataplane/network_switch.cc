@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/provenance.h"
+
 namespace elmo::dp {
 
 NetworkSwitch::NetworkSwitch(const topo::ClosTopology& topology,
@@ -96,10 +98,13 @@ NetworkSwitch::ParseResult NetworkSwitch::parse(
     case topo::Layer::kLeaf:
       result.upstream = header.u_leaf;
       result.default_rule = header.leaf_default;
-      for (const auto& rule : header.leaf_rules) {
+      for (std::size_t ri = 0; ri < header.leaf_rules.size(); ++ri) {
+        const auto& rule = header.leaf_rules[ri];
         for (const auto rid : rule.switch_ids) {
           if (rid == match_id_) {
             result.matched = rule.bitmap;
+            result.matched_index = static_cast<int>(ri);
+            result.matched_shared = rule.switch_ids.size() > 1;
             break;
           }
         }
@@ -109,10 +114,13 @@ NetworkSwitch::ParseResult NetworkSwitch::parse(
     case topo::Layer::kSpine:
       result.upstream = header.u_spine;
       result.default_rule = header.spine_default;
-      for (const auto& rule : header.spine_rules) {
+      for (std::size_t ri = 0; ri < header.spine_rules.size(); ++ri) {
+        const auto& rule = header.spine_rules[ri];
         for (const auto rid : rule.switch_ids) {
           if (rid == match_id_) {
             result.matched = rule.bitmap;
+            result.matched_index = static_cast<int>(ri);
+            result.matched_shared = rule.switch_ids.size() > 1;
             break;
           }
         }
@@ -166,9 +174,38 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
   const auto mark = arena.mark();
   ++stats_.packets_in;
   stats_.bytes_in += packet.size();
+  const std::uint64_t popped_before = stats_.header_pop_bytes;
+
+  // Decision provenance (DESIGN.md §10): one record per process() call,
+  // written only when a sink is attached — the detached cost is this null
+  // test. `bitmap` is the rule as matched (before masking); the egress set
+  // is reconstructed from the emissions (after multipath masking).
+  auto record = [&](obs::RuleClass cls, const net::PortBitmap* bitmap,
+                    const elmo::UpstreamRule* up, bool shared, int index) {
+    if (prov_ == nullptr) return;
+    obs::HopDecision dec;
+    dec.rule = cls;
+    dec.legacy = legacy_;
+    dec.prule_index = index;
+    dec.prule_shared = shared;
+    if (bitmap != nullptr) dec.bitmap = *bitmap;
+    if (up != nullptr) {
+      dec.multipath = up->multipath;
+      dec.up_bitmap = up->up;
+    }
+    dec.popped_bytes =
+        static_cast<std::size_t>(stats_.header_pop_bytes - popped_before);
+    const auto out = arena.since(mark);
+    if (!out.empty()) {
+      dec.egress = net::PortBitmap{downstream_ports() + upstream_ports()};
+      for (const auto& e : out) dec.egress.set(e.out_port);
+    }
+    prov_->record_decision(dec);
+  };
 
   if (down_) {
     ++stats_.drops;
+    record(obs::RuleClass::kDrop, nullptr, nullptr, false, -1);
     return arena.since(mark);
   }
 
@@ -178,17 +215,20 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
     // unmodified incoming view.
     const auto ip = net::Ipv4Header::parse(
         packet.front(net::kOuterHeaderBytes).subspan(net::EthernetHeader::kSize));
+    const net::PortBitmap* hit = nullptr;
     if (const auto it = group_table_.find(ip.dst.value);
         it != group_table_.end()) {
       ++stats_.srule_matches;
-      it->second.for_each_set(
-          [&](std::size_t port) { arena.emit(port, packet); });
+      hit = &it->second;
+      hit->for_each_set([&](std::size_t port) { arena.emit(port, packet); });
     } else {
       ++stats_.drops;
     }
     const auto out = arena.since(mark);
     stats_.copies_out += out.size();
     for (const auto& e : out) stats_.bytes_out += e.packet.size();
+    record(hit != nullptr ? obs::RuleClass::kSRule : obs::RuleClass::kDrop,
+           hit, nullptr, false, -1);
     return out;
   }
 
@@ -228,8 +268,15 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
         [&](std::size_t port) { arena.emit(port, down_copy); });
   };
 
+  obs::RuleClass cls = obs::RuleClass::kDrop;
+  const net::PortBitmap* chosen = nullptr;
+  const elmo::UpstreamRule* chosen_up = nullptr;
+
   if (pr.upstream) {
     ++stats_.upstream_matches;
+    cls = obs::RuleClass::kUpstream;
+    chosen = &pr.upstream->down;
+    chosen_up = &*pr.upstream;
     emit_down(pr.upstream->down);
     // Upward copies: everything before the *next layer's* upstream/core
     // section is invalidated.
@@ -256,16 +303,24 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
     }
   } else if (layer_ == topo::Layer::kCore && pr.core_bitmap) {
     ++stats_.prule_matches;
+    cls = obs::RuleClass::kPRule;
+    chosen = &*pr.core_bitmap;
     emit_down(*pr.core_bitmap);
   } else if (pr.matched) {
     ++stats_.prule_matches;
+    cls = obs::RuleClass::kPRule;
+    chosen = &*pr.matched;
     emit_down(*pr.matched);
   } else if (const auto it = group_table_.find(pr.outer_dst.value);
              it != group_table_.end()) {
     ++stats_.srule_matches;
+    cls = obs::RuleClass::kSRule;
+    chosen = &it->second;
     emit_down(it->second);
   } else if (pr.default_rule) {
     ++stats_.default_matches;
+    cls = obs::RuleClass::kDefault;
+    chosen = &*pr.default_rule;
     emit_down(*pr.default_rule);
   } else {
     ++stats_.drops;
@@ -274,6 +329,7 @@ std::span<Emission> NetworkSwitch::process(const net::PacketView& packet,
   const auto out = arena.since(mark);
   stats_.copies_out += out.size();
   for (const auto& e : out) stats_.bytes_out += e.packet.size();
+  record(cls, chosen, chosen_up, pr.matched_shared, pr.matched_index);
   return out;
 }
 

@@ -136,6 +136,8 @@ class NetworkSwitch : public ForwardingElement {
   struct ParseResult {
     std::optional<elmo::UpstreamRule> upstream;  // this layer's u-rule
     std::optional<net::PortBitmap> matched;      // p-rule bitmap for this switch
+    int matched_index = -1;      // index of the matched p-rule in its section
+    bool matched_shared = false;  // matched p-rule lists >1 switch id
     std::optional<net::PortBitmap> default_rule;
     std::optional<net::PortBitmap> core_bitmap;  // core layer only
     std::vector<elmo::SectionExtent> sections;   // relative to elmo offset

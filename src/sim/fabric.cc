@@ -52,6 +52,14 @@ Fabric::Fabric(const topo::ClosTopology& topology) : topo_{&topology} {
   }
 }
 
+void Fabric::set_provenance(obs::ProvenanceLog* log) {
+  prov_ = log;
+  for (auto& hv : hypervisors_) hv->set_provenance(log);
+  for (auto& sw : leaves_) sw->set_provenance(log);
+  for (auto& sw : spines_) sw->set_provenance(log);
+  for (auto& sw : cores_) sw->set_provenance(log);
+}
+
 dp::ForwardingElement& Fabric::element(const NodeRef& node) {
   switch (node.layer) {
     case topo::Layer::kHost:
@@ -177,14 +185,22 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
   const NodeRef first_leaf{topo::Layer::kLeaf, topo_->leaf_of_host(src)};
   account(src_node, first_leaf, packet.size(), result);
 
+  std::size_t prov_root = obs::kNoProvParent;
+  if (prov_ != nullptr) {
+    prov_root = prov_->begin_send(group.value, src, packet.size());
+  }
+
   queue_.clear();
   if (!lost()) {
-    queue_.push_back(WorkItem{first_leaf, std::move(packet), 1});
+    queue_.push_back(WorkItem{first_leaf, std::move(packet), 1, prov_root});
     ++walk_stats_.enqueues;
     walk_stats_.max_queue_depth = std::max<std::uint64_t>(
         walk_stats_.max_queue_depth, queue_.size());
   } else {
     ++walk_stats_.lost_copies;
+    if (prov_ != nullptr) {
+      prov_->lost_copy(first_leaf.layer, first_leaf.id, prov_root);
+    }
   }
 
   while (!queue_.empty()) {
@@ -201,6 +217,12 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
 
     double item_start_us = 0;
     if (recorder_ != nullptr) item_start_us = recorder_->now_us();
+
+    std::size_t prov_hop = obs::kNoProvParent;
+    if (prov_ != nullptr) {
+      prov_hop = prov_->begin_hop(item.at.layer, item.at.id, item.prov,
+                                  item.packet.size());
+    }
 
     arena_.clear();
     const auto emissions = element(item.at).process(item.packet, 0, arena_);
@@ -222,16 +244,19 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
       account(item.at, next, emission.packet.size(), result);
       if (lost()) {
         ++walk_stats_.lost_copies;
+        if (prov_ != nullptr) {
+          prov_->lost_copy(next.layer, next.id, prov_hop);
+        }
         continue;
       }
       if (next.layer == topo::Layer::kHost) {
         ++result.host_copies[next.id];
         ++walk_stats_.host_copies;
         queue_.push_back(
-            WorkItem{next, std::move(emission.packet), item.hops});
+            WorkItem{next, std::move(emission.packet), item.hops, prov_hop});
       } else {
-        queue_.push_back(
-            WorkItem{next, std::move(emission.packet), item.hops + 1});
+        queue_.push_back(WorkItem{next, std::move(emission.packet),
+                                  item.hops + 1, prov_hop});
       }
       ++walk_stats_.enqueues;
     }

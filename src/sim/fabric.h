@@ -25,6 +25,7 @@
 #include "dataplane/hypervisor_switch.h"
 #include "dataplane/network_switch.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "util/rng.h"
 #include "elmo/controller.h"
 #include "net/headers.h"
@@ -143,6 +144,12 @@ class Fabric {
   }
   FlightRecorder* recorder() const noexcept { return recorder_; }
 
+  // Optional decision-provenance log (nullptr detaches). Attaches the log to
+  // every forwarding element so each send() grows one decision tree in it
+  // (DESIGN.md §10). Not owned; must outlive the sends it observes.
+  void set_provenance(obs::ProvenanceLog* log);
+  obs::ProvenanceLog* provenance() const noexcept { return prov_; }
+
   const FabricWalkStats& walk_stats() const noexcept { return walk_stats_; }
   void reset_walk_stats() noexcept { walk_stats_ = FabricWalkStats{}; }
 
@@ -159,6 +166,7 @@ class Fabric {
     NodeRef at;
     net::PacketView packet;
     std::size_t hops = 0;
+    std::size_t prov = obs::kNoProvParent;  // parent hop in the decision tree
   };
 
   void account(const NodeRef& from, const NodeRef& to, std::size_t bytes,
@@ -176,6 +184,7 @@ class Fabric {
   util::Rng loss_rng_{1};
   FabricWalkStats walk_stats_;
   FlightRecorder* recorder_ = nullptr;
+  obs::ProvenanceLog* prov_ = nullptr;
 
   // Walk state, reused across sends (capacity persists, contents do not).
   std::deque<WorkItem> queue_;

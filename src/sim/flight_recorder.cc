@@ -73,6 +73,14 @@ std::string FlightRecorder::chrome_trace_json() const {
   };
   emit(R"({"name": "process_name", "ph": "M", "pid": 1, )"
        R"("args": {"name": "elmo fabric walk"}})");
+  // Recorder accounting, for consumers (scripts/lint_trace.py) to check the
+  // trace is complete: how many events the buffer holds, how many were
+  // dropped past the bound, and the bound itself.
+  emit(R"({"name": "elmo_recorder_stats", "ph": "M", "pid": 1, )"
+       R"("args": {"events": )" +
+       std::to_string(events_.size()) + R"(, "dropped": )" +
+       std::to_string(dropped_) + R"(, "max_events": )" +
+       std::to_string(max_events_) + "}}");
   const char* layer_names[] = {"hosts", "leaves", "spines", "cores"};
   for (int t = 0; t < 4; ++t) {
     emit(R"({"name": "thread_name", "ph": "M", "pid": 1, "tid": )" +

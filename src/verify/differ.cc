@@ -8,8 +8,10 @@
 #include "dataplane/common.h"
 #include "elmo/evaluator.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "sim/fabric.h"
 #include "sim/flight_recorder.h"
+#include "verify/explain.h"
 #include "verify/oracle.h"
 
 namespace elmo::verify {
@@ -72,7 +74,11 @@ class Runner {
     if (observability != nullptr) {
       registry_ = observability->registry;
       fabric_.set_recorder(observability->recorder);
+      captures_ = observability->captures;
     }
+    // The runner always walks with provenance attached: every diff it
+    // reports carries the send's annotated decision tree (DESIGN.md §10).
+    fabric_.set_provenance(&prov_log_);
   }
 
   RunReport run() {
@@ -109,6 +115,10 @@ class Runner {
     report_.ok = false;
     report_.applied = applied_;
     report_.failure = std::move(message);
+    // Non-empty only while a send is being checked: the diff carries that
+    // send's annotated decision tree.
+    report_.explanation = std::move(pending_explanation_);
+    pending_explanation_.clear();
   }
 
   void setup() {
@@ -206,7 +216,7 @@ class Runner {
         resync_headers();
         break;
       case EventKind::kSend:
-        check_send(ev.group_index, ev.sender, at);
+        check_send(index, ev.group_index, ev.sender, at);
         break;
     }
   }
@@ -247,15 +257,45 @@ class Runner {
     }
   }
 
-  void check_send(std::size_t gi, topo::HostId sender, const std::string& at) {
+  void check_send(std::size_t event_index, std::size_t gi,
+                  topo::HostId sender, const std::string& at) {
     const auto id = ids_.at(gi);
     const auto& g = controller_.group(id);
     const auto ex = oracle_.expect(gi, g.encoding, sender);
     const std::string ctx =
         at + ": send group " + str(gi) + " from host " + str(sender);
 
+    prov_log_.clear();
     const auto res = fabric_.send(sender, g.address, std::size_t{64});
     ++report_.sends_checked;
+
+    // The analytic evaluator's view of the same send (same flow hash and
+    // failure set), computed up front so the provenance capture can carry it.
+    const TrafficEvaluator evaluator{topo_};
+    const auto hash = dp::flow_hash(dp::host_address(sender), g.address);
+    const auto rep = evaluator.evaluate(
+        *g.tree, g.encoding, sender, 64, hash, &controller_.failures(),
+        legacy_.empty() ? nullptr : &legacy_);
+
+    // Join the walk's decision tree against the oracle: any failure below
+    // attaches this explanation to the report (see fail()).
+    SendExplanation expl;
+    const bool have_trace = !prov_log_.empty();
+    if (have_trace) {
+      expl = explain_send(prov_log_.last(), ex);
+      pending_explanation_ = expl.render();
+      if (captures_ != nullptr) {
+        SendCapture capture;
+        capture.event_index = event_index;
+        capture.group_index = gi;
+        capture.sender = sender;
+        capture.explanation = expl;
+        capture.evaluator_reached = rep.delivery.members_reached;
+        capture.evaluator_duplicates = rep.delivery.duplicate_deliveries;
+        capture.evaluator_spurious = rep.delivery.spurious_deliveries;
+        captures_->push_back(std::move(capture));
+      }
+    }
 
     // 1. Ideal receiver set: every expected host got a copy; exactly one,
     //    and none back to the sender, unless failures legitimize duplicates.
@@ -305,14 +345,9 @@ class Runner {
       return;
     }
 
-    // 4. Packet-level fabric vs analytic evaluator, same flow hash and
-    //    failure set: total host copies and distinct members reached must
-    //    agree bit-for-bit with the controller's current encoding.
-    const TrafficEvaluator evaluator{topo_};
-    const auto hash = dp::flow_hash(dp::host_address(sender), g.address);
-    const auto rep = evaluator.evaluate(
-        *g.tree, g.encoding, sender, 64, hash, &controller_.failures(),
-        legacy_.empty() ? nullptr : &legacy_);
+    // 4. Packet-level fabric vs analytic evaluator: total host copies and
+    //    distinct members reached must agree bit-for-bit with the
+    //    controller's current encoding.
     std::size_t fabric_copies = 0;
     for (const auto& [host, copies] : res.host_copies) fabric_copies += copies;
     const std::size_t evaluator_copies = rep.delivery.members_reached +
@@ -329,6 +364,29 @@ class Runner {
            " member hosts, oracle expects " + str(ex.expected_hosts.size()));
       return;
     }
+
+    // 5. Provenance attribution vs analytic evaluator: the per-cause
+    //    decomposition of the decision tree must sum to the same intended /
+    //    excess split the evaluator predicts.
+    if (have_trace) {
+      if (expl.breakdown.intended != rep.delivery.members_reached) {
+        fail(ctx + ": provenance attributes " + str(expl.breakdown.intended) +
+             " intended copies, evaluator reached " +
+             str(rep.delivery.members_reached) + " member hosts");
+        return;
+      }
+      const std::size_t evaluator_excess = rep.delivery.duplicate_deliveries +
+                                           rep.delivery.spurious_deliveries;
+      if (expl.breakdown.total_redundant() != evaluator_excess) {
+        fail(ctx + ": provenance attributes " +
+             str(expl.breakdown.total_redundant()) +
+             " redundant copies, evaluator predicts " + str(evaluator_excess) +
+             " (duplicate + spurious)");
+        return;
+      }
+    }
+
+    pending_explanation_.clear();
   }
 
   // --- mutation machinery --------------------------------------------------
@@ -510,6 +568,9 @@ class Runner {
   Controller controller_;
   sim::Fabric fabric_;
   obs::MetricsRegistry* registry_ = nullptr;
+  std::vector<SendCapture>* captures_ = nullptr;
+  obs::ProvenanceLog prov_log_;
+  std::string pending_explanation_;
   std::vector<bool> legacy_;
   DeliveryOracle oracle_;
   std::vector<GroupId> ids_;

@@ -19,7 +19,9 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "verify/explain.h"
 #include "verify/scenario.h"
 
 namespace elmo::obs {
@@ -71,17 +73,37 @@ struct RunReport {
   // seeds until one applies.
   bool applied = false;
   std::string failure;  // first divergence, human-readable; empty when ok
+  // When the divergence happened during a send check: that send's rendered
+  // decision tree with oracle annotations (verify::SendExplanation), so the
+  // diff arrives with its own explanation attached. Empty otherwise.
+  std::string explanation;
   std::size_t events_run = 0;
   std::size_t sends_checked = 0;
 };
 
-// Optional telemetry taps for one run (DESIGN.md §9). Both may be null.
+// One diffed send's full provenance join, exported via
+// RunObservability::captures for tools/explain and artifact dumps.
+struct SendCapture {
+  std::size_t event_index = 0;  // index into Scenario::events
+  std::size_t group_index = 0;
+  topo::HostId sender = 0;
+  SendExplanation explanation;
+  // The analytic evaluator's view of the same send, for cross-checking the
+  // attribution totals (members_reached / duplicate / spurious).
+  std::size_t evaluator_reached = 0;
+  std::size_t evaluator_duplicates = 0;
+  std::size_t evaluator_spurious = 0;
+};
+
+// Optional telemetry taps for one run (DESIGN.md §9). All may be null.
 // `recorder` is attached to the scenario's fabric for the whole run; the
 // registry receives the fabric's per-element and walk totals when the run
-// finishes (accumulate_fabric_metrics — one shot per run).
+// finishes (accumulate_fabric_metrics — one shot per run); `captures`
+// receives one SendCapture per send the differ checks.
 struct RunObservability {
   obs::MetricsRegistry* registry = nullptr;
   sim::FlightRecorder* recorder = nullptr;
+  std::vector<SendCapture>* captures = nullptr;
 };
 
 RunReport run_scenario(const Scenario& scenario,

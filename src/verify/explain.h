@@ -1,0 +1,86 @@
+// The "explain" layer: joins a packet's decision tree (obs::ProvenanceLog)
+// against the delivery oracle's ideal receiver set and attributes every host
+// copy — and every wasted one — to the encoding decision that caused it
+// (DESIGN.md §10).
+//
+// Attribution is by *proximate cause*: the rule class of the leaf hop that
+// emitted the copy toward the host. A copy to a non-member host can only
+// exist because the emitting leaf's downstream bitmap over-covered, and that
+// bitmap came from exactly one of: the lossy default p-rule, a p-rule merged
+// across switches (shared identifier list), or a group-table s-rule whose
+// bitmap was OR-ed across groups/legacy coverage. Exact (unshared) p-rules
+// never over-cover by construction, so a spurious copy attributed to one is
+// flagged kViaExactPRule — an encoding bug, not a modeled trade-off.
+//
+// The per-cause totals decompose the same excess the analytic
+// TrafficEvaluator reports in aggregate: intended == members_reached and
+// total_redundant() == duplicate + spurious deliveries. verify::Runner
+// cross-checks that identity on every send it diffs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/provenance.h"
+#include "topology/clos.h"
+#include "verify/oracle.h"
+
+namespace elmo::verify {
+
+// Why one host copy exists, per the decision tree + oracle join.
+enum class CopyCause : std::uint8_t {
+  kIntended = 0,     // oracle-expected host, first copy to reach it
+  kDuplicate,        // oracle-expected host, surplus copy (failure rerouting)
+  kViaDefaultPRule,  // non-member host: leaf fell back to the default p-rule
+  kViaSharedPRule,   // non-member host: leaf matched a merged (shared) p-rule
+  kViaSRule,         // non-member host: leaf forwarded from its group table
+  kViaExactPRule,    // non-member host via an exact p-rule — encoding bug
+  kUnattributed,     // non-member host, no recorded leaf decision
+};
+
+const char* to_string(CopyCause cause);
+
+// One host copy of the send, with its attribution.
+struct ExplainedCopy {
+  std::size_t hop = 0;  // index of the host hop in the trace
+  topo::HostId host = 0;
+  CopyCause cause = CopyCause::kUnattributed;
+  obs::RuleClass leaf_rule = obs::RuleClass::kNone;  // proximate rule class
+};
+
+// Excess-traffic decomposition of one send, by cause.
+struct RedundancyBreakdown {
+  std::size_t intended = 0;
+  std::size_t duplicates = 0;
+  std::size_t via_default = 0;
+  std::size_t via_shared_prule = 0;
+  std::size_t via_srule = 0;
+  std::size_t via_exact_prule = 0;
+  std::size_t unattributed = 0;
+
+  // Every copy beyond the ideal receiver set — must equal the analytic
+  // evaluator's duplicate_deliveries + spurious_deliveries.
+  std::size_t total_redundant() const noexcept {
+    return duplicates + via_default + via_shared_prule + via_srule +
+           via_exact_prule + unattributed;
+  }
+};
+
+// The annotated decision tree of one send.
+struct SendExplanation {
+  obs::SendTrace trace;
+  std::vector<ExplainedCopy> copies;     // one per host copy, in walk order
+  std::vector<topo::HostId> missing;     // expected hosts that got no copy
+  RedundancyBreakdown breakdown;
+
+  // Decision tree with each host leaf annotated by its cause, the missing
+  // hosts, and the attribution totals.
+  std::string render() const;
+};
+
+// Joins `trace` against the oracle expectation for the same send.
+SendExplanation explain_send(const obs::SendTrace& trace,
+                             const DeliveryOracle::Expectation& expectation);
+
+}  // namespace elmo::verify

@@ -1,0 +1,81 @@
+// FlightRecorder bounded-buffer behavior and the elmo_recorder_stats
+// metadata event the trace linter (scripts/lint_trace.py) keys on.
+#include "sim/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "elmo/controller.h"
+#include "sim/fabric.h"
+
+namespace elmo::sim {
+namespace {
+
+struct RecorderFixture : ::testing::Test {
+  RecorderFixture()
+      : topology{topo::ClosParams::small_test()},
+        controller{topology, elmo::EncoderConfig{}},
+        fabric{topology} {}
+
+  elmo::GroupId make_group(const std::vector<topo::HostId>& hosts) {
+    std::vector<elmo::Member> members;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      members.push_back(elmo::Member{hosts[i], static_cast<std::uint32_t>(i),
+                                     elmo::MemberRole::kBoth});
+    }
+    const auto id = controller.create_group(0, members);
+    fabric.install_group(controller, id);
+    return id;
+  }
+
+  topo::ClosTopology topology;
+  elmo::Controller controller;
+  Fabric fabric;
+};
+
+TEST_F(RecorderFixture, BoundedBufferCountsDrops) {
+  FlightRecorder recorder{8};
+  fabric.set_recorder(&recorder);
+  const auto id = make_group({0, 1, 17, 33});
+  // Each send produces several work-item events plus a send instant; a
+  // handful of sends overflows an 8-event buffer for sure.
+  for (int i = 0; i < 8; ++i) {
+    (void)fabric.send(0, controller.group(id).address, std::size_t{64});
+  }
+  EXPECT_EQ(recorder.size(), 8u);
+  EXPECT_GT(recorder.dropped(), 0u);
+
+  // The stats metadata event reports the same accounting, so consumers can
+  // tell a complete trace from a truncated one.
+  const auto json = recorder.chrome_trace_json();
+  EXPECT_NE(json.find("\"elmo_recorder_stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"max_events\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": " +
+                      std::to_string(recorder.dropped())),
+            std::string::npos);
+}
+
+TEST_F(RecorderFixture, UnboundedRunReportsZeroDropped) {
+  FlightRecorder recorder;  // default bound, far above one send
+  fabric.set_recorder(&recorder);
+  const auto id = make_group({0, 17});
+  (void)fabric.send(0, controller.group(id).address, std::size_t{64});
+  EXPECT_GT(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const auto json = recorder.chrome_trace_json();
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+}
+
+TEST_F(RecorderFixture, ClearResetsBufferAndDropCounter) {
+  FlightRecorder recorder{2};
+  fabric.set_recorder(&recorder);
+  const auto id = make_group({0, 1});
+  (void)fabric.send(0, controller.group(id).address, std::size_t{64});
+  ASSERT_GT(recorder.dropped(), 0u);
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace elmo::sim

@@ -94,6 +94,25 @@ TEST_F(MtraceFixture, CounterDeltasCoverTheProbe) {
   EXPECT_NE(text.find("counters (probe delta):"), std::string::npos);
 }
 
+TEST_F(MtraceFixture, CounterDeltaGoldenRender) {
+  // Deterministic single-rack probe: host0 -> L0 -> host1. The sender's leaf
+  // matches its upstream rule (the up-facing table owns packets entering from
+  // the rack) and pops both the upstream and leaf header sections before the
+  // hypervisor strips the rest. Golden-pins the counter-delta section of the
+  // render so accounting regressions show up as a literal diff.
+  const auto id = make_group({0, 1});
+  const auto report = mtrace(fabric, controller, id, 0, 64);
+  const auto text = report.render();
+  const auto counters = text.substr(text.find("counters (probe delta):"));
+  EXPECT_EQ(counters,
+            "counters (probe delta):\n"
+            "  leaf : 1 in, 1 out, 0 p-rule, 1 upstream, 0 s-rule, "
+            "0 default, 0 drops, 2 pops (" +
+                std::to_string(report.counters.leaves.header_pop_bytes) +
+                "B)\n"
+                "  host : 1 received, 1 VM deliveries, 0 discarded\n");
+}
+
 TEST_F(MtraceFixture, RedundantCopiesAttributed) {
   // Force default-rule spurious deliveries with a tiny header budget.
   elmo::EncoderConfig cfg;

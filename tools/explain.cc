@@ -1,0 +1,88 @@
+// Per-packet decision provenance explorer ("why did this host get a copy?").
+//
+// Replays one fuzz scenario through the differential runner with provenance
+// capture on, then renders the annotated decision tree of the requested
+// send(s): per hop, the rule class that matched (p-rule / upstream / s-rule /
+// default), the bitmap it applied, the header bytes it popped, and the
+// egress set — with every host leaf flagged intended, redundant (attributed
+// to the default p-rule, a shared p-rule, or a shared s-rule), or missing,
+// from the delivery-oracle join (DESIGN.md §10).
+//
+// Each rendered send ends with an attribution line decomposing the excess
+// traffic by cause; the tool cross-checks those totals against the analytic
+// evaluator's overhead accounting (members reached / duplicate / spurious)
+// and exits non-zero on any mismatch.
+//
+// Flags (KEY=VALUE, --key=value, or ELMO_<KEY> env):
+//   --seed=N      scenario seed to replay (default 1)
+//   --group=G     only sends of this group index (default: all groups)
+//   --send=K      only the K-th matching send (0-based; default: all)
+//
+// Example: tools/explain --seed=7 --group=0
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "verify/differ.h"
+#include "verify/scenario.h"
+
+int main(int argc, char** argv) {
+  const elmo::util::Flags flags{argc, argv};
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("SEED", 1));
+  const auto group = flags.get_int("GROUP", -1);
+  const auto send = flags.get_int("SEND", -1);
+
+  const auto scenario = elmo::verify::generate_scenario(seed);
+  std::vector<elmo::verify::SendCapture> captures;
+  elmo::verify::RunObservability observability;
+  observability.captures = &captures;
+  const auto report = elmo::verify::run_scenario(
+      scenario, elmo::verify::Mutation::kNone, &observability);
+
+  std::printf("seed=%llu: %zu group(s), %zu event(s), %zu send(s) captured\n",
+              static_cast<unsigned long long>(seed), scenario.groups.size(),
+              scenario.events.size(), captures.size());
+  if (!report.ok) {
+    std::printf("NOTE: scenario diverged: %s\n", report.failure.c_str());
+  }
+
+  std::size_t shown = 0;
+  std::size_t mismatches = 0;
+  std::size_t match_index = 0;
+  for (const auto& capture : captures) {
+    if (group >= 0 && capture.group_index != static_cast<std::size_t>(group)) {
+      continue;
+    }
+    const auto index = match_index++;
+    if (send >= 0 && index != static_cast<std::size_t>(send)) continue;
+
+    std::printf("\n--- send #%zu (event #%zu, group %zu, from host %u) ---\n",
+                index, capture.event_index, capture.group_index,
+                capture.sender);
+    std::fputs(capture.explanation.render().c_str(), stdout);
+
+    const auto& b = capture.explanation.breakdown;
+    const auto evaluator_excess =
+        capture.evaluator_duplicates + capture.evaluator_spurious;
+    if (b.intended == capture.evaluator_reached &&
+        b.total_redundant() == evaluator_excess) {
+      std::printf("evaluator cross-check: OK (%zu reached, %zu excess)\n",
+                  capture.evaluator_reached, evaluator_excess);
+    } else {
+      std::printf("evaluator cross-check: MISMATCH (provenance %zu/%zu, "
+                  "evaluator %zu/%zu)\n",
+                  b.intended, b.total_redundant(), capture.evaluator_reached,
+                  evaluator_excess);
+      ++mismatches;
+    }
+    ++shown;
+  }
+
+  if (shown == 0) {
+    std::printf("no captured send matches group=%lld send=%lld\n",
+                static_cast<long long>(group), static_cast<long long>(send));
+    return 1;
+  }
+  return mismatches == 0 ? 0 : 1;
+}

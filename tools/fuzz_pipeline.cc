@@ -5,9 +5,10 @@
 // header codec -> sim::Fabric walk), and diffs every observable against the
 // set-based DeliveryOracle. The first divergence prints its seed, shrinks to
 // a minimal repro, and emits a ready-to-paste GoogleTest fixture — plus,
-// alongside it, the failing scenario's metrics snapshot and flight-recorder
-// trace (fuzz_seed_<N>.metrics.prom / .metrics.json / .trace.json), so
-// triage starts from counters instead of a rerun.
+// alongside it, the failing scenario's metrics snapshot, flight-recorder
+// trace, and per-send decision-tree explanations (fuzz_seed_<N>.metrics.prom
+// / .metrics.json / .trace.json / .explain.txt), so triage starts from
+// counters and attributed deliveries instead of a rerun.
 //
 // Mutation mode (--mutate=1) validates the harness itself: every known
 // fault in the catalog is seeded into the pipeline and MUST be caught by
@@ -29,7 +30,9 @@
 //
 // Replaying a CI failure: tools/fuzz_pipeline --seed=<reported seed>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "sim/flight_recorder.h"
@@ -53,13 +56,16 @@ struct Options {
   std::string artifacts = ".";
 };
 
-// Re-runs the failing scenario with a private registry + recorder and dumps
-// snapshot and trace next to the shrunken fixture.
+// Re-runs the failing scenario with a private registry, recorder, and
+// provenance capture, and dumps snapshot, trace, and per-send decision-tree
+// explanations next to the shrunken fixture.
 void dump_failure_artifacts(const Scenario& scenario, const Options& opt) {
   elmo::obs::MetricsRegistry registry{/*enabled=*/true};
   elmo::sim::FlightRecorder recorder;
-  RunObservability observability{&registry, &recorder};
-  (void)elmo::verify::run_scenario(scenario, Mutation::kNone, &observability);
+  std::vector<elmo::verify::SendCapture> captures;
+  RunObservability observability{&registry, &recorder, &captures};
+  const auto replay =
+      elmo::verify::run_scenario(scenario, Mutation::kNone, &observability);
 
   const auto stem = opt.artifacts + "/fuzz_seed_" +
                     std::to_string(scenario.seed);
@@ -67,9 +73,22 @@ void dump_failure_artifacts(const Scenario& scenario, const Options& opt) {
   elmo::obs::write_metrics(stem + ".metrics.prom", snap);
   elmo::obs::write_metrics(stem + ".metrics.json", snap);
   recorder.write(stem + ".trace.json");
+
+  std::ofstream explain{stem + ".explain.txt"};
+  explain << "seed " << scenario.seed << ": " << replay.failure << "\n";
+  if (!replay.explanation.empty()) {
+    explain << "\n=== failing send ===\n" << replay.explanation;
+  }
+  for (const auto& capture : captures) {
+    explain << "\n=== event #" << capture.event_index << ", group "
+            << capture.group_index << ", from host " << capture.sender
+            << " ===\n"
+            << capture.explanation.render();
+  }
+
   std::printf("failure artifacts: %s.metrics.prom, %s.metrics.json, "
-              "%s.trace.json\n",
-              stem.c_str(), stem.c_str(), stem.c_str());
+              "%s.trace.json, %s.explain.txt\n",
+              stem.c_str(), stem.c_str(), stem.c_str(), stem.c_str());
 }
 
 void report_failure(const Scenario& scenario, const RunReport& report,

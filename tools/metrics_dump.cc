@@ -1,16 +1,24 @@
 // Pretty-printer for the Prometheus-style metrics exposition the benches and
 // tools write via --metrics=<path> (DESIGN.md §9).
 //
-//   tools/metrics_dump <file>      # or "-" / no argument for stdin
+//   tools/metrics_dump <file>          # or "-" / no argument for stdin
+//   tools/metrics_dump --diff <a> <b>  # per-series deltas between two runs
 //
-// Counters get a right-aligned rate column (value / elmo_uptime_seconds,
-// K/M/G suffixes); histograms are folded from their _sum/_count series into
-// one row with observation count, rate, and mean.
+// Single-file mode: counters get a right-aligned rate column (value /
+// elmo_uptime_seconds, K/M/G suffixes); histograms are folded from their
+// _sum/_count series into one row with observation count, rate, and mean.
+//
+// Diff mode compares two expositions of the same workload (before/after a
+// change, two bench configurations): per series it prints both values, the
+// delta, and the ratio of *rates* — each side normalized by its own uptime,
+// so a faster run that did the same work shows ~1.0x where a raw value
+// ratio would mislead.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -24,6 +32,71 @@ struct Series {
   bool seen = false;
 };
 
+struct Snapshot {
+  // name -> series; histogram _sum/_count series are folded under the base
+  // name. Insertion-ordered output would need a vector; the exposition is
+  // already name-sorted, so a map keeps that order.
+  std::map<std::string, Series> series;
+  std::map<std::string, std::pair<double, double>> hists;  // sum, count
+  double uptime = 0;
+};
+
+Snapshot parse(std::istream& in) {
+  Snapshot snap;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls{line};
+      std::string hash, kind, name, type;
+      ls >> hash >> kind >> name >> type;
+      if (kind == "TYPE") snap.series[name].type = type;
+      continue;
+    }
+    const auto space = line.find_last_of(' ');
+    if (space == std::string::npos) continue;
+    std::string name = line.substr(0, space);
+    const double value = std::strtod(line.c_str() + space + 1, nullptr);
+    if (const auto brace = name.find('{'); brace != std::string::npos) {
+      name.resize(brace);  // histogram buckets fold under the series name
+    }
+    if (name.ends_with("_bucket")) continue;
+    if (name.ends_with("_sum")) {
+      snap.hists[name.substr(0, name.size() - 4)].first = value;
+      continue;
+    }
+    if (name.ends_with("_count")) {
+      const auto base = name.substr(0, name.size() - 6);
+      if (snap.series.contains(base) &&
+          snap.series[base].type == "histogram") {
+        snap.hists[base].second = value;
+        continue;
+      }
+    }
+    auto& s = snap.series[name];
+    s.value = value;
+    s.seen = true;
+  }
+  if (snap.series.contains("elmo_uptime_seconds")) {
+    snap.uptime = snap.series["elmo_uptime_seconds"].value;
+  }
+  return snap;
+}
+
+bool load(const std::string& path, Snapshot& snap) {
+  if (path == "-") {
+    snap = parse(std::cin);
+    return true;
+  }
+  std::ifstream file{path};
+  if (!file) {
+    std::fprintf(stderr, "metrics_dump: cannot open %s\n", path.c_str());
+    return false;
+  }
+  snap = parse(file);
+  return true;
+}
+
 std::string fmt_seconds(double s) {
   char buf[32];
   if (s < 1e-3) {
@@ -36,77 +109,23 @@ std::string fmt_seconds(double s) {
   return buf;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::istream* in = &std::cin;
-  std::ifstream file;
-  const std::string path = argc > 1 ? argv[1] : "-";
-  if (path != "-") {
-    file.open(path);
-    if (!file) {
-      std::fprintf(stderr, "metrics_dump: cannot open %s\n", path.c_str());
-      return 1;
-    }
-    in = &file;
-  }
-
-  // name -> series; histogram _sum/_count series are folded under the base
-  // name. Insertion-ordered output would need a vector; the exposition is
-  // already name-sorted, so a map keeps that order.
-  std::map<std::string, Series> series;
-  std::map<std::string, std::pair<double, double>> hists;  // sum, count
-  std::string line;
-  while (std::getline(*in, line)) {
-    if (line.empty()) continue;
-    if (line[0] == '#') {
-      std::istringstream ls{line};
-      std::string hash, kind, name, type;
-      ls >> hash >> kind >> name >> type;
-      if (kind == "TYPE") series[name].type = type;
-      continue;
-    }
-    const auto space = line.find_last_of(' ');
-    if (space == std::string::npos) continue;
-    std::string name = line.substr(0, space);
-    const double value = std::strtod(line.c_str() + space + 1, nullptr);
-    if (const auto brace = name.find('{'); brace != std::string::npos) {
-      name.resize(brace);  // histogram buckets fold under the series name
-    }
-    if (name.ends_with("_bucket")) continue;
-    if (name.ends_with("_sum")) {
-      hists[name.substr(0, name.size() - 4)].first = value;
-      continue;
-    }
-    if (name.ends_with("_count")) {
-      const auto base = name.substr(0, name.size() - 6);
-      if (series.contains(base) && series[base].type == "histogram") {
-        hists[base].second = value;
-        continue;
-      }
-    }
-    auto& s = series[name];
-    s.value = value;
-    s.seen = true;
-  }
-
-  const double uptime = series.contains("elmo_uptime_seconds")
-                            ? series["elmo_uptime_seconds"].value
-                            : 0.0;
+int dump_one(const std::string& path) {
+  Snapshot snap;
+  if (!load(path, snap)) return 1;
 
   using elmo::util::TextTable;
   TextTable table{{"metric", "type", "value", "rate", "notes"}};
   table.set_align(2, TextTable::Align::kRight);
   table.set_align(3, TextTable::Align::kRight);
-  for (const auto& [name, s] : series) {
+  for (const auto& [name, s] : snap.series) {
     if (s.type == "histogram") {
-      const auto it = hists.find(name);
-      if (it == hists.end()) continue;
+      const auto it = snap.hists.find(name);
+      if (it == snap.hists.end()) continue;
       const auto [sum, count] = it->second;
       table.add_row(
           {name, "histogram",
            TextTable::fmt_count(static_cast<std::uint64_t>(count)),
-           uptime > 0 ? TextTable::fmt_rate(count / uptime) : "",
+           snap.uptime > 0 ? TextTable::fmt_rate(count / snap.uptime) : "",
            count > 0 ? "mean " + fmt_seconds(sum / count) : ""});
       continue;
     }
@@ -116,9 +135,95 @@ int main(int argc, char** argv) {
         {name, s.type.empty() ? "untyped" : s.type,
          is_counter ? TextTable::fmt_count(static_cast<std::uint64_t>(s.value))
                     : TextTable::fmt(s.value),
-         is_counter && uptime > 0 ? TextTable::fmt_rate(s.value / uptime) : "",
+         is_counter && snap.uptime > 0
+             ? TextTable::fmt_rate(s.value / snap.uptime)
+             : "",
          ""});
   }
   std::fputs(table.render().c_str(), stdout);
   return 0;
+}
+
+// One comparable scalar per series: counter/gauge value, histogram count.
+bool scalar_of(const Snapshot& snap, const std::string& name,
+               std::string& type, double& value) {
+  const auto it = snap.series.find(name);
+  if (it == snap.series.end()) return false;
+  if (it->second.type == "histogram") {
+    const auto h = snap.hists.find(name);
+    if (h == snap.hists.end()) return false;
+    type = "histogram";
+    value = h->second.second;
+    return true;
+  }
+  if (!it->second.seen) return false;
+  type = it->second.type.empty() ? "untyped" : it->second.type;
+  value = it->second.value;
+  return true;
+}
+
+std::string fmt_value(const std::string& type, double value) {
+  using elmo::util::TextTable;
+  if (type == "counter" || type == "histogram") {
+    return TextTable::fmt_count(static_cast<std::uint64_t>(value));
+  }
+  return TextTable::fmt(value);
+}
+
+int dump_diff(const std::string& path_a, const std::string& path_b) {
+  Snapshot a, b;
+  if (!load(path_a, a) || !load(path_b, b)) return 1;
+
+  std::set<std::string> names;
+  for (const auto& [name, s] : a.series) names.insert(name);
+  for (const auto& [name, s] : b.series) names.insert(name);
+
+  using elmo::util::TextTable;
+  TextTable table{{"metric", "type", "a", "b", "delta", "rate"}};
+  table.set_align(2, TextTable::Align::kRight);
+  table.set_align(3, TextTable::Align::kRight);
+  table.set_align(4, TextTable::Align::kRight);
+  table.set_align(5, TextTable::Align::kRight);
+
+  for (const auto& name : names) {
+    std::string type_a, type_b;
+    double va = 0, vb = 0;
+    const bool in_a = scalar_of(a, name, type_a, va);
+    const bool in_b = scalar_of(b, name, type_b, vb);
+    if (!in_a && !in_b) continue;
+    const std::string type = in_b ? type_b : type_a;
+
+    std::string delta;
+    if (in_a && in_b) {
+      const double d = vb - va;
+      delta = (d >= 0 ? "+" : "-") + fmt_value(type, d >= 0 ? d : -d);
+    }
+
+    // Rate ratio: normalize each side by its own uptime so runs of unequal
+    // length compare work-per-second, not raw totals. Only meaningful for
+    // monotonic series (counters, histogram counts).
+    std::string ratio;
+    const bool monotonic = type == "counter" || type == "histogram";
+    if (in_a && in_b && monotonic && a.uptime > 0 && b.uptime > 0 && va > 0) {
+      ratio = TextTable::fmt((vb / b.uptime) / (va / a.uptime)) + "x";
+    }
+
+    table.add_row({name, type, in_a ? fmt_value(type_a, va) : "-",
+                   in_b ? fmt_value(type_b, vb) : "-", delta, ratio});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string{argv[1]} == "--diff") {
+    if (argc != 4) {
+      std::fprintf(stderr, "usage: metrics_dump --diff <a> <b>\n");
+      return 1;
+    }
+    return dump_diff(argv[2], argv[3]);
+  }
+  return dump_one(argc > 1 ? argv[1] : "-");
 }
