@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
             << " threads\n";
 
   EncoderConfig config;  // 325-byte budget, Hmax derived (~30 leaf p-rules)
+  config.encoder = scale.encoder_kind;
   benchx::print_figure("Figure 4: P=12 placement, WVE group sizes", topology,
                        workload, config, {0, 6, 12}, &pool, &phases);
   benchx::emit_run_json("fig4_placement_p12", scale, phases);

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
             << " threads\n";
 
   EncoderConfig config;
+  config.encoder = scale.encoder_kind;
   benchx::print_figure("Figure 5: P=1 placement, WVE group sizes", topology,
                        workload, config, {0, 6, 12}, &pool, &phases);
   benchx::emit_run_json("fig5_placement_p1", scale, phases);

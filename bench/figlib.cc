@@ -26,6 +26,8 @@ Scale Scale::from_flags(const util::Flags& flags) {
   if (!scale.metrics.empty()) {
     obs::MetricsRegistry::global().set_enabled(true);
   }
+  scale.encoder = flags.get_string("encoder", "elmo");
+  scale.encoder_kind = parse_encoder_kind(scale.encoder);
   return scale;
 }
 
@@ -104,7 +106,8 @@ constexpr std::size_t kFigureChunk = 4096;
 
 FigureResult run_figure(const FigureInputs& inputs) {
   const auto& topology = inputs.topology;
-  const elmo::GroupEncoder encoder{topology, inputs.config};
+  const auto encoder_impl = elmo::make_encoder(topology, inputs.config);
+  const elmo::TreeEncoder& encoder = *encoder_impl;
   elmo::SRuleSpace space{topology, inputs.config.srule_capacity};
   const elmo::TrafficEvaluator evaluator{topology};
 
@@ -130,6 +133,27 @@ FigureResult run_figure(const FigureInputs& inputs) {
     if (!sg.encoding.uses_default()) ++result.covered_without_default;
     if (sg.encoding.s_rule_count() > 0) ++result.groups_with_srules;
     if (!sg.report.delivery.exactly_once()) ++result.delivery_failures;
+
+    const auto& d = sg.report.delivery;
+    result.duplicate_deliveries += d.duplicate_deliveries;
+    result.spurious_deliveries += d.spurious_deliveries;
+    result.excess_via_default += d.excess_via_default;
+    result.excess_via_shared_prule += d.excess_via_shared_prule;
+    result.excess_via_srule += d.excess_via_srule;
+    result.excess_via_exact += d.excess_via_exact;
+    {
+      // Distinct leaf-layer egress bitmaps (p-rules + default).
+      std::vector<const net::PortBitmap*> distinct;
+      auto note = [&](const net::PortBitmap& bm) {
+        for (const auto* seen : distinct) {
+          if (*seen == bm) return;
+        }
+        distinct.push_back(&bm);
+      };
+      for (const auto& rule : sg.encoding.leaf.p_rules) note(rule.bitmap);
+      if (sg.encoding.leaf.default_rule) note(*sg.encoding.leaf.default_rule);
+      result.leaf_egress_diversity.add(static_cast<double>(distinct.size()));
+    }
 
     result.elmo_transmissions += sg.report.elmo_link_transmissions;
     result.elmo_header_wire_bytes +=
@@ -187,7 +211,7 @@ FigureResult run_figure(const FigureInputs& inputs) {
 
       sg.tree =
           std::make_unique<elmo::MulticastTree>(topology, group.member_hosts);
-      elmo::GroupEncoder::SRuleReservers reservers;
+      elmo::TreeEncoder::SRuleReservers reservers;
       reservers.leaf = [&](std::uint32_t leaf) {
         if (speculative.try_reserve_leaf(leaf)) return true;
         sg.denied = true;
@@ -305,10 +329,10 @@ void emit_run_json(const std::string& bench, const Scale& scale,
   std::printf(
       "RUN {\"bench\": \"%s\", \"pods\": %zu, \"groups\": %zu, "
       "\"tenants\": %zu, \"seed\": %llu, \"threads\": %zu, "
-      "\"phases\": %s}\n",
+      "\"encoder\": \"%s\", \"phases\": %s}\n",
       bench.c_str(), scale.pods, scale.groups, scale.tenants,
       static_cast<unsigned long long>(scale.seed), scale.threads,
-      phases.json().c_str());
+      scale.encoder.c_str(), phases.json().c_str());
   // The metrics exposition goes to its own sink ("-" = stderr) so the
   // RUN-line/stdout contract of docs/BENCH_SCHEMA.md is untouched.
   if (!scale.metrics.empty()) {

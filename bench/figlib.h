@@ -20,8 +20,8 @@
 #include "baselines/hostcast.h"
 #include "baselines/li_multicast.h"
 #include "cloud/cloud.h"
-#include "elmo/encoder.h"
 #include "elmo/evaluator.h"
+#include "elmo/tree_encoder.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -43,6 +43,10 @@ struct Scale {
   // the global MetricsRegistry and emit_run_json writes the exposition there
   // ("-" = stderr, ".json" suffix = JSON dump). Empty = telemetry disabled.
   std::string metrics;
+  // --encoder={elmo,bert,p3fa} (or ELMO_ENCODER): which TreeEncoder the
+  // bench's EncoderConfig selects. Parsed strictly; unknown names throw.
+  std::string encoder = "elmo";
+  EncoderKind encoder_kind = EncoderKind::kElmo;
 
   static Scale from_flags(const util::Flags& flags);
   // Tenant population scaled to the group count so reduced runs stay
@@ -70,6 +74,19 @@ struct FigureResult {
   std::uint64_t unicast_transmissions = 0;
   std::uint64_t overlay_transmissions = 0;
   std::size_t delivery_failures = 0;  // must stay 0
+
+  // Delivery-precision accounting (summed over one sender per group):
+  // excess copies and their cause split, from the evaluator walk.
+  std::uint64_t duplicate_deliveries = 0;
+  std::uint64_t spurious_deliveries = 0;
+  std::uint64_t excess_via_default = 0;
+  std::uint64_t excess_via_shared_prule = 0;
+  std::uint64_t excess_via_srule = 0;
+  std::uint64_t excess_via_exact = 0;
+
+  // Distinct egress bitmaps in the leaf layer per group (p-rules plus the
+  // default rule) — the diversity P3FA-style encoders bound.
+  util::OnlineStats leaf_egress_diversity;
 
   double overhead(std::size_t payload) const;
   double unicast_ratio(std::size_t payload) const;

@@ -93,7 +93,7 @@ std::vector<topo::HostId> GroupState::sender_hosts() const {
 Controller::Controller(const topo::ClosTopology& topology,
                        const EncoderConfig& config, UpdateSink* sink)
     : topo_{&topology},
-      encoder_{topology, config},
+      encoder_{make_encoder(topology, config)},
       srule_space_{topology, config.srule_capacity},
       sink_{sink} {}
 
@@ -115,11 +115,11 @@ bool Controller::has_group(GroupId group) const {
 
 void Controller::reencode(GroupState& g) {
   if (g.tree) {
-    encoder_.release(g.encoding, *g.tree, srule_space_);
+    encoder_->release(g.encoding, *g.tree, srule_space_);
   }
   const auto receivers = g.receiver_hosts();
   g.tree = std::make_unique<MulticastTree>(*topo_, receivers);
-  g.encoding = encoder_.encode(
+  g.encoding = encoder_->encode(
       *g.tree, &srule_space_,
       legacy_leaves_.empty() ? nullptr : &legacy_leaves_);
 }
@@ -225,7 +225,7 @@ std::vector<GroupId> Controller::create_groups(
     }
 
     auto& st = staged[i];
-    GroupEncoder::SRuleReservers reservers;
+    TreeEncoder::SRuleReservers reservers;
     reservers.leaf = [&speculative, &st](std::uint32_t leaf) {
       const bool ok = speculative.try_reserve_leaf(leaf);
       if (!ok) st.denied = true;
@@ -236,7 +236,7 @@ std::vector<GroupId> Controller::create_groups(
       if (!ok) st.denied = true;
       return ok;
     };
-    st.encoding = encoder_.encode_with(*slot.tree, reservers, legacy);
+    st.encoding = encoder_->encode_with(*slot.tree, reservers, legacy);
   };
   if (pool != nullptr) {
     pool->parallel_for(0, specs.size(), encode_one);
@@ -286,7 +286,7 @@ std::vector<GroupId> Controller::create_groups(
       g.encoding = std::move(st.encoding);
       ++commits;
     } else {
-      g.encoding = encoder_.encode(*g.tree, &srule_space_, legacy);
+      g.encoding = encoder_->encode(*g.tree, &srule_space_, legacy);
       ++reencodes;
     }
     ++live_groups_;
@@ -324,7 +324,7 @@ std::vector<GroupId> Controller::create_groups(
 
 void Controller::remove_group(GroupId group) {
   auto& g = state(group);
-  if (g.tree) encoder_.release(g.encoding, *g.tree, srule_space_);
+  if (g.tree) encoder_->release(g.encoding, *g.tree, srule_space_);
   emit_srule_diffs(g.encoding, GroupEncoding{});
   if (sink_ != nullptr) {
     for (const auto& m : g.members) sink_->hypervisor_update(m.host);
@@ -468,7 +468,7 @@ std::vector<std::uint8_t> Controller::header_for(GroupId group,
                                                  topo::HostId sender) const {
   const auto& g = const_cast<Controller*>(this)->state(group);
   const auto route = g.tree->sender_route(sender, failures_);
-  return encoder_.codec().serialize(route.encoding, g.encoding);
+  return encoder_->codec().serialize(route.encoding, g.encoding);
 }
 
 }  // namespace elmo

@@ -16,8 +16,8 @@
 #include <unordered_set>
 #include <vector>
 
-#include "elmo/encoder.h"
 #include "elmo/evaluator.h"
+#include "elmo/tree_encoder.h"
 #include "elmo/rules.h"
 #include "elmo/srule_space.h"
 #include "elmo/tree.h"
@@ -143,7 +143,7 @@ class Controller {
   const GroupState& group(GroupId group) const;
   bool has_group(GroupId group) const;
   std::size_t num_groups() const noexcept { return live_groups_; }
-  const GroupEncoder& encoder() const noexcept { return encoder_; }
+  const TreeEncoder& encoder() const noexcept { return *encoder_; }
   SRuleSpace& srule_space() noexcept { return srule_space_; }
   const topo::ClosTopology& topology() const noexcept { return *topo_; }
 
@@ -162,7 +162,7 @@ class Controller {
                       std::unordered_set<topo::HostId>& touched);
 
   const topo::ClosTopology* topo_;
-  GroupEncoder encoder_;
+  std::unique_ptr<TreeEncoder> encoder_;  // scheme picked by config.encoder
   SRuleSpace srule_space_;
   UpdateSink* sink_;
   topo::FailureSet failures_;

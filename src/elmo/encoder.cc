@@ -1,28 +1,8 @@
 #include "elmo/encoder.h"
 
+#include "elmo/clustering.h"
+
 namespace elmo {
-
-GroupEncoder::GroupEncoder(const topo::ClosTopology& topology,
-                           const EncoderConfig& config)
-    : topo_{&topology},
-      config_{config},
-      codec_{topology},
-      hmax_leaf_{codec_.derive_hmax_leaf(config)} {}
-
-GroupEncoding GroupEncoder::encode(const MulticastTree& tree,
-                                   SRuleSpace* space,
-                                   const std::vector<bool>* legacy_leaf) const {
-  SRuleReservers reservers;
-  if (space != nullptr) {
-    reservers.leaf = [space](std::uint32_t leaf) {
-      return space->try_reserve_leaf(leaf);
-    };
-    reservers.pod_spines = [space](std::uint32_t pod) {
-      return space->try_reserve_pod_spines(pod);
-    };
-  }
-  return encode_with(tree, reservers, legacy_leaf);
-}
 
 GroupEncoding GroupEncoder::encode_with(
     const MulticastTree& tree, const SRuleReservers& reservers,
@@ -31,15 +11,10 @@ GroupEncoding GroupEncoder::encode_with(
 
   // --- spine layer (logical spines, one per member pod) -------------------
   {
-    std::vector<LayerInput> inputs;
-    inputs.reserve(tree.pods().size());
-    for (const auto& pod : tree.pods()) {
-      inputs.push_back(LayerInput{pod.pod, pod.leaf_ports});
-    }
+    const auto inputs = spine_inputs(tree);
     ClusteringLimits limits{
         .hmax = config_.hmax_spine,
-        .kmax = config_.kmax_spine == 0 ? topo_->num_pods()
-                                        : config_.kmax_spine,
+        .kmax = spine_kmax(),
         .redundancy_limit = config_.redundancy_limit,
         .mode = config_.redundancy_mode,
     };
@@ -48,56 +23,20 @@ GroupEncoding GroupEncoder::encode_with(
 
   // --- leaf layer ----------------------------------------------------------
   {
-    std::vector<LayerInput> inputs;
-    std::vector<std::pair<std::uint32_t, net::PortBitmap>> legacy_srules;
-    inputs.reserve(tree.leaves().size());
-    for (const auto& leaf : tree.leaves()) {
-      if (legacy_leaf != nullptr && leaf.leaf < legacy_leaf->size() &&
-          (*legacy_leaf)[leaf.leaf]) {
-        // Legacy switches only understand group tables: force an s-rule.
-        // If their table is full the leaf stays uncovered (the paper's
-        // incremental-deployment bottleneck); we do NOT put it in the
-        // default p-rule, which a legacy chip cannot read either.
-        if (reservers.leaf && reservers.leaf(leaf.leaf)) {
-          legacy_srules.emplace_back(leaf.leaf, leaf.host_ports);
-        }
-        continue;
-      }
-      inputs.push_back(LayerInput{leaf.leaf, leaf.host_ports});
-    }
+    const auto leaf = leaf_inputs(tree, reservers, legacy_leaf);
     ClusteringLimits limits{
         .hmax = hmax_leaf_,
         .kmax = config_.kmax,
         .redundancy_limit = config_.redundancy_limit,
         .mode = config_.redundancy_mode,
     };
-    out.leaf = cluster_layer(inputs, limits, reservers.leaf);
-    out.leaf.s_rules.insert(out.leaf.s_rules.end(), legacy_srules.begin(),
-                            legacy_srules.end());
+    out.leaf = cluster_layer(leaf.inputs, limits, reservers.leaf);
+    out.leaf.s_rules.insert(out.leaf.s_rules.end(),
+                            leaf.legacy_srules.begin(),
+                            leaf.legacy_srules.end());
   }
 
   return out;
-}
-
-void GroupEncoder::release(const GroupEncoding& encoding,
-                           const MulticastTree& tree,
-                           SRuleSpace& space) const {
-  (void)tree;
-  for (const auto& [pod, bitmap] : encoding.spine.s_rules) {
-    (void)bitmap;
-    space.release_pod_spines(pod);
-  }
-  for (const auto& [leaf, bitmap] : encoding.leaf.s_rules) {
-    (void)bitmap;
-    space.release_leaf(leaf);
-  }
-}
-
-std::size_t GroupEncoder::header_bytes(const MulticastTree& tree,
-                                       const GroupEncoding& encoding,
-                                       topo::HostId sender) const {
-  const auto sender_enc = tree.sender_encoding(sender);
-  return codec_.serialize(sender_enc, encoding).size();
 }
 
 }  // namespace elmo

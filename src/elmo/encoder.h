@@ -1,72 +1,34 @@
-// GroupEncoder: turns a multicast tree into Elmo's p-/s-/default rules.
+// GroupEncoder: the Elmo TreeEncoder — turns a multicast tree into Elmo's
+// p-/s-/default rules via Algorithm 1.
 //
-// This is the controller-side entry point tying together the header budget
-// arithmetic (Hmax derivation), Algorithm 1 per downstream layer, and Fmax
-// accounting. The result is the sender-independent GroupEncoding; per-sender
-// upstream rules come from MulticastTree::sender_route.
+// This ties together the header budget arithmetic (Hmax derivation, in the
+// TreeEncoder base), Algorithm 1 per downstream layer, and Fmax accounting.
+// The result is the sender-independent GroupEncoding; per-sender upstream
+// rules come from MulticastTree::sender_route. Alternative schemes live in
+// bert_encoder.h / p3fa_encoder.h; pick by config via make_encoder().
 #pragma once
 
-#include <optional>
-
-#include "elmo/clustering.h"
-#include "elmo/header.h"
-#include "elmo/rules.h"
-#include "elmo/srule_space.h"
-#include "elmo/tree.h"
+#include "elmo/tree_encoder.h"
 
 namespace elmo {
 
-class GroupEncoder {
+class GroupEncoder final : public TreeEncoder {
  public:
-  GroupEncoder(const topo::ClosTopology& topology, const EncoderConfig& config);
+  GroupEncoder(const topo::ClosTopology& topology, const EncoderConfig& config)
+      : TreeEncoder{topology, config} {}
 
-  const EncoderConfig& config() const noexcept { return config_; }
-  const HeaderCodec& codec() const noexcept { return codec_; }
-  std::size_t hmax_leaf() const noexcept { return hmax_leaf_; }
-  std::size_t hmax_spine() const noexcept { return config_.hmax_spine; }
+  std::string_view name() const noexcept override { return "elmo"; }
+  EncoderKind kind() const noexcept override { return EncoderKind::kElmo; }
+  EncoderCapabilities capabilities() const noexcept override {
+    return EncoderCapabilities{.honors_redundancy_limit = true,
+                               .exact_srule_bitmaps = true,
+                               .bounded_egress_diversity = false};
+  }
 
-  // Encodes the downstream layers of `tree`. When `space` is non-null,
-  // spill-over switches reserve s-rule entries against Fmax; a null space
-  // disables s-rules entirely (ablation of design D5: default-p-rule only).
-  //
-  // `legacy_leaf` (optional, indexed by global leaf id) marks leaves whose
-  // switches cannot parse Elmo headers (paper §7, incremental deployment):
-  // those leaves are forced into s-rules — their group tables remain the
-  // scalability bottleneck — and never appear in p-rules or defaults.
-  GroupEncoding encode(const MulticastTree& tree, SRuleSpace* space,
-                       const std::vector<bool>* legacy_leaf = nullptr) const;
-
-  // Capacity hooks for encode_with: how spill-over switches reserve their
-  // group-table entry. Empty functions disable s-rules (as a null space
-  // does). The parallel pipelines pass ConcurrentSRuleCounters-backed
-  // lambdas here and reconcile against the authoritative space afterwards.
-  struct SRuleReservers {
-    SRuleReserver leaf;        // called with a global leaf id
-    SRuleReserver pod_spines;  // called with a pod id
-  };
-
-  // encode() with caller-supplied reservation hooks; encode(space, ...) is
-  // exactly encode_with over the space's own try_reserve methods.
   GroupEncoding encode_with(const MulticastTree& tree,
                             const SRuleReservers& reservers,
                             const std::vector<bool>* legacy_leaf
-                            = nullptr) const;
-
-  // Releases the s-rule reservations a previous encode() made (controller
-  // re-encoding path under churn).
-  void release(const GroupEncoding& encoding, const MulticastTree& tree,
-               SRuleSpace& space) const;
-
-  // Serialized header size for `sender`, in bytes (exact, via the codec).
-  std::size_t header_bytes(const MulticastTree& tree,
-                           const GroupEncoding& encoding,
-                           topo::HostId sender) const;
-
- private:
-  const topo::ClosTopology* topo_;
-  EncoderConfig config_;
-  HeaderCodec codec_;
-  std::size_t hmax_leaf_;
+                            = nullptr) const override;
 };
 
 }  // namespace elmo

@@ -51,16 +51,36 @@ TrafficReport TrafficEvaluator::evaluate(const MulticastTree& tree,
       tree.num_members() - (tree.is_member(sender) ? 1 : 0);
   std::unordered_set<topo::HostId> reached;
   reached.reserve(tree.num_members() * 2);
-  auto deliver = [&](topo::HostId host) {
+
+  // Which rule class produced a delivery, for the excess-cause split.
+  enum class CopyVia { kExact, kSharedPRule, kSRule, kDefault };
+  auto deliver = [&](topo::HostId host, CopyVia via) {
     count(0);  // leaf->host: egress invalidated all p-rules
+    bool excess = true;
     if (host != sender && tree.is_member(host)) {
       if (reached.insert(host).second) {
         ++report.delivery.members_reached;
+        excess = false;
       } else {
         ++report.delivery.duplicate_deliveries;
       }
     } else {
       ++report.delivery.spurious_deliveries;
+    }
+    if (!excess) return;
+    switch (via) {
+      case CopyVia::kExact:
+        ++report.delivery.excess_via_exact;
+        break;
+      case CopyVia::kSharedPRule:
+        ++report.delivery.excess_via_shared_prule;
+        break;
+      case CopyVia::kSRule:
+        ++report.delivery.excess_via_srule;
+        break;
+      case CopyVia::kDefault:
+        ++report.delivery.excess_via_default;
+        break;
     }
   };
 
@@ -81,6 +101,12 @@ TrafficReport TrafficEvaluator::evaluate(const MulticastTree& tree,
   for (const auto& [id, bitmap] : encoding.leaf.s_rules) {
     leaf_srule[id] = &bitmap;
   }
+  // Exact per-leaf tree bitmaps, to tell a shared p-rule's superset bits
+  // from its exact bits when attributing excess copies.
+  std::unordered_map<std::uint32_t, const net::PortBitmap*> exact_leaf;
+  for (const auto& leaf : tree.leaves()) {
+    exact_leaf[leaf.leaf] = &leaf.host_ports;
+  }
 
   const std::size_t leaf_stage = remaining_from(SectionTag::kLeafRules);
 
@@ -92,17 +118,32 @@ TrafficReport TrafficEvaluator::evaluate(const MulticastTree& tree,
     const bool legacy = legacy_leaf != nullptr && leaf < legacy_leaf->size() &&
                         (*legacy_leaf)[leaf];
     const net::PortBitmap* bitmap = nullptr;
+    CopyVia via = CopyVia::kDefault;
+    bool from_prule = false;
     if (const auto it = leaf_prule.find(leaf);
         !legacy && it != leaf_prule.end()) {
       bitmap = it->second;
+      from_prule = true;
     } else if (const auto sit = leaf_srule.find(leaf); sit != leaf_srule.end()) {
       bitmap = sit->second;
+      via = CopyVia::kSRule;
     } else if (!legacy && encoding.leaf.default_rule) {
       bitmap = &*encoding.leaf.default_rule;
+      via = CopyVia::kDefault;
     }
     if (bitmap == nullptr) return;
-    bitmap->for_each_set(
-        [&](std::size_t port) { deliver(t.host_at(leaf, port)); });
+    const net::PortBitmap* exact = nullptr;
+    if (from_prule) {
+      const auto eit = exact_leaf.find(leaf);
+      exact = eit != exact_leaf.end() ? eit->second : nullptr;
+    }
+    bitmap->for_each_set([&](std::size_t port) {
+      if (from_prule) {
+        via = (exact != nullptr && exact->test(port)) ? CopyVia::kExact
+                                                      : CopyVia::kSharedPRule;
+      }
+      deliver(t.host_at(leaf, port), via);
+    });
   };
 
   // Downstream spine processing for a pod the core fanned out to.
@@ -128,8 +169,9 @@ TrafficReport TrafficEvaluator::evaluate(const MulticastTree& tree,
   count(total);  // host->leaf: hypervisor pushed the full header
 
   // --- upstream leaf -------------------------------------------------------
-  senc.u_leaf.down.for_each_set(
-      [&](std::size_t port) { deliver(t.host_at(sender_leaf, port)); });
+  senc.u_leaf.down.for_each_set([&](std::size_t port) {
+    deliver(t.host_at(sender_leaf, port), CopyVia::kExact);
+  });
 
   std::vector<std::size_t> up_planes;
   if (senc.u_leaf.multipath) {

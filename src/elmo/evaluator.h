@@ -31,6 +31,18 @@ struct DeliveryReport {
   std::size_t duplicate_deliveries = 0;
   std::size_t spurious_deliveries = 0;  // non-member hosts that got a copy
 
+  // Cause split of the excess copies (duplicates + spurious), by the rule
+  // class the delivering leaf matched — the analytic mirror of
+  // verify::RedundancyBreakdown, cheap enough for full-fabric sweeps.
+  std::size_t excess_via_default = 0;       // default p-rule egress
+  std::size_t excess_via_shared_prule = 0;  // p-rule bit beyond the exact tree
+  std::size_t excess_via_srule = 0;         // group-table (s-rule) egress
+  std::size_t excess_via_exact = 0;         // exact-bitmap egress (dups only)
+
+  std::size_t total_excess() const noexcept {
+    return duplicate_deliveries + spurious_deliveries;
+  }
+
   bool exactly_once() const noexcept {
     return members_reached == members_expected && duplicate_deliveries == 0;
   }

@@ -7,7 +7,8 @@ namespace {
 
 constexpr unsigned kTagBits = 3;
 constexpr unsigned kCountBits = 7;
-constexpr std::size_t kMaxRulesPerLayer = (1u << kCountBits) - 1;
+static_assert(kMaxRulesPerLayer == (1u << kCountBits) - 1,
+              "kMaxRulesPerLayer must match the wire count field width");
 
 void write_upstream(net::BitWriter& out, const UpstreamRule& rule) {
   out.write_bool(rule.multipath);

@@ -30,6 +30,10 @@
 
 namespace elmo {
 
+// Wire limit: the rule-layer count field is 7 bits, so no layer can carry
+// more than 127 p-rules. Encoder configs are validated against this.
+inline constexpr std::size_t kMaxRulesPerLayer = 127;
+
 enum class SectionTag : std::uint8_t {
   kEnd = 0,
   kULeaf = 1,

@@ -82,6 +82,18 @@ enum class RedundancyMode : std::uint8_t {
   kSumOverRule,  // §3.2 prose: sum of distances over the rule <= R
 };
 
+// Which tree-encoding scheme turns a multicast tree into rules. All kinds
+// share the header codec and the p-/s-/default-rule carrier format; they
+// differ in how switches are packed into p-rules (see tree_encoder.h).
+enum class EncoderKind : std::uint8_t {
+  kElmo = 0,  // Algorithm 1: exact-bitmap sharing bounded by R
+  kBert = 1,  // member clustering: smallest-union groups, R ignored
+  kP3fa = 2,  // egress-diversity quantization: at most E distinct bitmaps
+};
+
+inline constexpr EncoderKind kAllEncoderKinds[] = {
+    EncoderKind::kElmo, EncoderKind::kBert, EncoderKind::kP3fa};
+
 // Knobs of the encoder (paper constants R, Hmax, Kmax, Fmax).
 struct EncoderConfig {
   // Total header budget; Hmax for the leaf layer is derived from it unless
@@ -100,6 +112,10 @@ struct EncoderConfig {
   RedundancyMode redundancy_mode = RedundancyMode::kSumOverRule;
   // Fmax: group-table entries available per network switch.
   std::size_t srule_capacity = std::numeric_limits<std::size_t>::max();
+  // Which encoding scheme make_encoder() instantiates.
+  EncoderKind encoder = EncoderKind::kElmo;
+  // P3FA only: max distinct egress bitmaps per downstream layer (E).
+  std::size_t p3fa_egress_classes = 4;
 };
 
 }  // namespace elmo

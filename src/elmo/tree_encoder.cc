@@ -1,0 +1,166 @@
+#include "elmo/tree_encoder.h"
+
+#include <stdexcept>
+
+#include "elmo/bert_encoder.h"
+#include "elmo/encoder.h"
+#include "elmo/p3fa_encoder.h"
+
+namespace elmo {
+
+TreeEncoder::TreeEncoder(const topo::ClosTopology& topology,
+                         const EncoderConfig& config)
+    : topo_{&topology},
+      config_{config},
+      codec_{topology},
+      hmax_leaf_{0} {
+  validate_encoder_config(topology, config);
+  hmax_leaf_ = codec_.derive_hmax_leaf(config);
+}
+
+GroupEncoding TreeEncoder::encode(const MulticastTree& tree, SRuleSpace* space,
+                                  const std::vector<bool>* legacy_leaf) const {
+  SRuleReservers reservers;
+  if (space != nullptr) {
+    reservers.leaf = [space](std::uint32_t leaf) {
+      return space->try_reserve_leaf(leaf);
+    };
+    reservers.pod_spines = [space](std::uint32_t pod) {
+      return space->try_reserve_pod_spines(pod);
+    };
+  }
+  return encode_with(tree, reservers, legacy_leaf);
+}
+
+void TreeEncoder::release(const GroupEncoding& encoding,
+                          const MulticastTree& tree, SRuleSpace& space) const {
+  (void)tree;
+  for (const auto& [pod, bitmap] : encoding.spine.s_rules) {
+    (void)bitmap;
+    space.release_pod_spines(pod);
+  }
+  for (const auto& [leaf, bitmap] : encoding.leaf.s_rules) {
+    (void)bitmap;
+    space.release_leaf(leaf);
+  }
+}
+
+std::size_t TreeEncoder::header_bytes(const MulticastTree& tree,
+                                      const GroupEncoding& encoding,
+                                      topo::HostId sender) const {
+  const auto sender_enc = tree.sender_encoding(sender);
+  return codec_.serialize(sender_enc, encoding).size();
+}
+
+std::vector<LayerInput> TreeEncoder::spine_inputs(
+    const MulticastTree& tree) const {
+  std::vector<LayerInput> inputs;
+  inputs.reserve(tree.pods().size());
+  for (const auto& pod : tree.pods()) {
+    inputs.push_back(LayerInput{pod.pod, pod.leaf_ports});
+  }
+  return inputs;
+}
+
+TreeEncoder::LeafInputs TreeEncoder::leaf_inputs(
+    const MulticastTree& tree, const SRuleReservers& reservers,
+    const std::vector<bool>* legacy_leaf) const {
+  LeafInputs out;
+  out.inputs.reserve(tree.leaves().size());
+  for (const auto& leaf : tree.leaves()) {
+    if (legacy_leaf != nullptr && leaf.leaf < legacy_leaf->size() &&
+        (*legacy_leaf)[leaf.leaf]) {
+      // Legacy switches only understand group tables: force an s-rule.
+      // If their table is full the leaf stays uncovered (the paper's
+      // incremental-deployment bottleneck); we do NOT put it in the
+      // default p-rule, which a legacy chip cannot read either.
+      if (reservers.leaf && reservers.leaf(leaf.leaf)) {
+        out.legacy_srules.emplace_back(leaf.leaf, leaf.host_ports);
+      }
+      continue;
+    }
+    out.inputs.push_back(LayerInput{leaf.leaf, leaf.host_ports});
+  }
+  return out;
+}
+
+void validate_encoder_config(const topo::ClosTopology& topology,
+                             const EncoderConfig& config) {
+  if (config.hmax_spine == 0) {
+    throw std::invalid_argument{
+        "EncoderConfig: hmax_spine must be >= 1 — a zero spine p-rule budget "
+        "cannot cover any member pod"};
+  }
+  if (config.kmax == 0) {
+    throw std::invalid_argument{
+        "EncoderConfig: kmax must be >= 1 — a p-rule carries at least one "
+        "switch id"};
+  }
+  if (config.hmax_spine > kMaxRulesPerLayer) {
+    throw std::invalid_argument{
+        "EncoderConfig: hmax_spine exceeds the wire format's 7-bit rule "
+        "count (max 127 p-rules per layer)"};
+  }
+  if (config.hmax_leaf_override > kMaxRulesPerLayer) {
+    throw std::invalid_argument{
+        "EncoderConfig: hmax_leaf_override exceeds the wire format's 7-bit "
+        "rule count (max 127 p-rules per layer)"};
+  }
+  if (config.hmax_leaf_override == 0) {
+    // Hmax for the leaf layer is derived from the budget: the budget must
+    // fit at least one leaf p-rule at this topology's bitmap widths, or the
+    // derivation would silently emit headers that overflow it.
+    const HeaderCodec codec{topology};
+    const auto min_bytes = codec.max_header_bytes(
+        config.hmax_spine, /*hmax_leaf=*/1, config.kmax_spine, config.kmax);
+    if (min_bytes > config.header_budget_bytes) {
+      throw std::invalid_argument{
+          "EncoderConfig: header_budget_bytes (" +
+          std::to_string(config.header_budget_bytes) +
+          ") cannot fit one leaf p-rule at this topology's bitmap widths — "
+          "worst-case header is " + std::to_string(min_bytes) +
+          " bytes; raise the budget or set hmax_leaf_override"};
+    }
+  }
+  if (config.encoder == EncoderKind::kP3fa &&
+      config.p3fa_egress_classes == 0) {
+    throw std::invalid_argument{
+        "EncoderConfig: p3fa_egress_classes must be >= 1 — zero egress "
+        "classes cannot express any forwarding"};
+  }
+}
+
+std::unique_ptr<TreeEncoder> make_encoder(const topo::ClosTopology& topology,
+                                          const EncoderConfig& config) {
+  switch (config.encoder) {
+    case EncoderKind::kElmo:
+      return std::make_unique<GroupEncoder>(topology, config);
+    case EncoderKind::kBert:
+      return std::make_unique<BertEncoder>(topology, config);
+    case EncoderKind::kP3fa:
+      return std::make_unique<P3faEncoder>(topology, config);
+  }
+  throw std::invalid_argument{"make_encoder: unknown EncoderKind"};
+}
+
+const char* to_string(EncoderKind kind) noexcept {
+  switch (kind) {
+    case EncoderKind::kElmo:
+      return "elmo";
+    case EncoderKind::kBert:
+      return "bert";
+    case EncoderKind::kP3fa:
+      return "p3fa";
+  }
+  return "unknown";
+}
+
+EncoderKind parse_encoder_kind(std::string_view name) {
+  if (name == "elmo") return EncoderKind::kElmo;
+  if (name == "bert") return EncoderKind::kBert;
+  if (name == "p3fa") return EncoderKind::kP3fa;
+  throw std::invalid_argument{"unknown encoder kind: \"" + std::string{name} +
+                              "\" (expected elmo, bert, or p3fa)"};
+}
+
+}  // namespace elmo

@@ -1,0 +1,157 @@
+// TreeEncoder: the abstract contract between the controller and a tree
+// encoding scheme (DESIGN.md §11).
+//
+// A tree encoder turns the downstream layers of a MulticastTree into the
+// sender-independent GroupEncoding (p-rules, s-rules, default p-rule). All
+// encoders share the wire format (header.h), the Fmax accounting hooks
+// (SRuleReservers), and the §7 legacy-leaf semantics; they differ only in
+// how switches are packed into p-rules:
+//
+//   elmo — Algorithm 1: exact-bitmap sharing, extra traffic bounded by R;
+//   bert — member clustering (arXiv 2008.04454 flavour): greedy smallest-
+//          union groups of up to Kmax switches, trading spurious single
+//          copies for fewer header bytes; R is ignored;
+//   p3fa — egress-diversity quantization (arXiv 2109.02834 flavour): the
+//          layer's bitmaps are merged down to at most E distinct egress
+//          classes before rule packing, bounding switch egress diversity.
+//
+// Contract every implementation must keep (enforced by the differential
+// fuzz oracle, tests/elmo/encoder_matrix_test.cc and
+// tests/verify/encoder_equivalence_test.cc):
+//   * coverage — every tree switch lands in exactly one of {p-rule, s-rule,
+//     default}, and its covering bitmap is a superset of its input bitmap;
+//   * partition — no switch id appears in two p-rules of one layer (a
+//     superset bitmap may deliver single spurious copies, never duplicates);
+//   * s-rules carry exact input bitmaps and each one corresponds to exactly
+//     one successful reserver call, so release() restores the pre-encode
+//     Fmax watermark;
+//   * determinism — the output is a pure function of (tree, config, legacy
+//     mask, reservation outcomes); no iteration-order or clock dependence.
+//     This is what lets the controller encode speculatively in parallel and
+//     merge deterministically (DESIGN.md §5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "elmo/clustering.h"
+#include "elmo/header.h"
+#include "elmo/rules.h"
+#include "elmo/srule_space.h"
+#include "elmo/tree.h"
+
+namespace elmo {
+
+// What a scheme promises about its output; benches report these alongside
+// the measured numbers so a reader can tell policy from accident.
+struct EncoderCapabilities {
+  bool honors_redundancy_limit = false;   // R bounds extra traffic per rule
+  bool exact_srule_bitmaps = true;        // s-rules carry exact input bitmaps
+  bool bounded_egress_diversity = false;  // caps distinct bitmaps per layer
+};
+
+class TreeEncoder {
+ public:
+  // Validates `config` against the topology (throws std::invalid_argument
+  // on impossible configs — see validate_encoder_config).
+  TreeEncoder(const topo::ClosTopology& topology, const EncoderConfig& config);
+  virtual ~TreeEncoder() = default;
+
+  TreeEncoder(const TreeEncoder&) = delete;
+  TreeEncoder& operator=(const TreeEncoder&) = delete;
+
+  virtual std::string_view name() const noexcept = 0;
+  virtual EncoderKind kind() const noexcept = 0;
+  virtual EncoderCapabilities capabilities() const noexcept = 0;
+
+  const EncoderConfig& config() const noexcept { return config_; }
+  const HeaderCodec& codec() const noexcept { return codec_; }
+  const topo::ClosTopology& topology() const noexcept { return *topo_; }
+  std::size_t hmax_leaf() const noexcept { return hmax_leaf_; }
+  std::size_t hmax_spine() const noexcept { return config_.hmax_spine; }
+
+  // Capacity hooks for encode_with: how spill-over switches reserve their
+  // group-table entry. Empty functions disable s-rules (as a null space
+  // does). The parallel pipelines pass ConcurrentSRuleCounters-backed
+  // lambdas here and reconcile against the authoritative space afterwards.
+  struct SRuleReservers {
+    SRuleReserver leaf;        // called with a global leaf id
+    SRuleReserver pod_spines;  // called with a pod id
+  };
+
+  // Encodes the downstream layers of `tree`. When `space` is non-null,
+  // spill-over switches reserve s-rule entries against Fmax; a null space
+  // disables s-rules entirely (ablation of design D5: default-p-rule only).
+  //
+  // `legacy_leaf` (optional, indexed by global leaf id) marks leaves whose
+  // switches cannot parse Elmo headers (paper §7, incremental deployment):
+  // those leaves are forced into s-rules — their group tables remain the
+  // scalability bottleneck — and never appear in p-rules or defaults.
+  GroupEncoding encode(const MulticastTree& tree, SRuleSpace* space,
+                       const std::vector<bool>* legacy_leaf = nullptr) const;
+
+  // encode() with caller-supplied reservation hooks; encode(space, ...) is
+  // exactly encode_with over the space's own try_reserve methods.
+  virtual GroupEncoding encode_with(const MulticastTree& tree,
+                                    const SRuleReservers& reservers,
+                                    const std::vector<bool>* legacy_leaf
+                                    = nullptr) const = 0;
+
+  // Releases the s-rule reservations a previous encode() made (controller
+  // re-encoding path under churn). Base implementation releases one slot
+  // per recorded s-rule, which is correct for every encoder that keeps the
+  // one-reservation-per-s-rule contract.
+  virtual void release(const GroupEncoding& encoding,
+                       const MulticastTree& tree, SRuleSpace& space) const;
+
+  // Serialized header size for `sender`, in bytes (exact, via the codec).
+  virtual std::size_t header_bytes(const MulticastTree& tree,
+                                   const GroupEncoding& encoding,
+                                   topo::HostId sender) const;
+
+ protected:
+  // Per-layer inputs shared by all schemes. The leaf builder applies the §7
+  // legacy policy: legacy leaves are reserved first (exact bitmaps), pulled
+  // out of the clustering inputs, and appended after the scheme's own
+  // s-rules — identical semantics across encoders.
+  std::vector<LayerInput> spine_inputs(const MulticastTree& tree) const;
+
+  struct LeafInputs {
+    std::vector<LayerInput> inputs;  // upgraded leaves, for rule packing
+    std::vector<std::pair<std::uint32_t, net::PortBitmap>> legacy_srules;
+  };
+  LeafInputs leaf_inputs(const MulticastTree& tree,
+                         const SRuleReservers& reservers,
+                         const std::vector<bool>* legacy_leaf) const;
+
+  // Kmax for the spine layer (config value, 0 = all pods).
+  std::size_t spine_kmax() const noexcept {
+    return config_.kmax_spine == 0 ? topo_->num_pods() : config_.kmax_spine;
+  }
+
+  const topo::ClosTopology* topo_;
+  EncoderConfig config_;
+  HeaderCodec codec_;
+  std::size_t hmax_leaf_;
+};
+
+// Rejects impossible configs with a descriptive std::invalid_argument:
+// zero hmax/kmax, per-layer rule counts beyond the 7-bit wire field, a
+// header budget too small to fit even one leaf p-rule at this topology's
+// bitmap widths (when hmax_leaf is derived), zero P3FA egress classes.
+// Called by every TreeEncoder constructor.
+void validate_encoder_config(const topo::ClosTopology& topology,
+                             const EncoderConfig& config);
+
+// Instantiates the encoder selected by config.encoder.
+std::unique_ptr<TreeEncoder> make_encoder(const topo::ClosTopology& topology,
+                                          const EncoderConfig& config);
+
+const char* to_string(EncoderKind kind) noexcept;
+// Parses "elmo" / "bert" / "p3fa" (throws std::invalid_argument otherwise).
+EncoderKind parse_encoder_kind(std::string_view name);
+
+}  // namespace elmo

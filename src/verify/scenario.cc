@@ -217,6 +217,14 @@ Scenario generate_scenario(std::uint64_t seed) {
   for (std::size_t gi = 0; gi < sc.groups.size(); ++gi) {
     emit_send(gi);
   }
+
+  // Encoder kind, drawn last so every earlier draw (and therefore every
+  // historical seed -> scenario mapping) is unchanged. All kinds must pass
+  // the same delivery oracle.
+  sc.config.encoder = kAllEncoderKinds[rng.index(std::size(kAllEncoderKinds))];
+  if (sc.config.encoder == EncoderKind::kP3fa) {
+    sc.config.p3fa_egress_classes = 1 + rng.index(4);
+  }
   return sc;
 }
 

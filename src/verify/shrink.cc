@@ -206,6 +206,14 @@ std::string to_fixture(const Scenario& scenario) {
   if (c.srule_capacity != std::numeric_limits<std::size_t>::max()) {
     out << "  sc.config.srule_capacity = " << c.srule_capacity << ";\n";
   }
+  if (c.encoder != EncoderKind::kElmo) {
+    out << "  sc.config.encoder = elmo::EncoderKind::k"
+        << (c.encoder == EncoderKind::kBert ? "Bert" : "P3fa") << ";\n";
+    if (c.encoder == EncoderKind::kP3fa) {
+      out << "  sc.config.p3fa_egress_classes = " << c.p3fa_egress_classes
+          << ";\n";
+    }
+  }
   if (!scenario.legacy_leaves.empty()) {
     out << "  sc.legacy_leaves = {";
     for (std::size_t i = 0; i < scenario.legacy_leaves.size(); ++i) {

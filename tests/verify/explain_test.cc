@@ -132,10 +132,13 @@ TEST(Explain, DiffCarriesExplanationForExtraCopy) {
 
 TEST(Explain, MissingHostFlaggedInExplanation) {
   // kClearPRuleBit silently drops one member's port bit: the explanation of
-  // the failing send must list that host as missing.
+  // the failing send must list that host as missing. Pinned to the Elmo
+  // encoder: under bert/p3fa the cleared bit can be a shared (non-member)
+  // bit, where the diff reports a totals mismatch instead of a missing host.
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-    const auto report =
-        run_scenario(generate_scenario(seed), Mutation::kClearPRuleBit);
+    auto scenario = generate_scenario(seed);
+    scenario.config.encoder = EncoderKind::kElmo;
+    const auto report = run_scenario(scenario, Mutation::kClearPRuleBit);
     if (!report.applied || report.ok) continue;
     EXPECT_FALSE(report.explanation.empty());
     EXPECT_NE(report.explanation.find("MISSING: host"), std::string::npos);

@@ -14,15 +14,18 @@
 // and exits non-zero on any mismatch.
 //
 // Flags (KEY=VALUE, --key=value, or ELMO_<KEY> env):
-//   --seed=N      scenario seed to replay (default 1)
-//   --group=G     only sends of this group index (default: all groups)
-//   --send=K      only the K-th matching send (0-based; default: all)
+//   --seed=N        scenario seed to replay (default 1)
+//   --group=G       only sends of this group index (default: all groups)
+//   --send=K        only the K-th matching send (0-based; default: all)
+//   --encoder=NAME  replay under this TreeEncoder (elmo / bert / p3fa;
+//                   default: the kind the scenario generator drew)
 //
-// Example: tools/explain --seed=7 --group=0
+// Example: tools/explain --seed=7 --group=0 --encoder=bert
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "elmo/tree_encoder.h"
 #include "util/flags.h"
 #include "verify/differ.h"
 #include "verify/scenario.h"
@@ -33,16 +36,22 @@ int main(int argc, char** argv) {
   const auto group = flags.get_int("GROUP", -1);
   const auto send = flags.get_int("SEND", -1);
 
-  const auto scenario = elmo::verify::generate_scenario(seed);
+  auto scenario = elmo::verify::generate_scenario(seed);
+  if (const auto name = flags.get_string("ENCODER", ""); !name.empty()) {
+    scenario.config.encoder = elmo::parse_encoder_kind(name);
+  }
   std::vector<elmo::verify::SendCapture> captures;
   elmo::verify::RunObservability observability;
   observability.captures = &captures;
   const auto report = elmo::verify::run_scenario(
       scenario, elmo::verify::Mutation::kNone, &observability);
 
-  std::printf("seed=%llu: %zu group(s), %zu event(s), %zu send(s) captured\n",
-              static_cast<unsigned long long>(seed), scenario.groups.size(),
-              scenario.events.size(), captures.size());
+  std::printf(
+      "seed=%llu encoder=%s: %zu group(s), %zu event(s), %zu send(s) "
+      "captured\n",
+      static_cast<unsigned long long>(seed),
+      elmo::to_string(scenario.config.encoder), scenario.groups.size(),
+      scenario.events.size(), captures.size());
   if (!report.ok) {
     std::printf("NOTE: scenario diverged: %s\n", report.failure.c_str());
   }

@@ -19,6 +19,8 @@
 //   --seeds=N        seeds to walk (default 50)
 //   --base_seed=N    first seed (default 1)
 //   --seed=N         run exactly one seed (overrides --seeds)
+//   --encoder=NAME   force every scenario onto one TreeEncoder
+//                    (elmo / bert / p3fa; default: as generated per seed)
 //   --mutate=1       run the mutation self-check instead of plain fuzzing
 //   --shrink=0       disable shrinking on failure
 //   --verbose=1      per-seed progress lines
@@ -31,9 +33,11 @@
 // Replaying a CI failure: tools/fuzz_pipeline --seed=<reported seed>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "elmo/tree_encoder.h"
 #include "obs/metrics.h"
 #include "sim/flight_recorder.h"
 #include "util/flags.h"
@@ -43,6 +47,7 @@
 
 namespace {
 
+using elmo::EncoderKind;
 using elmo::verify::Mutation;
 using elmo::verify::RunObservability;
 using elmo::verify::RunReport;
@@ -54,7 +59,16 @@ struct Options {
   std::string metrics;    // campaign-wide exposition path; empty = off
   std::string trace;      // single-seed replay trace path; empty = off
   std::string artifacts = ".";
+  // When set, every generated scenario is forced onto this encoder kind
+  // (replaying a matrix-job failure, or isolating one scheme).
+  std::optional<EncoderKind> encoder;
 };
+
+Scenario make_scenario(std::uint64_t seed, const Options& opt) {
+  auto scenario = elmo::verify::generate_scenario(seed);
+  if (opt.encoder) scenario.config.encoder = *opt.encoder;
+  return scenario;
+}
 
 // Re-runs the failing scenario with a private registry, recorder, and
 // provenance capture, and dumps snapshot, trace, and per-send decision-tree
@@ -68,7 +82,8 @@ void dump_failure_artifacts(const Scenario& scenario, const Options& opt) {
       elmo::verify::run_scenario(scenario, Mutation::kNone, &observability);
 
   const auto stem = opt.artifacts + "/fuzz_seed_" +
-                    std::to_string(scenario.seed);
+                    std::to_string(scenario.seed) + "_" +
+                    elmo::to_string(scenario.config.encoder);
   const auto snap = registry.snapshot();
   elmo::obs::write_metrics(stem + ".metrics.prom", snap);
   elmo::obs::write_metrics(stem + ".metrics.json", snap);
@@ -93,11 +108,14 @@ void dump_failure_artifacts(const Scenario& scenario, const Options& opt) {
 
 void report_failure(const Scenario& scenario, const RunReport& report,
                     const Options& opt) {
-  std::printf("FAIL seed=%llu: %s\n",
+  std::printf("FAIL seed=%llu encoder=%s: %s\n",
               static_cast<unsigned long long>(scenario.seed),
+              elmo::to_string(scenario.config.encoder),
               report.failure.c_str());
-  std::printf("replay: tools/fuzz_pipeline --seed=%llu\n",
-              static_cast<unsigned long long>(scenario.seed));
+  std::printf("replay: tools/fuzz_pipeline --seed=%llu%s%s\n",
+              static_cast<unsigned long long>(scenario.seed),
+              opt.encoder ? " --encoder=" : "",
+              opt.encoder ? elmo::to_string(*opt.encoder) : "");
   dump_failure_artifacts(scenario, opt);
   if (!opt.do_shrink) return;
   const auto minimal = elmo::verify::shrink(scenario);
@@ -121,7 +139,7 @@ int run_plain(std::uint64_t base, std::size_t seeds, const Options& opt) {
   std::size_t sends = 0;
   for (std::size_t i = 0; i < seeds; ++i) {
     const std::uint64_t seed = base + i;
-    const auto scenario = elmo::verify::generate_scenario(seed);
+    const auto scenario = make_scenario(seed, opt);
     RunObservability observability{registry, trace_on ? &recorder : nullptr};
     const auto report = elmo::verify::run_scenario(
         scenario, Mutation::kNone,
@@ -147,7 +165,9 @@ int run_plain(std::uint64_t base, std::size_t seeds, const Options& opt) {
   return 0;
 }
 
-int run_mutations(std::uint64_t base, std::size_t max_scans, bool verbose) {
+int run_mutations(std::uint64_t base, std::size_t max_scans,
+                  const Options& opt) {
+  const bool verbose = opt.verbose;
   int failures = 0;
   for (const auto mutation : elmo::verify::kAllMutations) {
     bool caught = false;
@@ -155,7 +175,7 @@ int run_mutations(std::uint64_t base, std::size_t max_scans, bool verbose) {
     std::size_t applied_runs = 0;
     for (std::size_t i = 0; i < max_scans && !caught; ++i) {
       const std::uint64_t seed = base + i;
-      const auto scenario = elmo::verify::generate_scenario(seed);
+      const auto scenario = make_scenario(seed, opt);
       const auto report = elmo::verify::run_scenario(scenario, mutation);
       if (report.applied) ++applied_runs;
       if (report.applied && !report.ok) {
@@ -199,13 +219,16 @@ int main(int argc, char** argv) {
   opt.metrics = flags.get_string("METRICS", "");
   opt.trace = flags.get_string("TRACE", "");
   opt.artifacts = flags.get_string("ARTIFACTS", ".");
+  if (const auto name = flags.get_string("ENCODER", ""); !name.empty()) {
+    opt.encoder = elmo::parse_encoder_kind(name);
+  }
 
   if (single >= 0) {
     opt.verbose = true;
     return run_plain(static_cast<std::uint64_t>(single), 1, opt);
   }
   if (mutate) {
-    return run_mutations(base, seeds, opt.verbose);
+    return run_mutations(base, seeds, opt);
   }
   return run_plain(base, seeds, opt);
 }
