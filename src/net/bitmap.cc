@@ -23,65 +23,78 @@ void PortBitmap::set(std::size_t port, bool value) {
   check_port(port);
   const std::uint64_t mask = 1ULL << (port % 64);
   if (value) {
-    words_[port / 64] |= mask;
+    data()[port / 64] |= mask;
   } else {
-    words_[port / 64] &= ~mask;
+    data()[port / 64] &= ~mask;
   }
 }
 
 bool PortBitmap::test(std::size_t port) const {
   check_port(port);
-  return (words_[port / 64] >> (port % 64)) & 1;
+  return (data()[port / 64] >> (port % 64)) & 1;
 }
 
 std::size_t PortBitmap::popcount() const noexcept {
+  const auto* w = data();
   std::size_t total = 0;
-  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  for (std::size_t i = 0; i < num_words_; ++i) {
+    total += static_cast<std::size_t>(std::popcount(w[i]));
+  }
   return total;
 }
 
 bool PortBitmap::any() const noexcept {
-  for (const auto w : words_) {
-    if (w != 0) return true;
+  const auto* w = data();
+  for (std::size_t i = 0; i < num_words_; ++i) {
+    if (w[i] != 0) return true;
   }
   return false;
 }
 
 PortBitmap& PortBitmap::operator|=(const PortBitmap& other) {
   check_domain(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  auto* w = data();
+  const auto* o = other.data();
+  for (std::size_t i = 0; i < num_words_; ++i) w[i] |= o[i];
   return *this;
 }
 
 PortBitmap& PortBitmap::operator&=(const PortBitmap& other) {
   check_domain(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  auto* w = data();
+  const auto* o = other.data();
+  for (std::size_t i = 0; i < num_words_; ++i) w[i] &= o[i];
   return *this;
 }
 
 std::size_t PortBitmap::hamming_distance(const PortBitmap& other) const {
   check_domain(other);
+  const auto* w = data();
+  const auto* o = other.data();
   std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  for (std::size_t i = 0; i < num_words_; ++i) {
+    total += static_cast<std::size_t>(std::popcount(w[i] ^ o[i]));
   }
   return total;
 }
 
 std::size_t PortBitmap::extra_bits_in(const PortBitmap& other) const {
   check_domain(other);
+  const auto* w = data();
+  const auto* o = other.data();
   std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(
-        std::popcount(other.words_[i] & ~words_[i]));
+  for (std::size_t i = 0; i < num_words_; ++i) {
+    total += static_cast<std::size_t>(std::popcount(o[i] & ~w[i]));
   }
   return total;
 }
 
 bool PortBitmap::is_subset_of(const PortBitmap& other) const {
   check_domain(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  const auto* w = data();
+  const auto* o = other.data();
+  for (std::size_t i = 0; i < num_words_; ++i) {
+    if ((w[i] & ~o[i]) != 0) return false;
   }
   return true;
 }
@@ -109,7 +122,8 @@ std::uint64_t PortBitmap::hash() const noexcept {
     }
   };
   mix(num_ports_);
-  for (const auto w : words_) mix(w);
+  const auto* w = data();
+  for (std::size_t i = 0; i < num_words_; ++i) mix(w[i]);
   return h;
 }
 

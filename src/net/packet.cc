@@ -1,20 +1,28 @@
 #include "net/packet.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace elmo::net {
 
 namespace {
-CopyStats g_copy_stats;
+std::atomic<std::uint64_t> g_copy_count{0};
+std::atomic<std::uint64_t> g_copy_bytes{0};
 }  // namespace
 
-const CopyStats& copy_stats() noexcept { return g_copy_stats; }
+CopyStats copy_stats() noexcept {
+  return CopyStats{g_copy_count.load(std::memory_order_relaxed),
+                   g_copy_bytes.load(std::memory_order_relaxed)};
+}
 
-void reset_copy_stats() noexcept { g_copy_stats = CopyStats{}; }
+void reset_copy_stats() noexcept {
+  g_copy_count.store(0, std::memory_order_relaxed);
+  g_copy_bytes.store(0, std::memory_order_relaxed);
+}
 
 void count_copy(std::size_t bytes) noexcept {
-  ++g_copy_stats.copies;
-  g_copy_stats.bytes += bytes;
+  g_copy_count.fetch_add(1, std::memory_order_relaxed);
+  g_copy_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 void Packet::push_front(std::span<const std::uint8_t> header) {

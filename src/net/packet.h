@@ -22,14 +22,15 @@
 namespace elmo::net {
 
 // Global accounting of deep packet-byte copies (copy construction/assignment
-// of Packet, PacketView materialization). The simulator is single-threaded;
-// benches reset the counters around a measured section.
+// of Packet, PacketView materialization). Counted with relaxed atomics so the
+// sharded fabric walk (DESIGN.md §12) can deep-copy from worker threads;
+// benches reset the counters around a measured section and read a snapshot.
 struct CopyStats {
   std::uint64_t copies = 0;
   std::uint64_t bytes = 0;
 };
 
-const CopyStats& copy_stats() noexcept;
+CopyStats copy_stats() noexcept;
 void reset_copy_stats() noexcept;
 void count_copy(std::size_t bytes) noexcept;
 

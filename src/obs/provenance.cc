@@ -28,9 +28,8 @@ const char* to_string(RuleClass rule) {
   return "?";
 }
 
-std::size_t ProvenanceLog::begin_send(std::uint32_t group,
-                                      std::uint32_t src_host,
-                                      std::size_t bytes) {
+SendTrace make_trace(std::uint32_t group, std::uint32_t src_host,
+                     std::size_t bytes) {
   SendTrace trace;
   trace.group = group;
   trace.src_host = src_host;
@@ -40,15 +39,12 @@ std::size_t ProvenanceLog::begin_send(std::uint32_t group,
   root.bytes_in = bytes;
   root.decision.rule = RuleClass::kSource;
   trace.hops.push_back(std::move(root));
-  sends_.push_back(std::move(trace));
-  open_ = kNoProvParent;
-  return 0;
+  return trace;
 }
 
-std::size_t ProvenanceLog::begin_hop(topo::Layer layer, std::uint32_t node,
-                                     std::size_t parent,
-                                     std::size_t bytes_in) {
-  auto& hops = sends_.back().hops;
+std::size_t add_hop(SendTrace& trace, topo::Layer layer, std::uint32_t node,
+                    std::size_t parent, std::size_t bytes_in) {
+  auto& hops = trace.hops;
   const std::size_t index = hops.size();
   ProvHop hop;
   hop.layer = layer;
@@ -57,13 +53,12 @@ std::size_t ProvenanceLog::begin_hop(topo::Layer layer, std::uint32_t node,
   hop.bytes_in = bytes_in;
   hops.push_back(std::move(hop));
   if (parent != kNoProvParent) hops[parent].children.push_back(index);
-  open_ = index;
   return index;
 }
 
-void ProvenanceLog::lost_copy(topo::Layer layer, std::uint32_t node,
-                              std::size_t parent) {
-  auto& hops = sends_.back().hops;
+void add_lost(SendTrace& trace, topo::Layer layer, std::uint32_t node,
+              std::size_t parent) {
+  auto& hops = trace.hops;
   const std::size_t index = hops.size();
   ProvHop hop;
   hop.layer = layer;
@@ -74,9 +69,34 @@ void ProvenanceLog::lost_copy(topo::Layer layer, std::uint32_t node,
   if (parent != kNoProvParent) hops[parent].children.push_back(index);
 }
 
+std::size_t ProvenanceLog::begin_send(std::uint32_t group,
+                                      std::uint32_t src_host,
+                                      std::size_t bytes) {
+  sends_.push_back(make_trace(group, src_host, bytes));
+  open_ = kNoProvParent;
+  return 0;
+}
+
+std::size_t ProvenanceLog::begin_hop(topo::Layer layer, std::uint32_t node,
+                                     std::size_t parent,
+                                     std::size_t bytes_in) {
+  open_ = add_hop(sends_.back(), layer, node, parent, bytes_in);
+  return open_;
+}
+
+void ProvenanceLog::lost_copy(topo::Layer layer, std::uint32_t node,
+                              std::size_t parent) {
+  add_lost(sends_.back(), layer, node, parent);
+}
+
 void ProvenanceLog::record_decision(const HopDecision& decision) {
   if (sends_.empty() || open_ == kNoProvParent) return;
   sends_.back().hops[open_].decision = decision;
+}
+
+void ProvenanceLog::append_trace(SendTrace&& trace) {
+  sends_.push_back(std::move(trace));
+  open_ = kNoProvParent;
 }
 
 void ProvenanceLog::clear() {

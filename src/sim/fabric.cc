@@ -1,5 +1,6 @@
 #include "sim/fabric.h"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 
@@ -14,11 +15,16 @@ namespace {
 // registry lock; the per-send hot path must not).
 struct FabricMetricIds {
   obs::MetricsRegistry::Id send_seconds;
+  obs::MetricsRegistry::Id batch_seconds;
   FabricMetricIds() {
     auto& reg = obs::MetricsRegistry::global();
     send_seconds = reg.histogram(
         "elmo_fabric_send_seconds", obs::latency_bounds(),
         "Wall-clock time of one multicast fabric walk (event-queue drain)");
+    batch_seconds = reg.histogram(
+        "elmo_fabric_batch_seconds", obs::latency_bounds(),
+        "Wall-clock time of one batched fabric walk (all waves of one "
+        "send_batch call)");
   }
 };
 
@@ -26,6 +32,8 @@ FabricMetricIds& fabric_metric_ids() {
   static FabricMetricIds ids;
   return ids;
 }
+
+constexpr std::size_t kMaxHops = 8;  // > any Clos path; catches loops
 
 }  // namespace
 
@@ -50,28 +58,53 @@ Fabric::Fabric(const topo::ClosTopology& topology) : topo_{&topology} {
     cores_.push_back(
         std::make_unique<dp::NetworkSwitch>(topology, topo::Layer::kCore, c));
   }
+
+  // Flat, index-addressed node and link state: hosts, leaves, spines, cores
+  // in one contiguous table, and one LinkStats slot per (node, out-port).
+  const std::size_t hosts = topology.num_hosts();
+  const std::size_t leaves = topology.num_leaves();
+  const std::size_t spines = topology.num_spines();
+  const std::size_t cores = topology.num_cores();
+  layer_base_[static_cast<std::size_t>(topo::Layer::kHost)] = 0;
+  layer_base_[static_cast<std::size_t>(topo::Layer::kLeaf)] = hosts;
+  layer_base_[static_cast<std::size_t>(topo::Layer::kSpine)] = hosts + leaves;
+  layer_base_[static_cast<std::size_t>(topo::Layer::kCore)] =
+      hosts + leaves + spines;
+
+  const std::size_t nodes = hosts + leaves + spines + cores;
+  elements_.resize(nodes);
+  for (std::size_t h = 0; h < hosts; ++h) elements_[h] = hypervisors_[h].get();
+  for (std::size_t l = 0; l < leaves; ++l) {
+    elements_[hosts + l] = leaves_[l].get();
+  }
+  for (std::size_t s = 0; s < spines; ++s) {
+    elements_[hosts + leaves + s] = spines_[s].get();
+  }
+  for (std::size_t c = 0; c < cores; ++c) {
+    elements_[hosts + leaves + spines + c] = cores_[c].get();
+  }
+
+  auto out_degree = [&](std::size_t node) {
+    if (node < hosts) return std::size_t{1};  // host uplink to its leaf
+    if (node < hosts + leaves) {
+      return topology.leaf_down_ports() + topology.leaf_up_ports();
+    }
+    if (node < hosts + leaves + spines) {
+      return topology.spine_down_ports() + topology.spine_up_ports();
+    }
+    return topology.core_ports();
+  };
+  link_base_.resize(nodes + 1);
+  link_base_[0] = 0;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    link_base_[n + 1] = link_base_[n] + out_degree(n);
+  }
+  link_stats_.assign(link_base_.back(), LinkStats{});
 }
 
 void Fabric::set_provenance(obs::ProvenanceLog* log) {
   prov_ = log;
-  for (auto& hv : hypervisors_) hv->set_provenance(log);
-  for (auto& sw : leaves_) sw->set_provenance(log);
-  for (auto& sw : spines_) sw->set_provenance(log);
-  for (auto& sw : cores_) sw->set_provenance(log);
-}
-
-dp::ForwardingElement& Fabric::element(const NodeRef& node) {
-  switch (node.layer) {
-    case topo::Layer::kHost:
-      return *hypervisors_.at(node.id);
-    case topo::Layer::kLeaf:
-      return *leaves_.at(node.id);
-    case topo::Layer::kSpine:
-      return *spines_.at(node.id);
-    case topo::Layer::kCore:
-      return *cores_.at(node.id);
-  }
-  throw std::logic_error{"Fabric: unknown node layer"};
+  for (auto* e : elements_) e->set_provenance(log);
 }
 
 void Fabric::install_group(const elmo::Controller& controller,
@@ -125,15 +158,67 @@ void Fabric::uninstall_group(const elmo::Controller& controller,
   }
 }
 
+std::size_t Fabric::port_towards(const NodeRef& from, const NodeRef& to) const {
+  const auto& t = *topo_;
+  switch (from.layer) {
+    case topo::Layer::kHost:
+      return 0;  // a host's only port is its leaf uplink
+    case topo::Layer::kLeaf:
+      if (to.layer == topo::Layer::kHost) return t.host_port_on_leaf(to.id);
+      return t.leaf_down_ports() + t.plane_of_spine(to.id);
+    case topo::Layer::kSpine:
+      if (to.layer == topo::Layer::kLeaf) return t.leaf_index_in_pod(to.id);
+      return t.spine_down_ports() + t.core_index_in_plane(to.id);
+    case topo::Layer::kCore:
+      return t.pod_of_spine(to.id);
+  }
+  throw std::logic_error{"Fabric: unknown node layer"};
+}
+
 void Fabric::account(const NodeRef& from, const NodeRef& to, std::size_t bytes,
                      SendResult& result) {
-  auto& link = links_[{from, to}];
+  account_port(node_index(from), port_towards(from, to), bytes, result);
+}
+
+void Fabric::account_port(std::size_t from_index, std::size_t port,
+                          std::size_t bytes, SendResult& result) {
+  auto& link = link_stats_[link_base_[from_index] + port];
   ++link.packets;
   link.bytes += bytes;
   ++result.total_link_transmissions;
   result.total_wire_bytes += bytes;
   ++walk_stats_.link_transmissions;
   walk_stats_.wire_bytes += bytes;
+}
+
+std::map<std::pair<NodeRef, NodeRef>, LinkStats> Fabric::links() const {
+  std::map<std::pair<NodeRef, NodeRef>, LinkStats> out;
+  auto emit = [&](const NodeRef& node) {
+    const auto idx = node_index(node);
+    for (std::size_t port = 0; port < link_base_[idx + 1] - link_base_[idx];
+         ++port) {
+      const auto& stats = link_stats_[link_base_[idx] + port];
+      if (stats.packets == 0) continue;
+      const auto to = node.layer == topo::Layer::kHost
+                          ? NodeRef{topo::Layer::kLeaf,
+                                    topo_->leaf_of_host(node.id)}
+                          : neighbor_of(node, port);
+      out.emplace(std::pair{node, to}, stats);
+    }
+  };
+  for (topo::HostId h = 0; h < topo_->num_hosts(); ++h) {
+    emit(NodeRef{topo::Layer::kHost, h});
+  }
+  for (topo::LeafId l = 0; l < topo_->num_leaves(); ++l) {
+    emit(NodeRef{topo::Layer::kLeaf, l});
+  }
+  for (topo::SpineId s = 0; s < topo_->num_spines(); ++s) {
+    emit(NodeRef{topo::Layer::kSpine, s});
+  }
+  for (topo::CoreId c = 0; c < topo_->num_cores(); ++c) {
+    emit(NodeRef{topo::Layer::kCore, c});
+  }
+  return out;
 }
 
 NodeRef Fabric::neighbor_of(const NodeRef& node, std::size_t out_port) const {
@@ -179,8 +264,8 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
     recorder_->send_begin(walk_stats_.sends, group.value, src);
   }
   ++walk_stats_.sends;
+  auto loss_rng = util::Rng::stream(loss_seed_, send_ordinal_++);
 
-  constexpr std::size_t kMaxHops = 8;  // > any Clos path; catches loops
   const NodeRef src_node{topo::Layer::kHost, src};
   const NodeRef first_leaf{topo::Layer::kLeaf, topo_->leaf_of_host(src)};
   account(src_node, first_leaf, packet.size(), result);
@@ -191,7 +276,7 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
   }
 
   queue_.clear();
-  if (!lost()) {
+  if (!lost(loss_rng)) {
     queue_.push_back(WorkItem{first_leaf, std::move(packet), 1, prov_root});
     ++walk_stats_.enqueues;
     walk_stats_.max_queue_depth = std::max<std::uint64_t>(
@@ -239,10 +324,12 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
       }
       continue;
     }
+    const auto from_index = node_index(item.at);
     for (auto& emission : emissions) {
       const auto next = neighbor_of(item.at, emission.out_port);
-      account(item.at, next, emission.packet.size(), result);
-      if (lost()) {
+      account_port(from_index, emission.out_port, emission.packet.size(),
+                   result);
+      if (lost(loss_rng)) {
         ++walk_stats_.lost_copies;
         if (prov_ != nullptr) {
           prov_->lost_copy(next.layer, next.id, prov_hop);
@@ -278,14 +365,224 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
   return send(src, group, payload);
 }
 
-std::vector<SendResult> Fabric::send_batch(
-    std::span<const SendRequest> requests) {
-  std::vector<SendResult> results;
-  results.reserve(requests.size());
-  std::vector<std::uint8_t> payload;  // reused scratch across the batch
-  for (const auto& request : requests) {
+std::vector<SendResult> Fabric::send_batch(std::span<const SendRequest> requests,
+                                           const BatchOptions& options) {
+  std::vector<SendResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  const std::size_t threads =
+      options.threads == 0 ? util::default_thread_count() : options.threads;
+  if (pool_ == nullptr || pool_->threads() != threads) {
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+  const std::size_t nshards = pool_->threads();
+  if (shards_.size() < nshards) shards_.resize(nshards);
+
+  std::optional<obs::Span> span;
+  ELMO_METRIC(span.emplace(reg, fabric_metric_ids().batch_seconds));
+  ++walk_stats_.batch_walks;
+
+  // Per-send scratch: loss stream and (when a log is attached) the decision
+  // trace, assembled locally and committed in send order at the end.
+  std::vector<util::Rng> rngs(requests.size(), util::Rng{0});
+  std::vector<obs::SendTrace> traces;
+  if (prov_ != nullptr) traces.resize(requests.size());
+
+  wave_.clear();
+  next_wave_.clear();
+
+  // Phase A (serial): encapsulate every request and seed wave 0 with the
+  // exact effects a serial send() would produce up to its first enqueue.
+  std::vector<std::uint8_t> payload;  // reused scratch across requests
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const auto& request = requests[r];
     payload.assign(request.payload_bytes, 0xab);
-    results.push_back(send(request.src, request.group, payload));
+    auto encapsulated =
+        hypervisor(request.src).encapsulate(request.group, payload);
+    if (!encapsulated) continue;
+    net::PacketView packet{std::move(*encapsulated)};
+
+    if (recorder_ != nullptr) {
+      recorder_->send_begin(walk_stats_.sends, request.group.value,
+                            request.src);
+    }
+    ++walk_stats_.sends;
+    rngs[r] = util::Rng::stream(loss_seed_, send_ordinal_++);
+
+    const NodeRef src_node{topo::Layer::kHost, request.src};
+    const NodeRef first_leaf{topo::Layer::kLeaf,
+                             topo_->leaf_of_host(request.src)};
+    account(src_node, first_leaf, packet.size(), results[r]);
+
+    std::size_t prov_root = obs::kNoProvParent;
+    if (prov_ != nullptr) {
+      traces[r] =
+          obs::make_trace(request.group.value, request.src, packet.size());
+      prov_root = 0;
+    }
+    if (!lost(rngs[r])) {
+      wave_.push_back(BatchItem{first_leaf, std::move(packet), 1, prov_root,
+                                static_cast<std::uint32_t>(r)});
+      ++walk_stats_.enqueues;
+    } else {
+      ++walk_stats_.lost_copies;
+      if (prov_ != nullptr) {
+        obs::add_lost(traces[r], first_leaf.layer, first_leaf.id, prov_root);
+      }
+    }
+  }
+
+  // While a log is attached, elements must write decisions into the shard
+  // that processes them; remember which elements were re-pointed so their
+  // sinks can be restored afterwards.
+  std::vector<dp::ForwardingElement*> swapped_elements;
+  std::vector<std::uint8_t> sink_swapped;
+  if (prov_ != nullptr) sink_swapped.assign(elements_.size(), 0);
+  auto restore_sinks = [&] {
+    for (auto* e : swapped_elements) e->set_provenance(prov_);
+    swapped_elements.clear();
+  };
+
+  std::vector<std::uint32_t> item_shard;
+  std::vector<std::uint32_t> item_local;
+
+  try {
+    while (!wave_.empty()) {
+      ++walk_stats_.batch_waves;
+      walk_stats_.max_queue_depth = std::max<std::uint64_t>(
+          walk_stats_.max_queue_depth, wave_.size());
+
+      for (std::size_t s = 0; s < nshards; ++s) {
+        shards_[s].arena.clear();
+        shards_[s].capture.decisions.clear();
+        shards_[s].items.clear();
+        shards_[s].spans.clear();
+      }
+      item_shard.resize(wave_.size());
+      item_local.resize(wave_.size());
+
+      // Shard by node: every element is processed by exactly one shard, and
+      // within it in global wave order — so per-element effect order (and
+      // with it every counter and multipath decision) does not depend on the
+      // thread count.
+      for (std::size_t i = 0; i < wave_.size(); ++i) {
+        const auto idx = node_index(wave_[i].at);
+        const auto s = static_cast<std::uint32_t>(idx % nshards);
+        item_shard[i] = s;
+        item_local[i] = static_cast<std::uint32_t>(shards_[s].items.size());
+        shards_[s].items.push_back(static_cast<std::uint32_t>(i));
+        if (prov_ != nullptr) {
+          if (!sink_swapped[idx]) {
+            sink_swapped[idx] = 1;
+            swapped_elements.push_back(elements_[idx]);
+          }
+          elements_[idx]->set_provenance(&shards_[s].capture);
+        }
+      }
+
+      // Parallel phase: run process() for every item into its shard's arena.
+      // Nothing shared is mutated: per-element counters belong to one shard,
+      // packet buffers are atomically refcounted, copy stats are atomic.
+      pool_->parallel_for(0, nshards, [&](std::size_t s) {
+        auto& shard = shards_[s];
+        for (const auto wi : shard.items) {
+          auto& item = wave_[wi];
+          if (item.at.layer != topo::Layer::kHost && item.hops > kMaxHops) {
+            throw std::runtime_error{
+                "Fabric: packet exceeded max hops (loop?)"};
+          }
+          const auto mark = shard.arena.mark();
+          (void)element(item.at).process(item.packet, 0, shard.arena);
+          shard.spans.emplace_back(
+              static_cast<std::uint32_t>(mark),
+              static_cast<std::uint32_t>(shard.arena.mark() - mark));
+        }
+      });
+
+      // Merge phase (serial, global wave order): apply accounting, loss
+      // draws, host deliveries, provenance and recorder effects exactly as
+      // the serial walk would, and build the next wave in order.
+      next_wave_.clear();
+      for (std::size_t i = 0; i < wave_.size(); ++i) {
+        auto& item = wave_[i];
+        auto& shard = shards_[item_shard[i]];
+        const auto [mark, count] = shard.spans[item_local[i]];
+        const auto emissions = shard.arena.since(mark).first(count);
+        auto& result = results[item.send];
+        auto& loss_rng = rngs[item.send];
+
+        ++walk_stats_.work_items;
+        const bool at_host = item.at.layer == topo::Layer::kHost;
+        if (!at_host) result.max_hops = std::max(result.max_hops, item.hops);
+
+        double item_start_us = 0;
+        if (recorder_ != nullptr) item_start_us = recorder_->now_us();
+
+        std::size_t prov_hop = obs::kNoProvParent;
+        if (prov_ != nullptr) {
+          auto& trace = traces[item.send];
+          prov_hop = obs::add_hop(trace, item.at.layer, item.at.id, item.prov,
+                                  item.packet.size());
+          trace.hops[prov_hop].decision =
+              shard.capture.decisions[item_local[i]];
+        }
+
+        auto pending = [&] {
+          return static_cast<std::uint32_t>(wave_.size() - i - 1 +
+                                            next_wave_.size());
+        };
+        if (at_host) {
+          result.vm_deliveries += emissions.size();
+          walk_stats_.vm_deliveries += emissions.size();
+          if (recorder_ != nullptr) {
+            recorder_->process(item.at, item_start_us,
+                               static_cast<std::uint32_t>(emissions.size()),
+                               pending(), static_cast<std::uint32_t>(item.hops));
+          }
+          continue;
+        }
+        const auto from_index = node_index(item.at);
+        for (auto& emission : emissions) {
+          const auto next = neighbor_of(item.at, emission.out_port);
+          account_port(from_index, emission.out_port, emission.packet.size(),
+                       result);
+          if (lost(loss_rng)) {
+            ++walk_stats_.lost_copies;
+            if (prov_ != nullptr) {
+              obs::add_lost(traces[item.send], next.layer, next.id, prov_hop);
+            }
+            continue;
+          }
+          if (next.layer == topo::Layer::kHost) {
+            ++result.host_copies[next.id];
+            ++walk_stats_.host_copies;
+            next_wave_.push_back(BatchItem{next, std::move(emission.packet),
+                                           item.hops, prov_hop, item.send});
+          } else {
+            next_wave_.push_back(BatchItem{next, std::move(emission.packet),
+                                           item.hops + 1, prov_hop,
+                                           item.send});
+          }
+          ++walk_stats_.enqueues;
+        }
+        if (recorder_ != nullptr) {
+          recorder_->process(item.at, item_start_us,
+                             static_cast<std::uint32_t>(emissions.size()),
+                             pending(), static_cast<std::uint32_t>(item.hops));
+        }
+      }
+      std::swap(wave_, next_wave_);
+    }
+  } catch (...) {
+    restore_sinks();
+    throw;
+  }
+  restore_sinks();
+
+  if (prov_ != nullptr) {
+    for (auto& trace : traces) {
+      if (!trace.hops.empty()) prov_->append_trace(std::move(trace));
+    }
   }
   return results;
 }
@@ -295,6 +592,7 @@ SendResult Fabric::send_unicast(topo::HostId src, topo::HostId dst,
   SendResult result;
   if (src == dst) return result;
   ++walk_stats_.unicast_sends;
+  auto loss_rng = util::Rng::stream(loss_seed_, send_ordinal_++);
   const auto& t = *topo_;
   const auto wire_bytes = net::kOuterHeaderBytes + payload_bytes;
 
@@ -327,7 +625,7 @@ SendResult Fabric::send_unicast(topo::HostId src, topo::HostId dst,
   bool delivered = true;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     account(path[i], path[i + 1], wire_bytes, result);
-    if (lost()) {
+    if (lost(loss_rng)) {
       delivered = false;
       break;
     }
@@ -426,6 +724,10 @@ void accumulate_fabric_metrics(const Fabric& fabric,
       "Bytes placed on the wire");
   add("elmo_fabric_lost_copies_total", w.lost_copies,
       "Copies dropped by the loss model");
+  add("elmo_fabric_batch_walks_total", w.batch_walks,
+      "Batched walk passes (send_batch calls)");
+  add("elmo_fabric_batch_waves_total", w.batch_waves,
+      "Level-synchronous waves run by batched walks");
   const auto depth_id = reg.gauge(
       "elmo_fabric_max_queue_depth",
       "High-water mark of pending event-queue items");

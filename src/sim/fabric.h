@@ -12,6 +12,19 @@
 // per-fabric EmissionArena that is reused across hops and sends — the walk
 // performs no steady-state allocation and no per-link deep copies (see
 // DESIGN.md, "Forwarding pipeline").
+//
+// Two walk modes share that pipeline (DESIGN.md §12):
+//   * send() — the serial reference: one FIFO drain per send.
+//   * send_batch() — batched + sharded: many sends advance together in
+//     level-synchronous waves; within a wave, elements are sharded across a
+//     util::ThreadPool and their emissions merged back serially in global
+//     wave order, so results (deliveries, link bytes, element counters,
+//     provenance traces, loss draws) are bit-identical to looping send() at
+//     any thread count.
+//
+// Per-node and per-link state is flat and index-addressed: elements live in
+// one contiguous table and link counters in one contiguous array indexed by
+// (node, out-port), so the hot walk does array arithmetic, not tree lookups.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +40,7 @@
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "elmo/controller.h"
 #include "net/headers.h"
 #include "net/packet.h"
@@ -48,6 +62,8 @@ struct NodeRef {
 struct LinkStats {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
+
+  auto operator<=>(const LinkStats&) const = default;
 };
 
 struct SendResult {
@@ -62,7 +78,9 @@ struct SendResult {
 
 // Aggregate event-queue activity across every send since construction (or
 // reset_walk_stats()). Complements per-element SwitchStats/HypervisorStats
-// with walk-level totals the queue itself observes.
+// with walk-level totals the queue itself observes. All fields except
+// max_queue_depth are identical between the serial and batched walk modes;
+// max_queue_depth is mode-specific (FIFO high-water vs widest wave).
 struct FabricWalkStats {
   std::uint64_t sends = 0;              // multicast walks started
   std::uint64_t unicast_sends = 0;
@@ -74,6 +92,8 @@ struct FabricWalkStats {
   std::uint64_t link_transmissions = 0;
   std::uint64_t wire_bytes = 0;
   std::uint64_t lost_copies = 0;        // dropped by the loss model
+  std::uint64_t batch_walks = 0;        // send_batch invocations
+  std::uint64_t batch_waves = 0;        // level-synchronous passes run
 };
 
 // One multicast send for Fabric::send_batch.
@@ -81,6 +101,13 @@ struct SendRequest {
   topo::HostId src = 0;
   net::Ipv4Address group;
   std::size_t payload_bytes = 0;
+};
+
+// Knobs for the batched walk. `threads == 1` runs the wave pipeline inline
+// (no worker threads); `0` means util::default_thread_count(). Output is
+// bit-identical at any value (DESIGN.md §12).
+struct BatchOptions {
+  std::size_t threads = 1;
 };
 
 class Fabric {
@@ -95,7 +122,9 @@ class Fabric {
   dp::NetworkSwitch& core(topo::CoreId core) { return *cores_.at(core); }
 
   // The uniform forwarding view of any node (switch or hypervisor).
-  dp::ForwardingElement& element(const NodeRef& node);
+  dp::ForwardingElement& element(const NodeRef& node) {
+    return *elements_[node_index(node)];
+  }
 
   const topo::ClosTopology& topology() const noexcept { return *topo_; }
 
@@ -114,9 +143,16 @@ class Fabric {
   SendResult send(topo::HostId src, net::Ipv4Address group,
                   std::size_t payload_bytes);
 
-  // Walks a batch of sends back-to-back over the shared event queue and
-  // emission arena (no per-send allocation churn); one result per request.
-  std::vector<SendResult> send_batch(std::span<const SendRequest> requests);
+  // Walks a batch of sends together in level-synchronous waves, sharding
+  // each wave's elements across `options.threads` workers with per-shard
+  // emission arenas and a deterministic in-order merge. One result per
+  // request, bit-identical to calling send() per request in order — at any
+  // thread count (DESIGN.md §12).
+  std::vector<SendResult> send_batch(std::span<const SendRequest> requests,
+                                     const BatchOptions& options);
+  std::vector<SendResult> send_batch(std::span<const SendRequest> requests) {
+    return send_batch(requests, BatchOptions{});
+  }
 
   // Unicast VXLAN path between two hosts (baseline traffic and app-layer
   // replication). Standard IP routing is not the system under test, so this
@@ -124,17 +160,22 @@ class Fabric {
   SendResult send_unicast(topo::HostId src, topo::HostId dst,
                           std::size_t payload_bytes);
 
-  const std::map<std::pair<NodeRef, NodeRef>, LinkStats>& links() const {
-    return links_;
+  // Per-link counters, materialized from the flat per-(node, out-port)
+  // array; links that never carried a packet are omitted.
+  std::map<std::pair<NodeRef, NodeRef>, LinkStats> links() const;
+  void reset_link_stats() {
+    for (auto& l : link_stats_) l = LinkStats{};
   }
-  void reset_link_stats() { links_.clear(); }
 
   // Random per-link loss (for reliability-layer experiments, paper §7):
   // each transmitted copy is independently dropped with probability `rate`
-  // after being accounted on the wire.
+  // after being accounted on the wire. Draws come from a per-send stream
+  // Rng::stream(seed, ordinal) — ordinal counts sends since set_loss — so a
+  // batched walk draws exactly what the serial walk would (DESIGN.md §12).
   void set_loss(double rate, std::uint64_t seed = 1) {
     loss_rate_ = rate;
-    loss_rng_.reseed(seed);
+    loss_seed_ = seed;
+    send_ordinal_ = 0;
   }
 
   // Optional flight recorder (nullptr detaches). Not owned; must outlive the
@@ -169,19 +210,67 @@ class Fabric {
     std::size_t prov = obs::kNoProvParent;  // parent hop in the decision tree
   };
 
+  // Batched-walk wave entry: a WorkItem tagged with its request index.
+  struct BatchItem {
+    NodeRef at;
+    net::PacketView packet;
+    std::size_t hops = 0;
+    std::size_t prov = obs::kNoProvParent;
+    std::uint32_t send = 0;  // index into the request batch
+  };
+
+  // Captures the one HopDecision each process() call records, in shard-local
+  // processing order (== global wave order restricted to the shard).
+  struct DecisionCapture final : obs::ProvenanceSink {
+    std::vector<obs::HopDecision> decisions;
+    void record_decision(const obs::HopDecision& decision) override {
+      decisions.push_back(decision);
+    }
+  };
+
+  // Per-shard scratch for one wave's parallel phase. Arenas persist across
+  // waves and batches so steady state allocates nothing.
+  struct ShardScratch {
+    dp::EmissionArena arena;
+    DecisionCapture capture;
+    std::vector<std::uint32_t> items;  // wave indices owned by this shard
+    // Per owned item: (arena mark, emission count).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+  };
+
+  // Contiguous node numbering: hosts, then leaves, spines, cores.
+  std::size_t node_index(const NodeRef& node) const noexcept {
+    return layer_base_[static_cast<std::size_t>(node.layer)] + node.id;
+  }
+
   void account(const NodeRef& from, const NodeRef& to, std::size_t bytes,
                SendResult& result);
-  bool lost() { return loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_); }
+  // Fast path: the emitting node and its out-port are already known.
+  void account_port(std::size_t from_index, std::size_t port,
+                    std::size_t bytes, SendResult& result);
+  bool lost(util::Rng& rng) {
+    return loss_rate_ > 0.0 && rng.bernoulli(loss_rate_);
+  }
   NodeRef neighbor_of(const NodeRef& node, std::size_t out_port) const;
+  // Out-port of `from` that reaches the adjacent node `to`.
+  std::size_t port_towards(const NodeRef& from, const NodeRef& to) const;
 
   const topo::ClosTopology* topo_;
   std::vector<std::unique_ptr<dp::HypervisorSwitch>> hypervisors_;
   std::vector<std::unique_ptr<dp::NetworkSwitch>> leaves_;
   std::vector<std::unique_ptr<dp::NetworkSwitch>> spines_;
   std::vector<std::unique_ptr<dp::NetworkSwitch>> cores_;
-  std::map<std::pair<NodeRef, NodeRef>, LinkStats> links_;
+
+  // Flat element table indexed by node_index(), and per-(node, out-port)
+  // link counters: slot = link_base_[node_index] + out_port.
+  std::vector<dp::ForwardingElement*> elements_;
+  std::size_t layer_base_[4] = {0, 0, 0, 0};
+  std::vector<std::size_t> link_base_;
+  std::vector<LinkStats> link_stats_;
+
   double loss_rate_ = 0.0;
-  util::Rng loss_rng_{1};
+  std::uint64_t loss_seed_ = 1;
+  std::uint64_t send_ordinal_ = 0;  // per-send loss-stream counter
   FabricWalkStats walk_stats_;
   FlightRecorder* recorder_ = nullptr;
   obs::ProvenanceLog* prov_ = nullptr;
@@ -189,6 +278,12 @@ class Fabric {
   // Walk state, reused across sends (capacity persists, contents do not).
   std::deque<WorkItem> queue_;
   dp::EmissionArena arena_;
+
+  // Batched-walk state (lazily sized; capacity persists across batches).
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<ShardScratch> shards_;
+  std::vector<BatchItem> wave_;
+  std::vector<BatchItem> next_wave_;
 };
 
 // One-shot export: registers the telemetry names (idempotent) and adds the

@@ -62,9 +62,10 @@ std::string describe(const Member& m) {
 class Runner {
  public:
   Runner(const Scenario& scenario, Mutation mutation,
-         const RunObservability* observability)
+         const RunObservability* observability, const RunOptions& options)
       : sc_{scenario},
         mutation_{mutation},
+        options_{options},
         topo_{scenario.params},
         controller_{topo_, scenario.config},
         fabric_{topo_},
@@ -266,7 +267,17 @@ class Runner {
         at + ": send group " + str(gi) + " from host " + str(sender);
 
     prov_log_.clear();
-    const auto res = fabric_.send(sender, g.address, std::size_t{64});
+    sim::SendResult res;
+    if (options_.walk_threads == 0) {
+      res = fabric_.send(sender, g.address, std::size_t{64});
+    } else {
+      // Batched-walk mode: the same send through send_batch, so every oracle
+      // diff doubles as a serial/batched equivalence check (DESIGN.md §12).
+      const sim::SendRequest request{sender, g.address, std::size_t{64}};
+      auto batch = fabric_.send_batch(
+          std::span{&request, 1}, sim::BatchOptions{options_.walk_threads});
+      res = std::move(batch.front());
+    }
     ++report_.sends_checked;
 
     // The analytic evaluator's view of the same send (same flow hash and
@@ -564,6 +575,7 @@ class Runner {
 
   const Scenario& sc_;
   Mutation mutation_;
+  RunOptions options_;
   topo::ClosTopology topo_;
   Controller controller_;
   sim::Fabric fabric_;
@@ -591,8 +603,9 @@ class Runner {
 }  // namespace
 
 RunReport run_scenario(const Scenario& scenario, Mutation mutation,
-                       const RunObservability* observability) {
-  Runner runner{scenario, mutation, observability};
+                       const RunObservability* observability,
+                       const RunOptions& options) {
+  Runner runner{scenario, mutation, observability, options};
   return runner.run();
 }
 

@@ -106,8 +106,17 @@ struct RunObservability {
   std::vector<SendCapture>* captures = nullptr;
 };
 
+// Execution knobs for one run. `walk_threads == 0` checks sends through the
+// serial Fabric::send() reference; any other value routes them through the
+// batched walk (Fabric::send_batch, DESIGN.md §12) with that worker count —
+// every oracle diff then doubles as a serial/batched equivalence check.
+struct RunOptions {
+  std::size_t walk_threads = 0;
+};
+
 RunReport run_scenario(const Scenario& scenario,
                        Mutation mutation = Mutation::kNone,
-                       const RunObservability* observability = nullptr);
+                       const RunObservability* observability = nullptr,
+                       const RunOptions& options = RunOptions{});
 
 }  // namespace elmo::verify

@@ -1,0 +1,231 @@
+// Equivalence of the batched, sharded fabric walk (Fabric::send_batch,
+// DESIGN.md §12) against the serial send() reference: at any thread count
+// the batched walk must reproduce serial results bit-exactly — per-send
+// delivery maps, link counters, element stats, walk totals, loss draws, and
+// provenance traces. The suite name keeps the WalkEquivalence substring so
+// the CI tsan job picks these tests up.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "elmo/controller.h"
+#include "obs/provenance.h"
+#include "sim/fabric.h"
+#include "testutil.h"
+#include "verify/differ.h"
+#include "verify/scenario.h"
+
+namespace elmo {
+namespace {
+
+void expect_same_result(const sim::SendResult& batched,
+                        const sim::SendResult& serial) {
+  EXPECT_EQ(batched.host_copies, serial.host_copies);
+  EXPECT_EQ(batched.vm_deliveries, serial.vm_deliveries);
+  EXPECT_EQ(batched.total_wire_bytes, serial.total_wire_bytes);
+  EXPECT_EQ(batched.total_link_transmissions,
+            serial.total_link_transmissions);
+  EXPECT_EQ(batched.max_hops, serial.max_hops);
+}
+
+// Everything except max_queue_depth, which is documented mode-specific
+// (FIFO high-water mark vs widest wave).
+void expect_same_walk_stats(const sim::FabricWalkStats& batched,
+                            const sim::FabricWalkStats& serial) {
+  EXPECT_EQ(batched.sends, serial.sends);
+  EXPECT_EQ(batched.work_items, serial.work_items);
+  EXPECT_EQ(batched.enqueues, serial.enqueues);
+  EXPECT_EQ(batched.vm_deliveries, serial.vm_deliveries);
+  EXPECT_EQ(batched.host_copies, serial.host_copies);
+  EXPECT_EQ(batched.link_transmissions, serial.link_transmissions);
+  EXPECT_EQ(batched.wire_bytes, serial.wire_bytes);
+  EXPECT_EQ(batched.lost_copies, serial.lost_copies);
+}
+
+void expect_same_switch_stats(const dp::SwitchStats& a,
+                              const dp::SwitchStats& b) {
+  EXPECT_EQ(a.packets_in, b.packets_in);
+  EXPECT_EQ(a.bytes_in, b.bytes_in);
+  EXPECT_EQ(a.copies_out, b.copies_out);
+  EXPECT_EQ(a.bytes_out, b.bytes_out);
+  EXPECT_EQ(a.prule_matches, b.prule_matches);
+  EXPECT_EQ(a.upstream_matches, b.upstream_matches);
+  EXPECT_EQ(a.srule_matches, b.srule_matches);
+  EXPECT_EQ(a.default_matches, b.default_matches);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.header_pops, b.header_pops);
+  EXPECT_EQ(a.header_pop_bytes, b.header_pop_bytes);
+}
+
+// Two identical fabrics over the same controller: one walks sends serially,
+// the other in one batch. Each test compares every observable.
+struct Harness {
+  explicit Harness(std::size_t num_groups, std::uint64_t seed = 77)
+      : topology{topo::ClosParams::small_test()},
+        controller{topology, EncoderConfig{}},
+        serial_fabric{topology},
+        batch_fabric{topology} {
+    util::Rng rng{seed};
+    for (std::size_t gi = 0; gi < num_groups; ++gi) {
+      const auto hosts = test::random_hosts(topology, 3 + rng.index(24), rng);
+      std::vector<Member> members;
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        members.push_back(Member{hosts[i], static_cast<std::uint32_t>(i),
+                                 MemberRole::kBoth});
+      }
+      const auto id = controller.create_group(0, members);
+      serial_fabric.install_group(controller, id);
+      batch_fabric.install_group(controller, id);
+      senders.push_back(hosts);
+      ids.push_back(id);
+    }
+  }
+
+  // Interleaves the groups: request r targets group r % num_groups, cycling
+  // through that group's members as senders.
+  std::vector<sim::SendRequest> interleaved_requests(std::size_t count) {
+    std::vector<sim::SendRequest> requests;
+    for (std::size_t r = 0; r < count; ++r) {
+      const auto gi = r % ids.size();
+      const auto& hosts = senders[gi];
+      requests.push_back(sim::SendRequest{
+          hosts[(r / ids.size()) % hosts.size()],
+          controller.group(ids[gi]).address, 64 + 16 * gi});
+    }
+    return requests;
+  }
+
+  std::vector<sim::SendResult> run_serial(
+      const std::vector<sim::SendRequest>& requests) {
+    std::vector<sim::SendResult> results;
+    for (const auto& request : requests) {
+      results.push_back(serial_fabric.send(request.src, request.group,
+                                           request.payload_bytes));
+    }
+    return results;
+  }
+
+  void expect_equivalent(const std::vector<sim::SendRequest>& requests,
+                         const std::vector<sim::SendResult>& serial,
+                         std::size_t threads) {
+    const auto batched = batch_fabric.send_batch(
+        std::span{requests}, sim::BatchOptions{threads});
+    ASSERT_EQ(batched.size(), serial.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+      SCOPED_TRACE("request " + std::to_string(r) + ", threads " +
+                   std::to_string(threads));
+      expect_same_result(batched[r], serial[r]);
+    }
+    expect_same_walk_stats(batch_fabric.walk_stats(),
+                           serial_fabric.walk_stats());
+    EXPECT_EQ(batch_fabric.links(), serial_fabric.links());
+    for (const auto layer :
+         {topo::Layer::kLeaf, topo::Layer::kSpine, topo::Layer::kCore}) {
+      expect_same_switch_stats(batch_fabric.aggregate_switch_stats(layer),
+                               serial_fabric.aggregate_switch_stats(layer));
+    }
+  }
+
+  topo::ClosTopology topology;
+  Controller controller;
+  sim::Fabric serial_fabric;
+  sim::Fabric batch_fabric;
+  std::vector<std::vector<topo::HostId>> senders;
+  std::vector<GroupId> ids;
+};
+
+class BatchWalkEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchWalkEquivalence, SingleGroupMatchesSerial) {
+  Harness h{1};
+  const auto requests = h.interleaved_requests(12);
+  h.expect_equivalent(requests, h.run_serial(requests), GetParam());
+}
+
+TEST_P(BatchWalkEquivalence, InterleavedGroupsMatchSerial) {
+  Harness h{5};
+  const auto requests = h.interleaved_requests(40);
+  h.expect_equivalent(requests, h.run_serial(requests), GetParam());
+}
+
+TEST_P(BatchWalkEquivalence, LossDrawsMatchSerial) {
+  Harness h{3};
+  h.serial_fabric.set_loss(0.35, /*seed=*/1234);
+  h.batch_fabric.set_loss(0.35, /*seed=*/1234);
+  const auto requests = h.interleaved_requests(30);
+  h.expect_equivalent(requests, h.run_serial(requests), GetParam());
+}
+
+TEST_P(BatchWalkEquivalence, ProvenanceTracesMatchSerial) {
+  Harness h{3};
+  obs::ProvenanceLog serial_log;
+  obs::ProvenanceLog batch_log;
+  h.serial_fabric.set_provenance(&serial_log);
+  h.batch_fabric.set_provenance(&batch_log);
+  h.serial_fabric.set_loss(0.2, /*seed=*/9);  // lost copies appear in traces
+  h.batch_fabric.set_loss(0.2, /*seed=*/9);
+
+  const auto requests = h.interleaved_requests(18);
+  const auto serial = h.run_serial(requests);
+  h.expect_equivalent(requests, serial, GetParam());
+
+  ASSERT_EQ(batch_log.sends().size(), serial_log.sends().size());
+  for (std::size_t s = 0; s < serial_log.sends().size(); ++s) {
+    SCOPED_TRACE("trace " + std::to_string(s));
+    EXPECT_EQ(obs::render_trace(batch_log.sends()[s]),
+              obs::render_trace(serial_log.sends()[s]));
+  }
+
+  // The elements' sinks must be restored to the log after the batch: a
+  // follow-up serial send records through the same log again.
+  batch_log.clear();
+  (void)h.batch_fabric.send(requests[0].src, requests[0].group,
+                            std::size_t{64});
+  EXPECT_EQ(batch_log.sends().size(), 1u);
+}
+
+// Per-send loss streams are keyed by send ordinal, not by walk mode: a batch
+// that is split in two draws exactly what one big batch draws.
+TEST_P(BatchWalkEquivalence, SplitBatchesMatchOneBatch) {
+  Harness h{2};
+  h.batch_fabric.set_loss(0.3, /*seed=*/42);
+  h.serial_fabric.set_loss(0.3, /*seed=*/42);
+  const auto requests = h.interleaved_requests(20);
+  const auto serial = h.run_serial(requests);
+
+  const std::span all{requests};
+  const sim::BatchOptions options{GetParam()};
+  auto first = h.batch_fabric.send_batch(all.first(7), options);
+  auto rest = h.batch_fabric.send_batch(all.subspan(7), options);
+  first.insert(first.end(), std::make_move_iterator(rest.begin()),
+               std::make_move_iterator(rest.end()));
+  ASSERT_EQ(first.size(), serial.size());
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    SCOPED_TRACE("request " + std::to_string(r));
+    expect_same_result(first[r], serial[r]);
+  }
+}
+
+// The full verify pipeline (controller encode -> codec -> walk -> delivery
+// oracle) stays green when every diffed send goes through send_batch: a
+// slice of the fuzz corpus run in batched-walk mode.
+TEST_P(BatchWalkEquivalence, FuzzCorpusSliceDiffsCleanly) {
+  verify::RunOptions options;
+  options.walk_threads = GetParam();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto report = verify::run_scenario(
+        verify::generate_scenario(seed), verify::Mutation::kNone, nullptr,
+        options);
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": " << report.failure;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BatchWalkEquivalence,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{8}),
+                         [](const auto& info) {
+                           return "T" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace elmo

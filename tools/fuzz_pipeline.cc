@@ -29,6 +29,9 @@
 //   --trace=<path>   single-seed replay only: record the fabric walk as
 //                    chrome://tracing JSON
 //   --artifacts=DIR  where failing-seed dumps land (default ".")
+//   --walk_threads=N diff sends through the batched fabric walk
+//                    (send_batch) with N workers instead of the serial
+//                    send() reference (default 0 = serial)
 //
 // Replaying a CI failure: tools/fuzz_pipeline --seed=<reported seed>
 #include <cstdio>
@@ -56,6 +59,9 @@ using elmo::verify::Scenario;
 struct Options {
   bool do_shrink = true;
   bool verbose = false;
+  // 0 = serial Fabric::send(); N >= 1 = batched walk with N workers, so the
+  // whole campaign doubles as a serial/batched equivalence sweep.
+  std::size_t walk_threads = 0;
   std::string metrics;    // campaign-wide exposition path; empty = off
   std::string trace;      // single-seed replay trace path; empty = off
   std::string artifacts = ".";
@@ -141,9 +147,12 @@ int run_plain(std::uint64_t base, std::size_t seeds, const Options& opt) {
     const std::uint64_t seed = base + i;
     const auto scenario = make_scenario(seed, opt);
     RunObservability observability{registry, trace_on ? &recorder : nullptr};
+    elmo::verify::RunOptions run_options;
+    run_options.walk_threads = opt.walk_threads;
     const auto report = elmo::verify::run_scenario(
         scenario, Mutation::kNone,
-        (registry != nullptr || trace_on) ? &observability : nullptr);
+        (registry != nullptr || trace_on) ? &observability : nullptr,
+        run_options);
     if (!report.ok) {
       report_failure(scenario, report, opt);
       return 1;
@@ -219,6 +228,8 @@ int main(int argc, char** argv) {
   opt.metrics = flags.get_string("METRICS", "");
   opt.trace = flags.get_string("TRACE", "");
   opt.artifacts = flags.get_string("ARTIFACTS", ".");
+  opt.walk_threads =
+      static_cast<std::size_t>(flags.get_int("WALK_THREADS", 0));
   if (const auto name = flags.get_string("ENCODER", ""); !name.empty()) {
     opt.encoder = elmo::parse_encoder_kind(name);
   }
