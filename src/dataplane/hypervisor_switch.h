@@ -72,6 +72,17 @@ class HypervisorSwitch : public ForwardingElement {
     return flows_.contains(group.value);
   }
   std::size_t flow_count() const noexcept { return flows_.size(); }
+  // Installed flow for `group`, or nullptr. Read access for state diffing
+  // (the verify harness compares fabric contents against its oracle).
+  const GroupFlow* flow(net::Ipv4Address group) const {
+    const auto it = flows_.find(group.value);
+    return it != flows_.end() ? &it->second : nullptr;
+  }
+  // Full table view, keyed by group address value (iteration order is
+  // unspecified — digest builders must sort).
+  const std::unordered_map<std::uint32_t, GroupFlow>& flows() const noexcept {
+    return flows_;
+  }
 
   // VM -> network: returns the encapsulated packet, or nullopt if this host
   // has no flow for the group (non-members cannot source into a group).

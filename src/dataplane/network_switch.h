@@ -118,6 +118,18 @@ class NetworkSwitch : public ForwardingElement {
   void install_srule(net::Ipv4Address group, net::PortBitmap ports);
   void remove_srule(net::Ipv4Address group);
   std::size_t srule_count() const noexcept { return group_table_.size(); }
+  // Installed s-rule bitmap for `group`, or nullptr. Read access for state
+  // diffing (the verify harness compares fabric contents against its oracle).
+  const net::PortBitmap* srule(net::Ipv4Address group) const {
+    const auto it = group_table_.find(group.value);
+    return it != group_table_.end() ? &it->second : nullptr;
+  }
+  // Full table view, keyed by group address value (iteration order is
+  // unspecified — digest builders must sort).
+  const std::unordered_map<std::uint32_t, net::PortBitmap>& srules()
+      const noexcept {
+    return group_table_;
+  }
 
   // Full pipeline for one received packet: emissions are appended to `arena`
   // as refcounted views over the incoming buffer (ForwardingElement).

@@ -40,8 +40,12 @@ void CountingSink::reset() {
 
 CountingSink::Rates CountingSink::rates_of(
     std::span<const std::uint64_t> counts, double seconds) {
+  if (seconds <= 0.0) {
+    throw std::invalid_argument{
+        "CountingSink: rates over a non-positive duration"};
+  }
   Rates rates;
-  if (counts.empty() || seconds <= 0.0) return rates;
+  if (counts.empty()) return rates;
   std::uint64_t peak = 0;
   for (const auto c : counts) {
     rates.total += c;
@@ -77,36 +81,37 @@ ChurnSimulator::ChurnSimulator(Controller& controller,
     : controller_{&controller},
       tenants_{tenants},
       groups_{groups.begin(), groups.end()} {
+  if (groups_.empty()) {
+    throw std::invalid_argument{"ChurnSimulator: no groups"};
+  }
   membership_.reserve(groups_.size());
-  cumulative_weight_.reserve(groups_.size());
-  double cumulative = 0.0;
-  for (const auto id : groups_) {
-    const auto& g = controller.group(id);
+  weights_ = util::FenwickTree{groups_.size()};
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    const auto& g = controller.group(groups_[gi]);
     std::unordered_set<std::uint32_t> vms;
     vms.reserve(g.members.size() * 2);
     for (const auto& m : g.members) vms.insert(m.vm);
     membership_.push_back(std::move(vms));
-    cumulative += static_cast<double>(g.members.size());
-    cumulative_weight_.push_back(cumulative);
-  }
-  if (groups_.empty()) {
-    throw std::invalid_argument{"ChurnSimulator: no groups"};
+    weights_.add(gi, static_cast<std::int64_t>(g.members.size()));
   }
 }
 
 double ChurnSimulator::run(const ChurnParams& params, util::Rng& rng) {
+  std::size_t effective = 0;
   for (std::size_t e = 0; e < params.events; ++e) {
-    step(params.min_group_size, rng);
+    if (step(params.min_group_size, rng)) ++effective;
   }
-  return static_cast<double>(params.events) / params.events_per_second;
+  // No-op attempts are not events: returning the full-attempt duration would
+  // understate every updates/sec rate computed against it.
+  return static_cast<double>(effective) / params.events_per_second;
 }
 
-void ChurnSimulator::step(std::size_t min_group_size, util::Rng& rng) {
-  // Pick a group with probability proportional to its (initial) size.
-  const double target = rng.uniform(0.0, cumulative_weight_.back());
-  const auto it = std::lower_bound(cumulative_weight_.begin(),
-                                   cumulative_weight_.end(), target);
-  const auto gi = static_cast<std::size_t>(it - cumulative_weight_.begin());
+bool ChurnSimulator::step(std::size_t min_group_size, util::Rng& rng) {
+  // Pick a group with probability proportional to its *live* size: weights_
+  // moves on every join/leave, so long campaigns keep sampling the actual
+  // size distribution instead of the snapshot taken at construction.
+  const auto gi = weights_.upper_bound(
+      rng.index(static_cast<std::size_t>(weights_.total())));
   const auto id = groups_[gi];
 
   const auto& g = controller_->group(id);
@@ -116,10 +121,15 @@ void ChurnSimulator::step(std::size_t min_group_size, util::Rng& rng) {
 
   if ((must_grow || rng.bernoulli(0.5)) && can_grow) {
     do_join(gi, rng);
-  } else if (g.members.size() > min_group_size) {
-    do_leave(gi, rng);
+    return true;
   }
-  // Else: group pinned at min size and tenant exhausted — no event.
+  if (g.members.size() > min_group_size) {
+    do_leave(gi, rng);
+    return true;
+  }
+  // Group pinned at min size and tenant exhausted — nothing was mutated.
+  ++noop_events_;
+  return false;
 }
 
 void ChurnSimulator::do_join(std::size_t gi, util::Rng& rng) {
@@ -137,7 +147,12 @@ void ChurnSimulator::do_join(std::size_t gi, util::Rng& rng) {
   member.vm = vm;
   member.host = tenant.vm_hosts[vm];
   member.role = static_cast<MemberRole>(rng.index(3));
-  controller_->join(id, member);
+  if (driver_ != nullptr) {
+    driver_->join(id, member);
+  } else {
+    controller_->join(id, member);
+  }
+  weights_.add(gi, 1);
   ++joins_;
 }
 
@@ -148,8 +163,11 @@ void ChurnSimulator::do_leave(std::size_t gi, util::Rng& rng) {
   // Leave by (host, vm): leaving by host alone removes the *first* member on
   // that host, which desyncs this mirror whenever two VMs of the group share
   // a host (co-located placement, P >= 2).
-  const auto removed = controller_->leave(id, victim.host, victim.vm);
+  const auto removed = driver_ != nullptr
+                           ? driver_->leave(id, victim.host, victim.vm)
+                           : controller_->leave(id, victim.host, victim.vm);
   membership_[gi].erase(removed.vm);
+  weights_.add(gi, -1);
   ++leaves_;
 }
 

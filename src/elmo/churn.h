@@ -16,6 +16,7 @@
 
 #include "cloud/cloud.h"
 #include "elmo/controller.h"
+#include "util/fenwick.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -35,7 +36,9 @@ class CountingSink final : public UpdateSink {
     double max = 0.0;  // the busiest switch of the type
     std::uint64_t total = 0;
   };
-  // `seconds` is the simulated wall-clock the counted events span.
+  // `seconds` is the simulated wall-clock the counted events span. Throws
+  // std::invalid_argument when seconds <= 0 — a miswired bench used to get
+  // silent all-zero rates and record them as data.
   Rates hypervisor_rates(double seconds) const;
   Rates leaf_rates(double seconds) const;
   Rates spine_rates(double seconds) const;
@@ -56,6 +59,17 @@ struct ChurnParams {
   std::size_t min_group_size = 5;
 };
 
+// Where ChurnSimulator routes the membership mutations it generates. The
+// default routes straight into the Controller (batch semantics); the
+// streaming ControlPlane implements this to ingest the same events as
+// coalesced delta installs.
+class MembershipDriver {
+ public:
+  virtual ~MembershipDriver() = default;
+  virtual void join(GroupId group, const Member& member) = 0;
+  virtual Member leave(GroupId group, topo::HostId host, std::uint32_t vm) = 0;
+};
+
 class ChurnSimulator {
  public:
   // `groups` are controller group ids; `cloud` provides the tenant VM pools
@@ -70,15 +84,27 @@ class ChurnSimulator {
   ChurnSimulator(Controller& controller, std::span<const cloud::Tenant> tenants,
                  std::span<const GroupId> groups);
 
-  // Runs `params.events` events; returns the simulated duration in seconds.
+  // Routes subsequent events through `driver` instead of the Controller
+  // directly (nullptr restores the default). The driver must mutate the same
+  // Controller this simulator reads its group state from.
+  void set_driver(MembershipDriver* driver) noexcept { driver_ = driver; }
+
+  // Runs `params.events` event attempts; returns the *effective* simulated
+  // duration in seconds — attempts that were silent no-ops (group pinned at
+  // min size with its tenant exhausted) are excluded, so rates computed
+  // against this duration are not diluted under tight tenant packing.
   double run(const ChurnParams& params, util::Rng& rng);
 
   // One join-or-leave event (the body of run()'s loop), for callers that
-  // validate invariants between events.
-  void step(std::size_t min_group_size, util::Rng& rng);
+  // validate invariants between events. Returns false when the attempt was
+  // a no-op (nothing was mutated).
+  bool step(std::size_t min_group_size, util::Rng& rng);
 
   std::size_t joins() const noexcept { return joins_; }
   std::size_t leaves() const noexcept { return leaves_; }
+  // Attempts that mutated nothing (counted, never silently folded into
+  // event totals or rate denominators).
+  std::size_t noop_events() const noexcept { return noop_events_; }
 
   // Tenant-local VM indices the simulator believes are in group `gi` (index
   // into the constructor's group list, not a GroupId).
@@ -88,6 +114,13 @@ class ChurnSimulator {
   GroupId group_id(std::size_t gi) const { return groups_.at(gi); }
   std::size_t num_groups() const noexcept { return groups_.size(); }
 
+  // Live sampling weight of group `gi` (its current size). Kept in lockstep
+  // with joins/leaves via a Fenwick tree so long campaigns stay
+  // size-proportional as groups grow and shrink.
+  std::uint64_t sampling_weight(std::size_t gi) const {
+    return weights_.weight(gi);
+  }
+
  private:
   void do_join(std::size_t group_index, util::Rng& rng);
   void do_leave(std::size_t group_index, util::Rng& rng);
@@ -95,11 +128,13 @@ class ChurnSimulator {
   Controller* controller_;
   std::span<const cloud::Tenant> tenants_;
   std::vector<GroupId> groups_;
+  MembershipDriver* driver_ = nullptr;
   // Tenant-local VM indices currently in each group (parallel to groups_).
   std::vector<std::unordered_set<std::uint32_t>> membership_;
-  std::vector<double> cumulative_weight_;
+  util::FenwickTree weights_;
   std::size_t joins_ = 0;
   std::size_t leaves_ = 0;
+  std::size_t noop_events_ = 0;
 };
 
 }  // namespace elmo

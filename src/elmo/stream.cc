@@ -1,0 +1,453 @@
+#include "elmo/stream.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace elmo::stream {
+namespace {
+
+// FNV-1a over the rule content; the mirror stores one hash per installed
+// rule instead of the rule itself (1M groups × several rules each).
+struct ContentHash {
+  std::uint64_t h = 1469598103934665603ull;
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void u32(std::uint32_t v) { bytes(&v, sizeof v); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+};
+
+std::uint64_t flow_hash(const p4rt::Update& u) {
+  ContentHash hash;
+  hash.u32(u.vni);
+  hash.u64(u.local_vms.size());
+  for (const auto vm : u.local_vms) hash.u32(vm);
+  hash.u64(u.elmo_header.size());
+  hash.bytes(u.elmo_header.data(), u.elmo_header.size());
+  return hash.h;
+}
+
+std::uint64_t bitmap_hash(const net::PortBitmap& bitmap) {
+  ContentHash hash;
+  hash.u64(bitmap.size());
+  for (const auto word : bitmap.words()) hash.u64(word);
+  return hash.h;
+}
+
+struct StreamMetricIds {
+  obs::MetricsRegistry::Id events;
+  obs::MetricsRegistry::Id updates;
+  obs::MetricsRegistry::Id updates_hypervisor;
+  obs::MetricsRegistry::Id updates_leaf;
+  obs::MetricsRegistry::Id updates_spine;
+  obs::MetricsRegistry::Id coalesced;
+  obs::MetricsRegistry::Id flushes;
+  obs::MetricsRegistry::Id wire_bytes;
+  obs::MetricsRegistry::Id install_lag;
+  StreamMetricIds() {
+    auto& reg = obs::MetricsRegistry::global();
+    events = reg.counter("elmo_stream_events_total",
+                         "Membership events ingested by the control plane");
+    updates = reg.counter("elmo_stream_updates_total",
+                          "Delta rule updates applied to the fabric");
+    updates_hypervisor =
+        reg.counter("elmo_stream_updates_hypervisor_total",
+                    "Hypervisor flow updates applied (adds + dels)");
+    updates_leaf = reg.counter("elmo_stream_updates_leaf_total",
+                               "Leaf s-rule updates applied (adds + dels)");
+    updates_spine = reg.counter("elmo_stream_updates_spine_total",
+                                "Spine s-rule updates applied (adds + dels)");
+    coalesced = reg.counter(
+        "elmo_stream_updates_coalesced_total",
+        "Pending updates overwritten by a newer update before flushing");
+    flushes = reg.counter("elmo_stream_flushes_total",
+                          "Update batches pushed over the wire channel");
+    wire_bytes = reg.counter("elmo_stream_wire_bytes_total",
+                             "p4rt wire bytes crossing the control channel");
+    install_lag = reg.histogram(
+        "elmo_stream_install_lag_seconds", obs::latency_bounds(),
+        "Ingest-to-install latency of one membership event");
+  }
+};
+
+StreamMetricIds& stream_metric_ids() {
+  static StreamMetricIds ids;
+  return ids;
+}
+
+}  // namespace
+
+ControlPlane::ControlPlane(Controller& controller, sim::Fabric& fabric,
+                           ControlPlaneOptions options)
+    : controller_{&controller}, fabric_{&fabric}, options_{options} {
+  if (options_.flush_threshold == 0) {
+    throw std::invalid_argument{"ControlPlane: flush_threshold must be >= 1"};
+  }
+}
+
+void ControlPlane::ingest(const Event& event) {
+  switch (event.kind) {
+    case Event::Kind::kJoin:
+      join(event.group, event.member);
+      break;
+    case Event::Kind::kLeave:
+      leave(event.group, event.member.host, event.member.vm);
+      break;
+    case Event::Kind::kHostFail:
+      host_fail(event.host);
+      break;
+  }
+}
+
+void ControlPlane::join(GroupId group, const Member& member) {
+  pending_event_times_.push_back(std::chrono::steady_clock::now());
+  ++stats_.events;
+  ++stats_.joins;
+  ELMO_METRIC(reg.add(stream_metric_ids().events));
+  const auto queued_before = stats_.updates_coalesced + pending_.size();
+  controller_->join(group, member);
+  diff_group(group, /*seed_only=*/false);
+  if (stats_.updates_coalesced + pending_.size() == queued_before) {
+    ++stats_.clean_events;
+  }
+  maybe_auto_flush();
+}
+
+Member ControlPlane::leave(GroupId group, topo::HostId host, std::uint32_t vm) {
+  pending_event_times_.push_back(std::chrono::steady_clock::now());
+  ++stats_.events;
+  ++stats_.leaves;
+  ELMO_METRIC(reg.add(stream_metric_ids().events));
+  const auto queued_before = stats_.updates_coalesced + pending_.size();
+  auto removed = controller_->leave(group, host, vm);
+  diff_group(group, /*seed_only=*/false);
+  if (stats_.updates_coalesced + pending_.size() == queued_before) {
+    ++stats_.clean_events;
+  }
+  maybe_auto_flush();
+  return removed;
+}
+
+std::size_t ControlPlane::host_fail(topo::HostId host) {
+  pending_event_times_.push_back(std::chrono::steady_clock::now());
+  ++stats_.events;
+  ++stats_.host_fails;
+  ELMO_METRIC(reg.add(stream_metric_ids().events));
+
+  std::size_t evicted = 0;
+  const auto it = host_groups_.find(host);
+  if (it != host_groups_.end()) {
+    // Copy: diff_group edits the index under us.
+    const std::vector<GroupId> groups{it->second.begin(), it->second.end()};
+    for (const auto group : groups) {
+      if (!controller_->has_group(group)) continue;
+      // Collect first: Controller::leave invalidates member iteration.
+      std::vector<std::uint32_t> vms;
+      for (const auto& m : controller_->group(group).members) {
+        if (m.host == host) vms.push_back(m.vm);
+      }
+      for (const auto vm : vms) {
+        controller_->leave(group, host, vm);
+        ++evicted;
+      }
+      diff_group(group, /*seed_only=*/false);
+    }
+  }
+  maybe_auto_flush();
+  return evicted;
+}
+
+void ControlPlane::track_group(GroupId group) {
+  diff_group(group, /*seed_only=*/true);
+}
+
+void ControlPlane::refresh(GroupId group) {
+  diff_group(group, /*seed_only=*/false);
+  maybe_auto_flush();
+}
+
+void ControlPlane::refresh_all() {
+  // Collect first: diff_group may erase empty mirrors under us.
+  std::vector<GroupId> groups;
+  groups.reserve(mirror_.size());
+  for (const auto& [group, m] : mirror_) groups.push_back(group);
+  std::sort(groups.begin(), groups.end());
+  for (const auto group : groups) diff_group(group, /*seed_only=*/false);
+  maybe_auto_flush();
+}
+
+void ControlPlane::diff_group(GroupId group, bool seed_only) {
+  auto& mirror = mirror_[group];
+  const bool live = controller_->has_group(group);
+
+  // Desired hypervisor flows, built exactly like Fabric::install_group.
+  std::map<topo::HostId, p4rt::Update> flows;
+  std::map<std::pair<std::uint8_t, std::uint32_t>, p4rt::Update> srules;
+  if (live) {
+    const auto& g = controller_->group(group);
+    mirror.address = g.address.value;
+    for (const auto& member : g.members) {
+      const auto [it, inserted] = flows.try_emplace(member.host);
+      auto& u = it->second;
+      if (inserted) {
+        u.kind = p4rt::UpdateKind::kHypervisorFlowAdd;
+        u.host = member.host;
+        u.group = g.address;
+        u.vni = g.tenant;
+      }
+      if (can_receive(member.role)) u.local_vms.push_back(member.vm);
+      if (can_send(member.role) && u.elmo_header.empty()) {
+        u.elmo_header = controller_->header_for(group, member.host);
+      }
+    }
+    for (const auto& [leaf, bitmap] : g.encoding.leaf.s_rules) {
+      p4rt::Update u;
+      u.kind = p4rt::UpdateKind::kSRuleAdd;
+      u.layer = topo::Layer::kLeaf;
+      u.switch_id = leaf;
+      u.group = g.address;
+      u.ports = bitmap;
+      srules.emplace(
+          std::pair{static_cast<std::uint8_t>(topo::Layer::kLeaf), leaf},
+          std::move(u));
+    }
+    const auto& t = controller_->topology();
+    for (const auto& [pod, bitmap] : g.encoding.spine.s_rules) {
+      for (std::size_t plane = 0; plane < t.params().spines_per_pod; ++plane) {
+        const auto spine = t.spine_at(pod, plane);
+        p4rt::Update u;
+        u.kind = p4rt::UpdateKind::kSRuleAdd;
+        u.layer = topo::Layer::kSpine;
+        u.switch_id = spine;
+        u.group = g.address;
+        u.ports = bitmap;
+        srules.emplace(
+            std::pair{static_cast<std::uint8_t>(topo::Layer::kSpine), spine},
+            std::move(u));
+      }
+    }
+  }
+
+  const net::Ipv4Address address{mirror.address};
+
+  // Flows: adds/changes, then removals of hosts no longer holding a flow.
+  for (auto& [host, update] : flows) {
+    const auto hash = flow_hash(update);
+    const auto it = mirror.flow_hash.find(host);
+    if (it != mirror.flow_hash.end() && it->second == hash) continue;
+    mirror.flow_hash[host] = hash;
+    index_membership(group, host, true);
+    if (!seed_only) {
+      queue(PendingKey{true, FlowKey{address.value, host}, {}},
+            std::move(update));
+    }
+  }
+  for (auto it = mirror.flow_hash.begin(); it != mirror.flow_hash.end();) {
+    const auto host = it->first;
+    if (flows.contains(host)) {
+      ++it;
+      continue;
+    }
+    it = mirror.flow_hash.erase(it);
+    index_membership(group, host, false);
+    if (!seed_only) {
+      p4rt::Update del;
+      del.kind = p4rt::UpdateKind::kHypervisorFlowDel;
+      del.host = host;
+      del.group = address;
+      queue(PendingKey{true, FlowKey{address.value, host}, {}},
+            std::move(del));
+    }
+  }
+
+  // S-rules, same shape.
+  for (auto& [key, update] : srules) {
+    const auto hash = bitmap_hash(update.ports);
+    const auto it = mirror.srule_hash.find(key);
+    if (it != mirror.srule_hash.end() && it->second == hash) continue;
+    mirror.srule_hash[key] = hash;
+    if (!seed_only) {
+      queue(PendingKey{false, {}, SRuleKey{address.value, key.first,
+                                           key.second}},
+            std::move(update));
+    }
+  }
+  for (auto it = mirror.srule_hash.begin(); it != mirror.srule_hash.end();) {
+    if (srules.contains(it->first)) {
+      ++it;
+      continue;
+    }
+    const auto [layer, switch_id] = it->first;
+    it = mirror.srule_hash.erase(it);
+    if (!seed_only) {
+      p4rt::Update del;
+      del.kind = p4rt::UpdateKind::kSRuleDel;
+      del.layer = static_cast<topo::Layer>(layer);
+      del.switch_id = switch_id;
+      del.group = address;
+      queue(PendingKey{false, {}, SRuleKey{address.value, layer, switch_id}},
+            std::move(del));
+    }
+  }
+
+  if (!live && mirror.flow_hash.empty() && mirror.srule_hash.empty()) {
+    mirror_.erase(group);
+  }
+}
+
+void ControlPlane::queue(PendingKey key, p4rt::Update update) {
+  const auto [it, inserted] = pending_.insert_or_assign(std::move(key),
+                                                        std::move(update));
+  (void)it;
+  if (!inserted) {
+    ++stats_.updates_coalesced;
+    ELMO_METRIC(reg.add(stream_metric_ids().coalesced));
+  }
+}
+
+void ControlPlane::note_applied(const p4rt::Update& update) {
+  switch (update.kind) {
+    case p4rt::UpdateKind::kHypervisorFlowAdd:
+      ++stats_.flow_adds;
+      ELMO_METRIC(reg.add(stream_metric_ids().updates_hypervisor));
+      break;
+    case p4rt::UpdateKind::kHypervisorFlowDel:
+      ++stats_.flow_dels;
+      ELMO_METRIC(reg.add(stream_metric_ids().updates_hypervisor));
+      break;
+    case p4rt::UpdateKind::kSRuleAdd:
+      if (update.layer == topo::Layer::kLeaf) {
+        ++stats_.leaf_srule_adds;
+        ELMO_METRIC(reg.add(stream_metric_ids().updates_leaf));
+      } else {
+        ++stats_.spine_srule_adds;
+        ELMO_METRIC(reg.add(stream_metric_ids().updates_spine));
+      }
+      break;
+    case p4rt::UpdateKind::kSRuleDel:
+      if (update.layer == topo::Layer::kLeaf) {
+        ++stats_.leaf_srule_dels;
+        ELMO_METRIC(reg.add(stream_metric_ids().updates_leaf));
+      } else {
+        ++stats_.spine_srule_dels;
+        ELMO_METRIC(reg.add(stream_metric_ids().updates_spine));
+      }
+      break;
+  }
+}
+
+void ControlPlane::maybe_auto_flush() {
+  if (pending_.size() >= options_.flush_threshold) flush();
+}
+
+std::size_t ControlPlane::flush() {
+  if (pending_.empty() && pending_event_times_.empty()) return 0;
+
+  std::size_t applied = 0;
+  if (!pending_.empty()) {
+    std::vector<p4rt::Update> batch;
+    batch.reserve(pending_.size());
+    for (auto& [key, update] : pending_) {
+      (void)key;
+      batch.push_back(std::move(update));
+    }
+    pending_.clear();
+
+    const auto wire = p4rt::encode(batch);
+    const auto decoded = p4rt::decode(wire);
+    p4rt::apply_updates(*fabric_, decoded);
+
+    applied = decoded.size();
+    stats_.wire_bytes += wire.size();
+    stats_.updates_applied += applied;
+    ++stats_.batches_encoded;
+    for (const auto& u : decoded) note_applied(u);
+    ELMO_METRIC({
+      reg.add(stream_metric_ids().wire_bytes, wire.size());
+      reg.add(stream_metric_ids().updates, applied);
+    });
+  }
+
+  ++stats_.flushes;
+  ELMO_METRIC(reg.add(stream_metric_ids().flushes));
+
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto stamp : pending_event_times_) {
+    const auto lag = std::chrono::duration<double>(now - stamp).count();
+    stats_.install_lag_seconds.add(lag);
+    ELMO_METRIC(reg.observe(stream_metric_ids().install_lag, lag));
+  }
+  pending_event_times_.clear();
+  return applied;
+}
+
+std::uint64_t fabric_state_digest(const sim::Fabric& fabric) {
+  const auto& t = fabric.topology();
+  ContentHash digest;
+
+  auto hash_switch_table = [&digest](const dp::NetworkSwitch& sw,
+                                     std::uint64_t tag) {
+    std::vector<std::uint32_t> groups;
+    groups.reserve(sw.srules().size());
+    for (const auto& [addr, bitmap] : sw.srules()) {
+      (void)bitmap;
+      groups.push_back(addr);
+    }
+    std::sort(groups.begin(), groups.end());
+    for (const auto addr : groups) {
+      digest.u64(tag);
+      digest.u32(addr);
+      digest.u64(bitmap_hash(*sw.srule(net::Ipv4Address{addr})));
+    }
+  };
+
+  for (topo::HostId h = 0; h < t.num_hosts(); ++h) {
+    const auto& hv = fabric.hypervisor(h);
+    std::vector<std::uint32_t> groups;
+    groups.reserve(hv.flows().size());
+    for (const auto& [addr, flow] : hv.flows()) {
+      (void)flow;
+      groups.push_back(addr);
+    }
+    std::sort(groups.begin(), groups.end());
+    for (const auto addr : groups) {
+      const auto* flow = hv.flow(net::Ipv4Address{addr});
+      digest.u64(0xf10f'0000'0000'0000ull | h);
+      digest.u32(addr);
+      digest.u32(flow->vni);
+      auto vms = flow->local_vms;
+      std::sort(vms.begin(), vms.end());
+      digest.u64(vms.size());
+      for (const auto vm : vms) digest.u32(vm);
+      digest.u64(flow->elmo_header.size());
+      digest.bytes(flow->elmo_header.data(), flow->elmo_header.size());
+    }
+  }
+  for (topo::LeafId l = 0; l < t.num_leaves(); ++l) {
+    hash_switch_table(fabric.leaf(l), 0x1eaf'0000'0000'0000ull | l);
+  }
+  for (topo::SpineId s = 0; s < t.num_spines(); ++s) {
+    hash_switch_table(fabric.spine(s), 0x5071'0000'0000'0000ull | s);
+  }
+  return digest.h;
+}
+
+void ControlPlane::index_membership(GroupId group, topo::HostId host,
+                                    bool present) {
+  if (present) {
+    host_groups_[host].insert(group);
+    return;
+  }
+  const auto it = host_groups_.find(host);
+  if (it == host_groups_.end()) return;
+  it->second.erase(group);
+  if (it->second.empty()) host_groups_.erase(it);
+}
+
+}  // namespace elmo::stream

@@ -1,0 +1,170 @@
+// Streaming control plane (ROADMAP "long-running controller service"):
+// consumes Join / Leave / HostFail events, re-encodes only the affected
+// group (Controller::join/leave are already incremental), and pushes the
+// *delta* between the previously-installed rules and the new encoding over
+// the p4rt wire channel into a live sim::Fabric — instead of re-pushing
+// whole-group state per event like compile_install.
+//
+// Delta computation keeps a compact mirror of what the fabric holds: one
+// 64-bit content hash per installed hypervisor flow (group, host) and per
+// installed s-rule (group, layer, physical switch). After each event the
+// affected group's desired state is rebuilt from the controller (exactly
+// mirroring Fabric::install_group semantics) and diffed against the mirror;
+// only changed entries become rule updates.
+//
+// Updates are coalesced and batched: pending updates are keyed by rule
+// location, a newer update for the same key overwrites the older one (the
+// wire sees only the final state), and the batch is flushed through
+// p4rt::encode/decode/apply_updates when it reaches
+// ControlPlaneOptions::flush_threshold (or on an explicit flush()). Per-
+// event ingest-to-install lag is recorded at flush time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "elmo/churn.h"
+#include "elmo/controller.h"
+#include "p4rt/runtime.h"
+#include "sim/fabric.h"
+#include "util/stats.h"
+
+namespace elmo::stream {
+
+// One membership mutation arriving at the controller.
+struct Event {
+  enum class Kind : std::uint8_t { kJoin, kLeave, kHostFail };
+  Kind kind = Kind::kJoin;
+  GroupId group = 0;      // kJoin / kLeave
+  Member member;          // kJoin: joiner; kLeave: (host, vm) of the leaver
+  topo::HostId host = 0;  // kHostFail: every member VM on this host leaves
+};
+
+struct ControlPlaneOptions {
+  // Pending rule updates that trigger an automatic flush. 1 = install every
+  // event immediately; larger values trade install lag for batching.
+  std::size_t flush_threshold = 64;
+};
+
+struct ControlPlaneStats {
+  std::uint64_t events = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t host_fails = 0;
+  // Events whose re-encode left every installed rule untouched.
+  std::uint64_t clean_events = 0;
+
+  std::uint64_t flushes = 0;
+  std::uint64_t batches_encoded = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t updates_applied = 0;
+  // A pending update overwritten by a newer one for the same rule before it
+  // ever reached the wire (the value of coalescing).
+  std::uint64_t updates_coalesced = 0;
+
+  // Per-layer applied-update counters (what Table 2 attributes per switch).
+  std::uint64_t flow_adds = 0;
+  std::uint64_t flow_dels = 0;
+  std::uint64_t leaf_srule_adds = 0;
+  std::uint64_t leaf_srule_dels = 0;
+  std::uint64_t spine_srule_adds = 0;
+  std::uint64_t spine_srule_dels = 0;
+
+  // Ingest-to-install latency of each event, measured when its flush lands.
+  util::Distribution install_lag_seconds;
+};
+
+class ControlPlane final : public MembershipDriver {
+ public:
+  ControlPlane(Controller& controller, sim::Fabric& fabric,
+               ControlPlaneOptions options = {});
+
+  // --- event ingestion -----------------------------------------------------
+  void ingest(const Event& event);
+  // MembershipDriver: lets a ChurnSimulator stream through this plane.
+  void join(GroupId group, const Member& member) override;
+  Member leave(GroupId group, topo::HostId host, std::uint32_t vm) override;
+  // Every member VM hosted on `host` leaves its group (the host died).
+  // Returns the number of memberships evicted.
+  std::size_t host_fail(topo::HostId host);
+
+  // Drains pending updates into the fabric through the wire channel.
+  // Returns the number of rule updates applied.
+  std::size_t flush();
+  std::size_t pending() const noexcept { return pending_.size(); }
+
+  // --- mirror management ---------------------------------------------------
+  // Adopts a group that is ALREADY installed in the fabric (e.g. bulk load
+  // via create_groups + install_group) without emitting any updates: the
+  // mirror is seeded from the controller's current state.
+  void track_group(GroupId group);
+  // Re-diffs a group against the mirror, emitting whatever it takes to make
+  // the fabric match the controller (full install for untracked groups,
+  // full removal if the controller no longer has the group). Use after
+  // out-of-band controller mutations, e.g. fail_spine header recomputes.
+  void refresh(GroupId group);
+  // Refreshes every tracked group (failure handling touches many groups).
+  void refresh_all();
+
+  const ControlPlaneStats& stats() const noexcept { return stats_; }
+  const Controller& controller() const noexcept { return *controller_; }
+
+ private:
+  // Rule location keys; std::map keeps flush order deterministic.
+  using FlowKey = std::pair<std::uint32_t, topo::HostId>;  // (group addr, host)
+  // (group addr, layer, physical switch)
+  using SRuleKey = std::tuple<std::uint32_t, std::uint8_t, std::uint32_t>;
+  struct PendingKey {
+    bool is_flow = true;
+    FlowKey flow{};
+    SRuleKey srule{};
+    bool operator<(const PendingKey& other) const {
+      if (is_flow != other.is_flow) return is_flow;  // flows first
+      if (is_flow) return flow < other.flow;
+      return srule < other.srule;
+    }
+  };
+
+  struct GroupMirror {
+    std::uint32_t address = 0;  // group IPv4, captured at first install
+    std::map<topo::HostId, std::uint64_t> flow_hash;
+    std::map<std::pair<std::uint8_t, std::uint32_t>, std::uint64_t> srule_hash;
+  };
+
+  // Rebuilds `group`'s desired rules from the controller and queues the
+  // delta against the mirror. `seed_only` populates the mirror without
+  // queueing (track_group).
+  void diff_group(GroupId group, bool seed_only);
+  void queue(PendingKey key, p4rt::Update update);
+  void note_applied(const p4rt::Update& update);
+  void maybe_auto_flush();
+  void index_membership(GroupId group, topo::HostId host, bool present);
+
+  Controller* controller_;
+  sim::Fabric* fabric_;
+  ControlPlaneOptions options_;
+  ControlPlaneStats stats_;
+
+  std::unordered_map<GroupId, GroupMirror> mirror_;
+  // Hosts with at least one member VM of a group — drives host_fail.
+  std::unordered_map<topo::HostId, std::unordered_set<GroupId>> host_groups_;
+
+  std::map<PendingKey, p4rt::Update> pending_;
+  // Ingest timestamps of events awaiting their flush.
+  std::vector<std::chrono::steady_clock::time_point> pending_event_times_;
+};
+
+// Canonical 64-bit digest of every installed hypervisor flow and s-rule in
+// the fabric. Two fabrics with the same installed state digest equal; the
+// equivalence tests use this to pin "streamed deltas == fresh batch
+// install" byte-for-byte. local_vms are sorted before hashing: streamed
+// joins append members in event order while a batch install follows the
+// final member order, and the VM *set* — not its order — is the installed
+// state (delivery behavior is order-independent).
+std::uint64_t fabric_state_digest(const sim::Fabric& fabric);
+
+}  // namespace elmo::stream

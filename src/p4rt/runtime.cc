@@ -1,11 +1,15 @@
 #include "p4rt/runtime.h"
 
+#include <limits>
+#include <map>
 #include <stdexcept>
 
 namespace elmo::p4rt {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x5034454c;  // "P4EL"
+constexpr std::size_t kU16Max = 0xffff;
+constexpr std::size_t kU32Max = 0xffffffff;
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 8));
@@ -14,6 +18,18 @@ void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   put_u16(out, static_cast<std::uint16_t>(v >> 16));
   put_u16(out, static_cast<std::uint16_t>(v));
+}
+// Count field: u16 in standard frames, u32 in extended frames. The caller
+// guarantees the value fits (frame selection in encode); the checks here are
+// a backstop against silent truncation ever reappearing.
+void put_count(std::vector<std::uint8_t>& out, std::size_t v, bool extended) {
+  if (extended) {
+    if (v > kU32Max) throw std::length_error{"p4rt: count exceeds u32"};
+    put_u32(out, static_cast<std::uint32_t>(v));
+  } else {
+    if (v > kU16Max) throw std::length_error{"p4rt: count exceeds u16"};
+    put_u16(out, static_cast<std::uint16_t>(v));
+  }
 }
 
 class Reader {
@@ -34,6 +50,7 @@ class Reader {
     const auto hi = u16();
     return (static_cast<std::uint32_t>(hi) << 16) | u16();
   }
+  std::uint32_t count(bool extended) { return extended ? u32() : u16(); }
   std::span<const std::uint8_t> bytes(std::size_t n) {
     need(n);
     const auto view = data_.subspan(at_, n);
@@ -42,6 +59,7 @@ class Reader {
   }
   bool done() const noexcept { return at_ == data_.size(); }
   std::size_t position() const noexcept { return at_; }
+  std::size_t remaining() const noexcept { return data_.size() - at_; }
 
  private:
   void need(std::size_t n) {
@@ -53,9 +71,11 @@ class Reader {
   std::size_t at_ = 0;
 };
 
-void encode_bitmap(std::vector<std::uint8_t>& out,
-                   const net::PortBitmap& ports) {
-  put_u16(out, static_cast<std::uint16_t>(ports.size()));
+std::size_t bitmap_bytes(std::size_t ports) { return (ports + 7) / 8; }
+
+void encode_bitmap(std::vector<std::uint8_t>& out, const net::PortBitmap& ports,
+                   bool extended) {
+  put_count(out, ports.size(), extended);
   std::uint8_t byte = 0;
   for (std::size_t p = 0; p < ports.size(); ++p) {
     if (ports.test(p)) byte |= static_cast<std::uint8_t>(1u << (p % 8));
@@ -66,14 +86,57 @@ void encode_bitmap(std::vector<std::uint8_t>& out,
   }
 }
 
-net::PortBitmap decode_bitmap(Reader& in) {
-  const auto size = in.u16();
+net::PortBitmap decode_bitmap(Reader& in, bool extended) {
+  const std::size_t size = in.count(extended);
+  // Validate the advertised width against the actual payload BEFORE sizing
+  // the bitmap, so a hostile count cannot trigger a huge allocation.
+  if (bitmap_bytes(size) > in.remaining()) {
+    throw std::invalid_argument{"p4rt: truncated message"};
+  }
   net::PortBitmap ports{size};
-  const auto bytes = in.bytes((size + 7) / 8);
+  const auto bytes = in.bytes(bitmap_bytes(size));
   for (std::size_t p = 0; p < size; ++p) {
     if ((bytes[p / 8] >> (p % 8)) & 1) ports.set(p);
   }
   return ports;
+}
+
+// Exact body size of `u` when encoded, and whether it needs the extended
+// frame (any count beyond u16, or a body beyond the u16 length field).
+struct FrameChoice {
+  std::size_t body_size = 0;
+  bool extended = false;
+};
+
+FrameChoice choose_frame(const Update& u) {
+  auto body_size = [](const Update& upd, bool ext) -> std::size_t {
+    const std::size_t c = ext ? 4 : 2;  // width of one count field
+    switch (upd.kind) {
+      case UpdateKind::kHypervisorFlowAdd:
+        return 12 + c + 4 * upd.local_vms.size() + c + upd.elmo_header.size();
+      case UpdateKind::kHypervisorFlowDel:
+        return 8;
+      case UpdateKind::kSRuleAdd:
+        return 9 + c + bitmap_bytes(upd.ports.size());
+      case UpdateKind::kSRuleDel:
+        return 9;
+    }
+    throw std::invalid_argument{"p4rt: unknown update kind"};
+  };
+  FrameChoice choice;
+  choice.body_size = body_size(u, /*ext=*/false);
+  const bool counts_overflow = u.local_vms.size() > kU16Max ||
+                               u.elmo_header.size() > kU16Max ||
+                               u.ports.size() > kU16Max;
+  if (counts_overflow || choice.body_size > kU16Max) {
+    choice.extended = true;
+    choice.body_size = body_size(u, /*ext=*/true);
+    if (u.local_vms.size() > kU32Max || u.elmo_header.size() > kU32Max ||
+        u.ports.size() > kU32Max || choice.body_size > kU32Max) {
+      throw std::length_error{"p4rt: message too large"};
+    }
+  }
+  return choice;
 }
 
 }  // namespace
@@ -83,16 +146,27 @@ std::vector<Update> compile_install(const Controller& controller,
   const auto& g = controller.group(group);
   std::vector<Update> updates;
 
+  // One flow per host, merged across co-located members (mirrors
+  // Fabric::install_group): a per-member update stream would overwrite the
+  // host's flow on apply, dropping the earlier member's local VM (and its
+  // header template) whenever two VMs of the group share a host.
+  std::map<topo::HostId, Update> flows;
   for (const auto& member : g.members) {
-    Update u;
-    u.kind = UpdateKind::kHypervisorFlowAdd;
-    u.host = member.host;
-    u.group = g.address;
-    u.vni = g.tenant;
+    const auto [it, inserted] = flows.try_emplace(member.host);
+    auto& u = it->second;
+    if (inserted) {
+      u.kind = UpdateKind::kHypervisorFlowAdd;
+      u.host = member.host;
+      u.group = g.address;
+      u.vni = g.tenant;
+    }
     if (can_receive(member.role)) u.local_vms.push_back(member.vm);
-    if (can_send(member.role)) {
+    if (can_send(member.role) && u.elmo_header.empty()) {
       u.elmo_header = controller.header_for(group, member.host);
     }
+  }
+  for (auto& [host, u] : flows) {
+    (void)host;
     updates.push_back(std::move(u));
   }
   for (const auto& [leaf, bitmap] : g.encoding.leaf.s_rules) {
@@ -144,16 +218,19 @@ std::vector<std::uint8_t> encode(std::span<const Update> updates) {
   std::vector<std::uint8_t> out;
   put_u32(out, kMagic);
   put_u32(out, static_cast<std::uint32_t>(updates.size()));
+  std::vector<std::uint8_t> body;
   for (const auto& u : updates) {
-    std::vector<std::uint8_t> body;
+    const auto frame = choose_frame(u);
+    body.clear();
+    body.reserve(frame.body_size);
     switch (u.kind) {
       case UpdateKind::kHypervisorFlowAdd:
         put_u32(body, u.host);
         put_u32(body, u.group.value);
         put_u32(body, u.vni);
-        put_u16(body, static_cast<std::uint16_t>(u.local_vms.size()));
+        put_count(body, u.local_vms.size(), frame.extended);
         for (const auto vm : u.local_vms) put_u32(body, vm);
-        put_u16(body, static_cast<std::uint16_t>(u.elmo_header.size()));
+        put_count(body, u.elmo_header.size(), frame.extended);
         body.insert(body.end(), u.elmo_header.begin(), u.elmo_header.end());
         break;
       case UpdateKind::kHypervisorFlowDel:
@@ -164,7 +241,7 @@ std::vector<std::uint8_t> encode(std::span<const Update> updates) {
         body.push_back(static_cast<std::uint8_t>(u.layer));
         put_u32(body, u.switch_id);
         put_u32(body, u.group.value);
-        encode_bitmap(body, u.ports);
+        encode_bitmap(body, u.ports, frame.extended);
         break;
       case UpdateKind::kSRuleDel:
         body.push_back(static_cast<std::uint8_t>(u.layer));
@@ -172,11 +249,16 @@ std::vector<std::uint8_t> encode(std::span<const Update> updates) {
         put_u32(body, u.group.value);
         break;
     }
-    out.push_back(static_cast<std::uint8_t>(u.kind));
-    if (body.size() > 0xffff) {
-      throw std::length_error{"p4rt: message too large"};
+    if (body.size() != frame.body_size) {
+      throw std::logic_error{"p4rt: frame size accounting bug"};
     }
-    put_u16(out, static_cast<std::uint16_t>(body.size()));
+    out.push_back(static_cast<std::uint8_t>(u.kind) |
+                  (frame.extended ? kExtendedFrameBit : 0));
+    if (frame.extended) {
+      put_u32(out, static_cast<std::uint32_t>(body.size()));
+    } else {
+      put_u16(out, static_cast<std::uint16_t>(body.size()));
+    }
     out.insert(out.end(), body.begin(), body.end());
   }
   return out;
@@ -186,11 +268,22 @@ std::vector<Update> decode(std::span<const std::uint8_t> wire) {
   Reader in{wire};
   if (in.u32() != kMagic) throw std::invalid_argument{"p4rt: bad magic"};
   const auto count = in.u32();
+  // Every message occupies at least 3 bytes (kind + u16 length), so an
+  // advertised count beyond remaining/3 cannot be honest; reject it before
+  // reserving storage for it.
+  if (count > in.remaining() / 3) {
+    throw std::invalid_argument{"p4rt: implausible batch count"};
+  }
   std::vector<Update> updates;
   updates.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    const auto kind = in.u8();
-    const auto length = in.u16();
+    const auto wire_kind = in.u8();
+    const bool extended = (wire_kind & kExtendedFrameBit) != 0;
+    const auto kind = static_cast<std::uint8_t>(wire_kind & ~kExtendedFrameBit);
+    const std::size_t length = extended ? in.u32() : in.u16();
+    if (length > in.remaining()) {
+      throw std::invalid_argument{"p4rt: truncated message"};
+    }
     const auto body_start = in.position();
     Update u;
     switch (kind) {
@@ -199,11 +292,15 @@ std::vector<Update> decode(std::span<const std::uint8_t> wire) {
         u.host = in.u32();
         u.group.value = in.u32();
         u.vni = in.u32();
-        const auto vm_count = in.u16();
-        for (std::uint16_t v = 0; v < vm_count; ++v) {
+        const std::uint32_t vm_count = in.count(extended);
+        if (static_cast<std::size_t>(vm_count) * 4 > in.remaining()) {
+          throw std::invalid_argument{"p4rt: truncated message"};
+        }
+        u.local_vms.reserve(vm_count);
+        for (std::uint32_t v = 0; v < vm_count; ++v) {
           u.local_vms.push_back(in.u32());
         }
-        const auto header_len = in.u16();
+        const std::uint32_t header_len = in.count(extended);
         const auto view = in.bytes(header_len);
         u.elmo_header.assign(view.begin(), view.end());
         break;
@@ -218,7 +315,7 @@ std::vector<Update> decode(std::span<const std::uint8_t> wire) {
         u.layer = static_cast<topo::Layer>(in.u8());
         u.switch_id = in.u32();
         u.group.value = in.u32();
-        u.ports = decode_bitmap(in);
+        u.ports = decode_bitmap(in, extended);
         break;
       case 4:
         u.kind = UpdateKind::kSRuleDel;

@@ -11,7 +11,8 @@
 //
 // Message framing (big-endian):
 //   batch   := magic(u32 "P4EL") count(u32) message*
-//   message := kind(u8) length(u16) body
+//   message := kind(u8) length(u16) body            -- standard frame
+//            | kind|0x80(u8) length(u32) body       -- extended frame (v2)
 //   kinds:
 //     1 HYPERVISOR_FLOW_ADD    host(u32) group(u32) vni(u32)
 //                              vm_count(u16) vm*u32
@@ -20,6 +21,15 @@
 //     3 SRULE_ADD              layer(u8) switch(u32) group(u32)
 //                              port_count(u16) bitmap bytes (LSB-first words)
 //     4 SRULE_DEL              layer(u8) switch(u32) group(u32)
+//
+// Extended frames (v2): a message whose body or embedded counts exceed the
+// 16-bit fields — e.g. a HYPERVISOR_FLOW_ADD for a host running more than
+// ~16K member VMs of one group — sets the high bit of the kind byte, carries
+// a u32 length, and widens every count field in the body (vm_count,
+// header_len, port_count) to u32. The encoder picks the extended frame only
+// when the standard one cannot represent the message, so v1 streams are
+// byte-identical to before and any v1 stream remains decodable; counts are
+// validated before narrowing casts instead of silently truncated.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +47,10 @@ enum class UpdateKind : std::uint8_t {
   kSRuleAdd = 3,
   kSRuleDel = 4,
 };
+
+// High bit of the wire kind byte: the frame carries a u32 length and u32
+// count fields (see file header).
+inline constexpr std::uint8_t kExtendedFrameBit = 0x80;
 
 struct Update {
   UpdateKind kind = UpdateKind::kHypervisorFlowAdd;
@@ -56,13 +70,18 @@ struct Update {
 };
 
 // Compiles the full installation of `group` into an update batch (what the
-// controller would push when the group is created or refreshed).
+// controller would push when the group is created or refreshed). Flows are
+// merged per host across co-located members — one HYPERVISOR_FLOW_ADD per
+// distinct member host, exactly mirroring Fabric::install_group (a
+// per-member update stream would overwrite the host's flow and drop the
+// earlier members' local VMs).
 std::vector<Update> compile_install(const Controller& controller,
                                     elmo::GroupId group);
 std::vector<Update> compile_uninstall(const Controller& controller,
                                       elmo::GroupId group);
 
-// Wire codec.
+// Wire codec. encode throws std::length_error only if a single count cannot
+// fit even the extended u32 fields.
 std::vector<std::uint8_t> encode(std::span<const Update> updates);
 // Throws std::invalid_argument on malformed input.
 std::vector<Update> decode(std::span<const std::uint8_t> wire);

@@ -120,6 +120,18 @@ class Fabric {
   dp::NetworkSwitch& leaf(topo::LeafId leaf) { return *leaves_.at(leaf); }
   dp::NetworkSwitch& spine(topo::SpineId spine) { return *spines_.at(spine); }
   dp::NetworkSwitch& core(topo::CoreId core) { return *cores_.at(core); }
+  const dp::HypervisorSwitch& hypervisor(topo::HostId host) const {
+    return *hypervisors_.at(host);
+  }
+  const dp::NetworkSwitch& leaf(topo::LeafId leaf) const {
+    return *leaves_.at(leaf);
+  }
+  const dp::NetworkSwitch& spine(topo::SpineId spine) const {
+    return *spines_.at(spine);
+  }
+  const dp::NetworkSwitch& core(topo::CoreId core) const {
+    return *cores_.at(core);
+  }
 
   // The uniform forwarding view of any node (switch or hypervisor).
   dp::ForwardingElement& element(const NodeRef& node) {

@@ -1,0 +1,73 @@
+// Fenwick (binary indexed) tree over non-negative integer weights, with
+// O(log n) point update, prefix sum, and weighted sampling via binary
+// lifting. Backs ChurnSimulator's size-proportional group sampling: weights
+// change on every join/leave, so a static cumulative array would drift from
+// the live size distribution over a long campaign.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace elmo::util {
+
+class FenwickTree {
+ public:
+  FenwickTree() : tree_(1, 0) {}
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, 0) {
+    log_ = 0;
+    while ((std::size_t{1} << (log_ + 1)) <= size) ++log_;
+  }
+
+  std::size_t size() const noexcept { return tree_.size() - 1; }
+
+  // Adds `delta` to the weight at `index`; the result must stay >= 0.
+  void add(std::size_t index, std::int64_t delta) {
+    if (index >= size()) throw std::out_of_range{"FenwickTree: index"};
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+    total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) +
+                                        delta);
+  }
+
+  // Sum of weights in [0, index).
+  std::uint64_t prefix(std::size_t index) const {
+    if (index > size()) throw std::out_of_range{"FenwickTree: index"};
+    std::int64_t sum = 0;
+    for (std::size_t i = index; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return static_cast<std::uint64_t>(sum);
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+
+  std::uint64_t weight(std::size_t index) const {
+    return prefix(index + 1) - prefix(index);
+  }
+
+  // Smallest index such that prefix(index + 1) > target, i.e. the entry a
+  // uniform draw in [0, total()) lands on under size-proportional sampling.
+  std::size_t upper_bound(std::uint64_t target) const {
+    if (target >= total_) {
+      throw std::out_of_range{"FenwickTree: target beyond total"};
+    }
+    std::size_t pos = 0;
+    auto remaining = static_cast<std::int64_t>(target);
+    for (std::size_t step = std::size_t{1} << log_; step > 0; step >>= 1) {
+      const auto next = pos + step;
+      if (next < tree_.size() && tree_[next] <= remaining) {
+        remaining -= tree_[next];
+        pos = next;
+      }
+    }
+    return pos;  // tree_ is 1-based; pos is the 0-based entry index
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;  // 1-based
+  std::uint64_t total_ = 0;
+  std::size_t log_ = 0;
+};
+
+}  // namespace elmo::util

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dataplane/common.h"
 #include "elmo/evaluator.h"
+#include "elmo/stream.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "sim/fabric.h"
@@ -137,9 +139,18 @@ class Runner {
     for (std::size_t gi = 0; gi < ids_.size(); ++gi) {
       fabric_.install_group(controller_, ids_[gi]);
     }
+    if (options_.delta_installs) {
+      // Threshold 1: every event's delta reaches the wire before the next
+      // oracle diff, so a divergence is pinned to the event that caused it.
+      plane_.emplace(controller_, fabric_,
+                     stream::ControlPlaneOptions{/*flush_threshold=*/1});
+      for (const auto id : ids_) plane_->track_group(id);
+    }
     select_mutation_target();
     apply_fabric_mutation();
     diff_membership("after setup");
+    if (failed_) return;
+    diff_fabric_state("after setup");
   }
 
   void step(std::size_t index, const Event& ev) {
@@ -148,22 +159,38 @@ class Runner {
       case EventKind::kJoin: {
         const auto id = ids_.at(ev.group_index);
         const bool stale = mutation_ == Mutation::kSkipMirrorUpdate;
-        if (!stale) fabric_.uninstall_group(controller_, id);
-        controller_.join(id, ev.member);
-        oracle_.join(ev.group_index, ev.member);
-        if (stale) {
-          applied_ = true;
+        if (plane_.has_value()) {
+          if (stale) {
+            // Behind the plane's back: its mirror (and the fabric) go stale.
+            controller_.join(id, ev.member);
+            applied_ = true;
+          } else {
+            plane_->join(id, ev.member);
+            plane_->flush();
+            apply_fabric_mutation();
+          }
         } else {
-          fabric_.install_group(controller_, id);
-          apply_fabric_mutation();
+          if (!stale) fabric_.uninstall_group(controller_, id);
+          controller_.join(id, ev.member);
+          if (stale) {
+            applied_ = true;
+          } else {
+            fabric_.install_group(controller_, id);
+            apply_fabric_mutation();
+          }
         }
+        oracle_.join(ev.group_index, ev.member);
         diff_membership(at);
+        if (failed_) return;
+        if (!stale) diff_fabric_state(at);
         break;
       }
       case EventKind::kLeave: {
         const auto id = ids_.at(ev.group_index);
         const bool stale = mutation_ == Mutation::kSkipMirrorUpdate;
-        if (!stale) fabric_.uninstall_group(controller_, id);
+        if (!stale && !plane_.has_value()) {
+          fabric_.uninstall_group(controller_, id);
+        }
         if (mutation_ == Mutation::kLeaveByHostOnly) {
           // The pre-fix churn bug: leave by host alone removes the FIRST
           // member on the host, which under co-location may not be the VM
@@ -176,6 +203,11 @@ class Runner {
             applied_ = true;
           }
           controller_.leave(id, ev.member.host);
+          // Delta mode: stream whatever the (wrong) controller state now
+          // encodes, so the harness fault stays upstream of the plane.
+          if (plane_.has_value()) plane_->refresh(id);
+        } else if (plane_.has_value() && !stale) {
+          plane_->leave(id, ev.member.host, ev.member.vm);
         } else {
           controller_.leave(id, ev.member.host, ev.member.vm);
         }
@@ -185,11 +217,16 @@ class Runner {
         }
         if (stale) {
           applied_ = true;
+        } else if (plane_.has_value()) {
+          plane_->flush();
+          apply_fabric_mutation();
         } else {
           fabric_.install_group(controller_, id);
           apply_fabric_mutation();
         }
         diff_membership(at);
+        if (failed_) return;
+        if (!stale) diff_fabric_state(at);
         break;
       }
       case EventKind::kFailSpine:
@@ -223,12 +260,41 @@ class Runner {
   }
 
   // Failures change only sender headers (upstream re-routing); refresh every
-  // hypervisor template but leave switch s-rules alone.
+  // hypervisor template but leave switch s-rules alone. Delta mode streams
+  // the same resync through the plane: refresh_all re-diffs every tracked
+  // group and only the rules the failure actually changed hit the wire.
   void resync_headers() {
-    for (std::size_t gi = 0; gi < ids_.size(); ++gi) {
-      fabric_.install_group(controller_, ids_[gi]);
+    if (plane_.has_value()) {
+      plane_->refresh_all();
+      plane_->flush();
+    } else {
+      for (std::size_t gi = 0; gi < ids_.size(); ++gi) {
+        fabric_.install_group(controller_, ids_[gi]);
+      }
     }
     apply_fabric_mutation();
+    diff_fabric_state("after failure resync");
+  }
+
+  // Continuous churn oracle (delta mode only): after every membership or
+  // failure event, the live fabric's installed state must digest-equal a
+  // fresh batch install of the controller's current encodings. Catches
+  // stale rules, missed deltas, and leaked state the send-level differ
+  // would only notice if a later send happened to traverse them.
+  void diff_fabric_state(const std::string& at) {
+    if (!options_.delta_installs || failed_) return;
+    sim::Fabric reference{topo_};
+    if (!legacy_.empty()) {
+      for (topo::LeafId l = 0; l < topo_.num_leaves(); ++l) {
+        if (legacy_[l]) reference.leaf(l).set_legacy(true);
+      }
+    }
+    for (const auto id : ids_) reference.install_group(controller_, id);
+    if (stream::fabric_state_digest(fabric_) !=
+        stream::fabric_state_digest(reference)) {
+      fail(at + ": delta-installed fabric state diverges from a fresh batch "
+                "install of the controller's current encodings");
+    }
   }
 
   void diff_membership(const std::string& at) {
@@ -579,6 +645,9 @@ class Runner {
   topo::ClosTopology topo_;
   Controller controller_;
   sim::Fabric fabric_;
+  // Engaged only in delta mode (RunOptions::delta_installs); emplaced in
+  // setup() once the initial bulk install is in the fabric.
+  std::optional<stream::ControlPlane> plane_;
   obs::MetricsRegistry* registry_ = nullptr;
   std::vector<SendCapture>* captures_ = nullptr;
   obs::ProvenanceLog prov_log_;

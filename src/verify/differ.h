@@ -112,6 +112,16 @@ struct RunObservability {
 // every oracle diff then doubles as a serial/batched equivalence check.
 struct RunOptions {
   std::size_t walk_threads = 0;
+  // Route membership churn through the streaming control plane
+  // (elmo::stream::ControlPlane): each join/leave is re-encoded
+  // incrementally and installed as coalesced rule DELTAS over the p4rt wire
+  // channel, instead of uninstall_group + install_group of the whole group
+  // per event. After every membership or failure event the installed fabric
+  // state is additionally digest-diffed against a freshly batch-installed
+  // reference fabric — the continuous churn oracle: streamed deltas must
+  // leave the fabric byte-identical to a from-scratch install at every
+  // step, not just at the end of the run.
+  bool delta_installs = false;
 };
 
 RunReport run_scenario(const Scenario& scenario,

@@ -228,6 +228,87 @@ Scenario generate_scenario(std::uint64_t seed) {
   return sc;
 }
 
+void append_churn_events(Scenario& scenario, std::size_t count,
+                         std::uint64_t salt) {
+  if (scenario.groups.empty() || count == 0) return;
+  const topo::ClosTopology topo{scenario.params};
+  // Stream 1: stream 0 is generate_scenario's, so appending never perturbs
+  // the base seed -> scenario mapping.
+  auto rng = util::Rng::stream(scenario.seed ^ salt, 1);
+
+  // Replay the existing script so appended churn starts from the membership
+  // state the run will actually be in when it reaches these events.
+  std::vector<std::vector<Member>> mirror;
+  std::vector<std::uint32_t> next_vm(scenario.groups.size(), 0);
+  for (const auto& g : scenario.groups) mirror.push_back(g.members);
+  for (const auto& ev : scenario.events) {
+    if (ev.group_index >= mirror.size()) continue;
+    auto& members = mirror[ev.group_index];
+    if (ev.kind == EventKind::kJoin) {
+      members.push_back(ev.member);
+    } else if (ev.kind == EventKind::kLeave) {
+      const auto it = std::find_if(
+          members.begin(), members.end(), [&](const Member& m) {
+            return m.host == ev.member.host && m.vm == ev.member.vm;
+          });
+      if (it != members.end()) members.erase(it);
+    }
+  }
+  for (std::size_t gi = 0; gi < mirror.size(); ++gi) {
+    for (const auto& m : mirror[gi]) {
+      next_vm[gi] = std::max(next_vm[gi], m.vm + 1);
+    }
+  }
+
+  auto emit_send = [&](std::size_t gi) {
+    const auto senders =
+        eligible_senders(topo, scenario.legacy_leaves, mirror[gi]);
+    if (senders.empty()) return;
+    Event ev;
+    ev.kind = EventKind::kSend;
+    ev.group_index = gi;
+    ev.sender = senders[rng.index(senders.size())];
+    scenario.events.push_back(ev);
+  };
+
+  for (std::size_t e = 0; e < count; ++e) {
+    const std::size_t gi = rng.index(scenario.groups.size());
+    const double roll = rng.uniform();
+    // Leaves need at least two members to keep the group alive (mirroring
+    // generate_scenario); an infeasible leave degrades into a join so the
+    // script always grows to the requested length.
+    if (roll < 0.44 || mirror[gi].size() < 2) {  // join
+      Event ev;
+      ev.kind = EventKind::kJoin;
+      ev.group_index = gi;
+      topo::HostId host;
+      if (rng.bernoulli(0.35) && !mirror[gi].empty()) {
+        host = mirror[gi][rng.index(mirror[gi].size())].host;  // co-locate
+      } else {
+        host = static_cast<topo::HostId>(rng.index(topo.num_hosts()));
+      }
+      ev.member = Member{host, next_vm[gi]++, random_role(rng)};
+      mirror[gi].push_back(ev.member);
+      scenario.events.push_back(ev);
+    } else if (roll < 0.9) {  // leave
+      const std::size_t victim = rng.index(mirror[gi].size());
+      Event ev;
+      ev.kind = EventKind::kLeave;
+      ev.group_index = gi;
+      ev.member = mirror[gi][victim];
+      mirror[gi].erase(mirror[gi].begin() + victim);
+      scenario.events.push_back(ev);
+    } else {  // periodic send: divergences surface mid-churn, not only at end
+      emit_send(gi);
+    }
+  }
+
+  // Closing sweep: one send per group over the post-churn membership.
+  for (std::size_t gi = 0; gi < scenario.groups.size(); ++gi) {
+    emit_send(gi);
+  }
+}
+
 void normalize(Scenario& scenario) {
   const topo::ClosTopology topo{scenario.params};
   if (!scenario.legacy_leaves.empty()) {

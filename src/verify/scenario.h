@@ -63,6 +63,17 @@ struct Scenario {
 // failures, and sends (ending with a send sweep over every group).
 Scenario generate_scenario(std::uint64_t seed);
 
+// Extends `scenario`'s event script with `count` additional churn-heavy
+// events (join/leave-biased, with periodic sends and a closing send sweep),
+// derived deterministically from the scenario seed xor `salt`. The existing
+// script is replayed into a membership mirror first, so every appended
+// event is valid against the state the run will actually be in. Used by
+// the continuous-churn fuzz campaign (tools/fuzz_pipeline --churn_events=N)
+// to stress the streaming control plane's delta installs far beyond the
+// handful of churn events generate_scenario emits.
+void append_churn_events(Scenario& scenario, std::size_t count,
+                         std::uint64_t salt);
+
 // Drops events a prior edit made unexecutable (leave of a non-member, send
 // from a host with no sending member, churn on an empty/removed group,
 // restore of a never-failed switch) and clamps members/senders to hosts that

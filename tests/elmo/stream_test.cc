@@ -1,0 +1,253 @@
+#include "elmo/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "elmo/churn.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace elmo::stream {
+namespace {
+
+EncoderConfig config_for(EncoderKind kind) {
+  EncoderConfig cfg;
+  cfg.encoder = kind;
+  cfg.hmax_leaf_override = 2;  // force s-rules so every rule kind appears
+  return cfg;
+}
+
+// Hand-built single-tenant world with co-located VMs (4 VMs per host).
+struct StreamWorld {
+  explicit StreamWorld(EncoderKind kind = EncoderKind::kElmo,
+                       std::uint32_t vms = 40)
+      : topology{topo::ClosParams::small_test()},
+        controller{topology, config_for(kind)},
+        fabric{topology} {
+    tenants.resize(1);
+    tenants[0].id = 0;
+    for (std::uint32_t vm = 0; vm < vms; ++vm) {
+      tenants[0].vm_hosts.push_back((vm / 4) % topology.num_hosts());
+    }
+  }
+
+  GroupId make_group(std::span<const std::uint32_t> vms) {
+    std::vector<Member> members;
+    for (const auto vm : vms) {
+      members.push_back(Member{tenants[0].vm_hosts[vm], vm, MemberRole::kBoth});
+    }
+    return controller.create_group(0, members);
+  }
+
+  topo::ClosTopology topology;
+  Controller controller;
+  sim::Fabric fabric;
+  std::vector<cloud::Tenant> tenants;
+};
+
+TEST(ControlPlane, JoinOnUntrackedGroupStreamsFullInstall) {
+  StreamWorld w;
+  const std::vector<std::uint32_t> vms{0, 4, 8};
+  const auto id = w.make_group(vms);
+
+  ControlPlane cp{w.controller, w.fabric, ControlPlaneOptions{1}};
+  cp.refresh(id);  // untracked: emits the full install
+
+  sim::Fabric batch{w.topology};
+  batch.install_group(w.controller, id);
+  EXPECT_EQ(fabric_state_digest(w.fabric), fabric_state_digest(batch));
+  EXPECT_GT(cp.stats().updates_applied, 0u);
+  EXPECT_GT(cp.stats().wire_bytes, 0u);
+}
+
+TEST(ControlPlane, JoinEmitsDeltaNotFullReinstall) {
+  StreamWorld w;
+  const std::vector<std::uint32_t> vms{0, 4, 8, 12, 16, 20};
+  const auto id = w.make_group(vms);
+  w.fabric.install_group(w.controller, id);
+
+  ControlPlane cp{w.controller, w.fabric, ControlPlaneOptions{1}};
+  cp.track_group(id);
+  EXPECT_EQ(cp.stats().updates_applied, 0u);  // tracking emits nothing
+
+  // A receiver joining a host that already has a member: the receiver host
+  // set is unchanged, so the tree, encoding and every sender header stay
+  // put — the delta must be exactly ONE flow update (that host's local_vms
+  // gained a VM), not a re-push of the whole group.
+  const std::uint32_t joining_vm = 1;  // co-located with vm 0
+  ASSERT_EQ(w.tenants[0].vm_hosts[joining_vm], w.tenants[0].vm_hosts[0]);
+  cp.join(id, Member{w.tenants[0].vm_hosts[joining_vm], joining_vm,
+                     MemberRole::kReceiver});
+  cp.flush();
+
+  EXPECT_EQ(cp.stats().flow_adds, 1u)
+      << "a delta install must not re-push every member's flow";
+  EXPECT_EQ(cp.stats().leaf_srule_adds + cp.stats().spine_srule_adds, 0u);
+  EXPECT_EQ(cp.stats().updates_applied, 1u);
+
+  sim::Fabric batch{w.topology};
+  batch.install_group(w.controller, id);
+  EXPECT_EQ(fabric_state_digest(w.fabric), fabric_state_digest(batch));
+}
+
+TEST(ControlPlane, LeaveRemovesVacatedHostFlow) {
+  StreamWorld w;
+  const std::vector<std::uint32_t> vms{0, 4, 8};
+  const auto id = w.make_group(vms);
+  w.fabric.install_group(w.controller, id);
+
+  ControlPlane cp{w.controller, w.fabric, ControlPlaneOptions{1}};
+  cp.track_group(id);
+
+  const auto host = w.tenants[0].vm_hosts[8];
+  cp.leave(id, host, 8);
+  cp.flush();
+
+  EXPECT_FALSE(w.fabric.hypervisor(host).has_flow(
+      w.controller.group(id).address));
+  EXPECT_GE(cp.stats().flow_dels, 1u);
+
+  sim::Fabric batch{w.topology};
+  batch.install_group(w.controller, id);
+  EXPECT_EQ(fabric_state_digest(w.fabric), fabric_state_digest(batch));
+}
+
+TEST(ControlPlane, CoalescingCollapsesRepeatedTouchesToOneRule) {
+  StreamWorld w;
+  const std::vector<std::uint32_t> vms{0, 4, 8};
+  const auto id = w.make_group(vms);
+  w.fabric.install_group(w.controller, id);
+
+  // Large threshold: nothing flushes while the same host's flow is touched
+  // repeatedly; the wire must see only the final state.
+  ControlPlane cp{w.controller, w.fabric, ControlPlaneOptions{100000}};
+  cp.track_group(id);
+
+  // vms 12..15 live on one host: four joins touch the same flow.
+  for (std::uint32_t vm = 12; vm < 16; ++vm) {
+    cp.join(id, Member{w.tenants[0].vm_hosts[vm], vm, MemberRole::kReceiver});
+  }
+  EXPECT_GT(cp.stats().updates_coalesced, 0u);
+  cp.flush();
+
+  sim::Fabric batch{w.topology};
+  batch.install_group(w.controller, id);
+  EXPECT_EQ(fabric_state_digest(w.fabric), fabric_state_digest(batch));
+}
+
+TEST(ControlPlane, HostFailEvictsEveryMembershipOnTheHost) {
+  StreamWorld w;
+  // Host of vms 0..3 carries members of two groups.
+  const std::vector<std::uint32_t> g1_vms{0, 1, 8};
+  const std::vector<std::uint32_t> g2_vms{2, 12, 16};
+  const auto g1 = w.make_group(g1_vms);
+  const auto g2 = w.make_group(g2_vms);
+  w.fabric.install_group(w.controller, g1);
+  w.fabric.install_group(w.controller, g2);
+
+  ControlPlane cp{w.controller, w.fabric, ControlPlaneOptions{1}};
+  cp.track_group(g1);
+  cp.track_group(g2);
+
+  const auto dead = w.tenants[0].vm_hosts[0];
+  const auto evicted = cp.host_fail(dead);
+  cp.flush();
+  EXPECT_EQ(evicted, 3u);  // vms 0, 1 (g1) and 2 (g2)
+
+  for (const auto id : {g1, g2}) {
+    for (const auto& m : w.controller.group(id).members) {
+      EXPECT_NE(m.host, dead);
+    }
+    sim::Fabric batch{w.topology};
+    batch.install_group(w.controller, id);
+  }
+  EXPECT_FALSE(w.fabric.hypervisor(dead).has_flow(
+      w.controller.group(g1).address));
+  EXPECT_FALSE(w.fabric.hypervisor(dead).has_flow(
+      w.controller.group(g2).address));
+  EXPECT_EQ(cp.stats().host_fails, 1u);
+}
+
+TEST(ControlPlane, InstallLagIsRecordedPerEvent) {
+  StreamWorld w;
+  const auto id = w.make_group(std::vector<std::uint32_t>{0, 4, 8});
+  w.fabric.install_group(w.controller, id);
+
+  ControlPlane cp{w.controller, w.fabric, ControlPlaneOptions{100000}};
+  cp.track_group(id);
+  cp.join(id, Member{w.tenants[0].vm_hosts[12], 12, MemberRole::kReceiver});
+  cp.join(id, Member{w.tenants[0].vm_hosts[16], 16, MemberRole::kReceiver});
+  EXPECT_EQ(cp.stats().install_lag_seconds.count(), 0u);  // not flushed yet
+  cp.flush();
+  EXPECT_EQ(cp.stats().install_lag_seconds.count(), 2u);
+  EXPECT_GE(cp.stats().install_lag_seconds.percentile(99), 0.0);
+}
+
+TEST(ControlPlane, RejectsZeroFlushThreshold) {
+  StreamWorld w;
+  EXPECT_THROW(
+      (ControlPlane{w.controller, w.fabric, ControlPlaneOptions{0}}),
+      std::invalid_argument);
+}
+
+// The headline equivalence property, across all three encoders: N streamed
+// events with delta installs leave the fabric byte-identical (digest-equal)
+// to a fresh world where the FINAL membership is batch-created and
+// batch-installed.
+class StreamEquivalence : public ::testing::TestWithParam<EncoderKind> {};
+
+TEST_P(StreamEquivalence, StreamedDeltasMatchBatchInstallOfFinalState) {
+  const auto kind = GetParam();
+  StreamWorld w{kind, 80};
+
+  std::vector<GroupId> ids;
+  ids.push_back(w.make_group(std::vector<std::uint32_t>{0, 4, 8, 12}));
+  ids.push_back(w.make_group(std::vector<std::uint32_t>{1, 20, 33, 47, 60}));
+  ids.push_back(w.make_group(std::vector<std::uint32_t>{2, 6, 70}));
+  for (const auto id : ids) w.fabric.install_group(w.controller, id);
+
+  ControlPlane cp{w.controller, w.fabric, ControlPlaneOptions{8}};
+  for (const auto id : ids) cp.track_group(id);
+
+  // Drive a few hundred churn events through the plane (the simulator keeps
+  // its own membership mirror and checks leave-by-(host, vm) semantics).
+  ChurnSimulator churn{w.controller, w.tenants, ids};
+  churn.set_driver(&cp);
+  util::Rng rng{2024};
+  for (int i = 0; i < 400; ++i) churn.step(2, rng);
+  cp.flush();
+
+  // Fresh world: batch-create the final membership in a new controller so
+  // encodings are computed from scratch, then install directly.
+  StreamWorld fresh{kind, 80};
+  for (std::size_t gi = 0; gi < ids.size(); ++gi) {
+    const auto& members = w.controller.group(ids[gi]).members;
+    const auto id = fresh.controller.create_group(0, members);
+    fresh.fabric.install_group(fresh.controller, id);
+  }
+
+  EXPECT_EQ(fabric_state_digest(w.fabric), fabric_state_digest(fresh.fabric))
+      << "streamed world diverged from batch install";
+  EXPECT_GT(cp.stats().events, 0u);
+  EXPECT_GT(cp.stats().updates_applied, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, StreamEquivalence,
+                         ::testing::Values(EncoderKind::kElmo,
+                                           EncoderKind::kBert,
+                                           EncoderKind::kP3fa),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EncoderKind::kElmo:
+                               return "Elmo";
+                             case EncoderKind::kBert:
+                               return "Bert";
+                             case EncoderKind::kP3fa:
+                               return "P3fa";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace elmo::stream

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "testutil.h"
 #include "util/rng.h"
 
@@ -41,15 +43,58 @@ TEST_F(P4rtFixture, CompileCoversEveryRule) {
   const auto& g = controller.group(id);
   const auto updates = compile_install(controller, id);
 
-  std::size_t flows = 0, srules = 0;
+  // Flows are merged per host, so the update count tracks distinct member
+  // hosts, not members.
+  std::set<topo::HostId> hosts;
+  std::size_t member_vms = 0;
+  for (const auto& m : g.members) {
+    hosts.insert(m.host);
+    if (can_receive(m.role)) ++member_vms;
+  }
+  std::size_t flows = 0, srules = 0, flow_vms = 0;
   for (const auto& u : updates) {
-    if (u.kind == UpdateKind::kHypervisorFlowAdd) ++flows;
+    if (u.kind == UpdateKind::kHypervisorFlowAdd) {
+      ++flows;
+      flow_vms += u.local_vms.size();
+    }
     if (u.kind == UpdateKind::kSRuleAdd) ++srules;
   }
-  EXPECT_EQ(flows, g.members.size());
+  EXPECT_EQ(flows, hosts.size());
+  EXPECT_EQ(flow_vms, member_vms);
   EXPECT_EQ(srules, g.encoding.leaf.s_rules.size() +
                         g.encoding.spine.s_rules.size() *
                             topology.params().spines_per_pod);
+}
+
+TEST_F(P4rtFixture, ColocatedMembersShareOneFlowUpdate) {
+  // Two members of the same group on the same host must not clobber each
+  // other when the batch is applied through the channel.
+  const auto host = topology.host_at(0, 0);
+  const auto remote = topology.host_at(1, 0);
+  std::vector<Member> members{Member{host, 1, MemberRole::kBoth},
+                              Member{host, 2, MemberRole::kBoth},
+                              Member{remote, 3, MemberRole::kBoth}};
+  const auto id = controller.create_group(0, members);
+
+  const auto updates = compile_install(controller, id);
+  std::size_t flow_adds = 0;
+  for (const auto& u : updates) {
+    if (u.kind == UpdateKind::kHypervisorFlowAdd) ++flow_adds;
+  }
+  EXPECT_EQ(flow_adds, 2u);  // one per distinct host, not one per member
+
+  apply_updates(fabric, decode(encode(updates)));
+  sim::Fabric direct{topology};
+  direct.install_group(controller, id);
+
+  // A packet from the remote host must reach BOTH co-located VMs; with
+  // per-member updates the second FLOW_ADD used to clobber the first.
+  const auto& g = controller.group(id);
+  const auto via_channel = fabric.send(remote, g.address, 128);
+  const auto via_direct = direct.send(remote, g.address, 128);
+  EXPECT_EQ(via_channel.vm_deliveries, via_direct.vm_deliveries);
+  EXPECT_EQ(via_channel.host_copies, via_direct.host_copies);
+  EXPECT_EQ(via_channel.vm_deliveries, 2u);
 }
 
 TEST_F(P4rtFixture, WireRoundTripIsExact) {
@@ -129,6 +174,160 @@ TEST(P4rtCodec, EmptyBatch) {
   const auto wire = encode({});
   EXPECT_EQ(wire.size(), 8u);  // magic + count
   EXPECT_TRUE(decode(wire).empty());
+}
+
+TEST(P4rtCodec, OversizedFlowAddRoundTripsViaExtendedFrame) {
+  // A flow whose body exceeds the u16 frame (≈16K local VMs) used to throw
+  // std::length_error; it must now cross the channel via an extended frame.
+  Update u;
+  u.kind = UpdateKind::kHypervisorFlowAdd;
+  u.host = 42;
+  u.group.value = 0xe1000001;
+  u.vni = 7;
+  u.local_vms.resize(20'000);
+  for (std::size_t i = 0; i < u.local_vms.size(); ++i) {
+    u.local_vms[i] = static_cast<std::uint32_t>(i);
+  }
+  u.elmo_header.assign(123, 0xab);
+
+  std::vector<Update> updates{u};
+  const auto wire = encode(updates);
+  // Body alone is > 65,535 bytes: 12 fixed + 4 + 4*20000 + 4 + 123.
+  EXPECT_GT(wire.size(), 65'535u);
+  EXPECT_EQ(wire[8] & kExtendedFrameBit, kExtendedFrameBit);
+
+  const auto decoded = decode(wire);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0], u);
+}
+
+TEST(P4rtCodec, OversizedSRuleRoundTripsViaExtendedFrame) {
+  Update u;
+  u.kind = UpdateKind::kSRuleAdd;
+  u.layer = topo::Layer::kLeaf;
+  u.switch_id = 3;
+  u.group.value = 0xe1000002;
+  u.ports = net::PortBitmap{70'000};
+  u.ports.set(0);
+  u.ports.set(65'536);
+  u.ports.set(69'999);
+
+  std::vector<Update> updates{u};
+  const auto decoded = decode(encode(updates));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0], u);
+}
+
+TEST(P4rtCodec, StandardFramesAreByteIdenticalToLegacyWire) {
+  // Small messages must keep the v1 layout so old decoders stay compatible:
+  // kind byte without the extension bit, u16 length, u16 counts.
+  Update u;
+  u.kind = UpdateKind::kHypervisorFlowAdd;
+  u.host = 1;
+  u.group.value = 0xe0000009;
+  u.vni = 2;
+  u.local_vms = {10, 11};
+  u.elmo_header = {0xde, 0xad};
+
+  std::vector<Update> updates{u};
+  const auto wire = encode(updates);
+  ASSERT_GT(wire.size(), 11u);
+  EXPECT_EQ(wire[8], 0x01);  // kind, high bit clear
+  const std::size_t body = 12 + 2 + 4 * 2 + 2 + 2;
+  EXPECT_EQ(wire.size(), 8 + 3 + body);
+  EXPECT_EQ((wire[9] << 8) | wire[10], static_cast<int>(body));
+}
+
+TEST(P4rtCodec, DecodeRejectsImplausibleBatchCount) {
+  // A batch advertising far more messages than the payload could hold must
+  // be rejected before any storage is reserved for it.
+  std::vector<std::uint8_t> wire = encode({});
+  wire[4] = 0xff;  // count := 0xff000000
+  EXPECT_THROW(decode(wire), std::invalid_argument);
+}
+
+TEST(P4rtCodec, DecodeRejectsOversizedEmbeddedCounts) {
+  Update u;
+  u.kind = UpdateKind::kSRuleAdd;
+  u.layer = topo::Layer::kLeaf;
+  u.switch_id = 1;
+  u.group.value = 0xe0000001;
+  u.ports = net::PortBitmap{8};
+  std::vector<Update> updates{u};
+  auto wire = encode(updates);
+  // Corrupt the port_count field (last 3 bytes are count(u16) + 1 bitmap
+  // byte) to advertise a bitmap far larger than the remaining payload.
+  wire[wire.size() - 3] = 0xff;
+  wire[wire.size() - 2] = 0xff;
+  EXPECT_THROW(decode(wire), std::invalid_argument);
+}
+
+TEST(P4rtCodec, DecodeFuzzNeverCrashesAndRoundTripsSurvivors) {
+  // Mutational fuzz over valid wires: truncations, bit flips, and random
+  // splices must either decode cleanly or throw std::invalid_argument —
+  // never crash, hang, or allocate absurdly. Survivors must re-encode.
+  util::Rng rng{0xf00dULL};
+  std::vector<Update> base;
+  for (int i = 0; i < 6; ++i) {
+    Update u;
+    switch (i % 4) {
+      case 0:
+        u.kind = UpdateKind::kHypervisorFlowAdd;
+        u.host = rng.index(1000);
+        u.vni = rng.index(1 << 20);
+        u.local_vms.resize(rng.index(8));
+        u.elmo_header.resize(rng.index(64));
+        break;
+      case 1:
+        u.kind = UpdateKind::kHypervisorFlowDel;
+        u.host = rng.index(1000);
+        break;
+      case 2:
+        u.kind = UpdateKind::kSRuleAdd;
+        u.layer = topo::Layer::kSpine;
+        u.switch_id = rng.index(512);
+        u.ports = net::PortBitmap{1 + rng.index(128)};
+        break;
+      case 3:
+        u.kind = UpdateKind::kSRuleDel;
+        u.layer = topo::Layer::kLeaf;
+        u.switch_id = rng.index(512);
+        break;
+    }
+    u.group.value = 0xe0000000u | static_cast<std::uint32_t>(rng.index(1 << 24));
+    base.push_back(std::move(u));
+  }
+  const auto wire = encode(base);
+  ASSERT_EQ(decode(wire), base);
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto fuzzed = wire;
+    switch (rng.index(3)) {
+      case 0:  // truncate
+        fuzzed.resize(rng.index(fuzzed.size() + 1));
+        break;
+      case 1:  // flip a byte
+        fuzzed[rng.index(fuzzed.size())] ^= static_cast<std::uint8_t>(
+            1 + rng.index(255));
+        break;
+      case 2: {  // splice a random chunk
+        const auto at = rng.index(fuzzed.size());
+        const auto len = rng.index(16);
+        std::vector<std::uint8_t> chunk(len);
+        for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.index(256));
+        fuzzed.insert(fuzzed.begin() + static_cast<std::ptrdiff_t>(at),
+                      chunk.begin(), chunk.end());
+        break;
+      }
+    }
+    try {
+      const auto survivors = decode(fuzzed);
+      // Anything that decodes must round-trip through encode/decode.
+      EXPECT_EQ(decode(encode(survivors)), survivors);
+    } catch (const std::invalid_argument&) {
+      // expected for malformed input
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,76 @@
+#include "util/fenwick.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace elmo::util {
+namespace {
+
+TEST(FenwickTree, PrefixSumsMatchNaive) {
+  FenwickTree tree{10};
+  std::vector<std::int64_t> naive(10, 0);
+  util::Rng rng{17};
+  for (int round = 0; round < 500; ++round) {
+    const auto i = rng.index(10);
+    // Keep weights non-negative: add in [0, 5), subtract at most the current.
+    const auto delta = static_cast<std::int64_t>(rng.index(5)) -
+                       std::min<std::int64_t>(naive[i], 2);
+    tree.add(i, delta);
+    naive[i] += delta;
+
+    std::int64_t prefix = 0;
+    for (std::size_t k = 0; k < naive.size(); ++k) {
+      EXPECT_EQ(tree.prefix(k), static_cast<std::uint64_t>(prefix));
+      prefix += naive[k];
+    }
+    EXPECT_EQ(tree.total(), static_cast<std::uint64_t>(prefix));
+  }
+}
+
+TEST(FenwickTree, UpperBoundSelectsByWeight) {
+  FenwickTree tree{4};
+  tree.add(0, 2);
+  tree.add(1, 0);
+  tree.add(2, 3);
+  tree.add(3, 1);
+  // Weights [2, 0, 3, 1]: targets map to entries 0,0,2,2,2,3.
+  const std::size_t expected[] = {0, 0, 2, 2, 2, 3};
+  for (std::uint64_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(tree.upper_bound(t), expected[t]) << "target " << t;
+  }
+  EXPECT_THROW(tree.upper_bound(6), std::out_of_range);
+}
+
+TEST(FenwickTree, ZeroWeightEntriesAreNeverSelected) {
+  FenwickTree tree{5};
+  tree.add(1, 4);
+  tree.add(3, 4);
+  for (std::uint64_t t = 0; t < tree.total(); ++t) {
+    const auto i = tree.upper_bound(t);
+    EXPECT_TRUE(i == 1 || i == 3) << "target " << t;
+  }
+}
+
+TEST(FenwickTree, WeightReadsBack) {
+  FenwickTree tree{3};
+  tree.add(0, 7);
+  tree.add(2, 1);
+  tree.add(0, -3);
+  EXPECT_EQ(tree.weight(0), 4u);
+  EXPECT_EQ(tree.weight(1), 0u);
+  EXPECT_EQ(tree.weight(2), 1u);
+  EXPECT_EQ(tree.total(), 5u);
+}
+
+TEST(FenwickTree, BoundsChecked) {
+  FenwickTree tree{3};
+  EXPECT_THROW(tree.add(3, 1), std::out_of_range);
+  EXPECT_THROW(tree.prefix(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace elmo::util

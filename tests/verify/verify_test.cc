@@ -39,6 +39,68 @@ TEST(FuzzPipeline, CleanSeedsPass) {
   EXPECT_GT(sends, 0u);
 }
 
+// Delta mode: the same seeds, with heavy appended churn, routed through the
+// streaming control plane (incremental re-encode + coalesced delta installs
+// over the wire channel). The runner digest-diffs the fabric against a
+// fresh batch install after EVERY event, so a pass means the streamed
+// deltas never diverged from from-scratch state at any point in the run.
+TEST(FuzzPipeline, DeltaInstallSeedsPassWithContinuousStateDiff) {
+  RunOptions options;
+  options.delta_installs = true;
+  std::size_t sends = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    auto scenario = generate_scenario(seed);
+    append_churn_events(scenario, 40, 0xc4);
+    const auto report =
+        run_scenario(scenario, Mutation::kNone, nullptr, options);
+    EXPECT_TRUE(report.ok) << "seed=" << seed << ": " << report.failure;
+    sends += report.sends_checked;
+  }
+  EXPECT_GT(sends, 0u);
+}
+
+// The continuous state oracle must catch fabric-side faults in delta mode
+// too: a dropped s-rule diverges from the batch-install reference at the
+// very first digest diff, before any send has to traverse it.
+TEST(FuzzPipeline, DeltaModeCatchesFabricMutations) {
+  RunOptions options;
+  options.delta_installs = true;
+  for (const auto mutation :
+       {Mutation::kDropSRule, Mutation::kDropLocalVm, Mutation::kWrongSenderHeader,
+        Mutation::kSkipMirrorUpdate, Mutation::kLeaveByHostOnly}) {
+    bool caught = false;
+    for (std::uint64_t seed = 1; seed <= 60 && !caught; ++seed) {
+      const auto report =
+          run_scenario(generate_scenario(seed), mutation, nullptr, options);
+      caught = report.applied && !report.ok;
+    }
+    EXPECT_TRUE(caught) << "mutation " << to_string(mutation)
+                        << " survived 60 seeds in delta mode";
+  }
+}
+
+// Appended churn is deterministic per (seed, salt) and valid by
+// construction: normalize() — which drops every unexecutable event — must
+// keep the script unchanged.
+TEST(ScenarioGenerator, AppendedChurnIsDeterministicAndValid) {
+  auto a = generate_scenario(77);
+  auto b = generate_scenario(77);
+  append_churn_events(a, 50, 0xc4);
+  append_churn_events(b, 50, 0xc4);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind) << i;
+    EXPECT_EQ(a.events[i].group_index, b.events[i].group_index) << i;
+    EXPECT_EQ(a.events[i].member.host, b.events[i].member.host) << i;
+    EXPECT_EQ(a.events[i].member.vm, b.events[i].member.vm) << i;
+  }
+  const auto before = a.events.size();
+  EXPECT_GE(before, 50u);
+  normalize(a);
+  EXPECT_EQ(a.events.size(), before)
+      << "append_churn_events emitted an event normalize considers invalid";
+}
+
 // The harness validates itself: every fault in the mutation catalog must be
 // caught (applied && !ok) within a short seed scan, or the differ has a
 // blind spot.

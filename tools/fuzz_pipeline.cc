@@ -32,6 +32,14 @@
 //   --walk_threads=N diff sends through the batched fabric walk
 //                    (send_batch) with N workers instead of the serial
 //                    send() reference (default 0 = serial)
+//   --churn_events=N append N extra churn events (join/leave-biased, with
+//                    periodic sends) to every scenario and run it through
+//                    the STREAMING control plane: incremental re-encode +
+//                    coalesced delta installs over the p4rt wire channel,
+//                    with the installed fabric state digest-diffed against
+//                    a fresh batch install after every event (default 0)
+//   --delta=1        delta installs + continuous state diff without extra
+//                    churn events (implied by --churn_events)
 //
 // Replaying a CI failure: tools/fuzz_pipeline --seed=<reported seed>
 #include <cstdio>
@@ -68,11 +76,24 @@ struct Options {
   // When set, every generated scenario is forced onto this encoder kind
   // (replaying a matrix-job failure, or isolating one scheme).
   std::optional<EncoderKind> encoder;
+  // Extra churn events appended to every scenario (--churn_events=N).
+  std::size_t churn_events = 0;
+  // Stream membership events through elmo::stream::ControlPlane as delta
+  // installs, with the continuous fabric-state diff (--delta, implied by
+  // --churn_events).
+  bool delta_installs = false;
 };
+
+// Salt for the appended-churn rng stream; any fixed value works, it only
+// has to be stable so --seed=N replays the CI campaign's exact script.
+constexpr std::uint64_t kChurnSalt = 0xc4u;
 
 Scenario make_scenario(std::uint64_t seed, const Options& opt) {
   auto scenario = elmo::verify::generate_scenario(seed);
   if (opt.encoder) scenario.config.encoder = *opt.encoder;
+  if (opt.churn_events > 0) {
+    elmo::verify::append_churn_events(scenario, opt.churn_events, kChurnSalt);
+  }
   return scenario;
 }
 
@@ -84,8 +105,10 @@ void dump_failure_artifacts(const Scenario& scenario, const Options& opt) {
   elmo::sim::FlightRecorder recorder;
   std::vector<elmo::verify::SendCapture> captures;
   RunObservability observability{&registry, &recorder, &captures};
-  const auto replay =
-      elmo::verify::run_scenario(scenario, Mutation::kNone, &observability);
+  elmo::verify::RunOptions run_options;
+  run_options.delta_installs = opt.delta_installs;
+  const auto replay = elmo::verify::run_scenario(
+      scenario, Mutation::kNone, &observability, run_options);
 
   const auto stem = opt.artifacts + "/fuzz_seed_" +
                     std::to_string(scenario.seed) + "_" +
@@ -118,14 +141,28 @@ void report_failure(const Scenario& scenario, const RunReport& report,
               static_cast<unsigned long long>(scenario.seed),
               elmo::to_string(scenario.config.encoder),
               report.failure.c_str());
-  std::printf("replay: tools/fuzz_pipeline --seed=%llu%s%s\n",
+  std::string replay_extras;
+  if (opt.encoder) {
+    replay_extras += " --encoder=";
+    replay_extras += elmo::to_string(*opt.encoder);
+  }
+  if (opt.churn_events > 0) {
+    replay_extras += " --churn_events=" + std::to_string(opt.churn_events);
+  } else if (opt.delta_installs) {
+    replay_extras += " --delta=1";
+  }
+  std::printf("replay: tools/fuzz_pipeline --seed=%llu%s\n",
               static_cast<unsigned long long>(scenario.seed),
-              opt.encoder ? " --encoder=" : "",
-              opt.encoder ? elmo::to_string(*opt.encoder) : "");
+              replay_extras.c_str());
   dump_failure_artifacts(scenario, opt);
   if (!opt.do_shrink) return;
-  const auto minimal = elmo::verify::shrink(scenario);
-  const auto shrunk = elmo::verify::run_scenario(minimal);
+  elmo::verify::RunOptions shrink_options;
+  shrink_options.delta_installs = opt.delta_installs;
+  const auto minimal = elmo::verify::shrink(
+      scenario, Mutation::kNone, /*budget=*/600, shrink_options);
+  const auto shrunk =
+      elmo::verify::run_scenario(minimal, Mutation::kNone, nullptr,
+                                 shrink_options);
   std::printf("shrunk to %zu group(s), %zu event(s): %s\n",
               minimal.groups.size(), minimal.events.size(),
               shrunk.failure.c_str());
@@ -149,6 +186,7 @@ int run_plain(std::uint64_t base, std::size_t seeds, const Options& opt) {
     RunObservability observability{registry, trace_on ? &recorder : nullptr};
     elmo::verify::RunOptions run_options;
     run_options.walk_threads = opt.walk_threads;
+    run_options.delta_installs = opt.delta_installs;
     const auto report = elmo::verify::run_scenario(
         scenario, Mutation::kNone,
         (registry != nullptr || trace_on) ? &observability : nullptr,
@@ -230,6 +268,9 @@ int main(int argc, char** argv) {
   opt.artifacts = flags.get_string("ARTIFACTS", ".");
   opt.walk_threads =
       static_cast<std::size_t>(flags.get_int("WALK_THREADS", 0));
+  opt.churn_events =
+      static_cast<std::size_t>(flags.get_int("CHURN_EVENTS", 0));
+  opt.delta_installs = flags.get_bool("DELTA", false) || opt.churn_events > 0;
   if (const auto name = flags.get_string("ENCODER", ""); !name.empty()) {
     opt.encoder = elmo::parse_encoder_kind(name);
   }
