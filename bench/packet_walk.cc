@@ -21,6 +21,11 @@
 // thread count, so on a 1-core host the determinism check is the result
 // (see hardware_threads in the output header and RUN line).
 //
+// --sample=1 (DESIGN.md §14) additionally ticks Fabric::sample_into into a
+// health TimeSeriesStore once per batch (or per 64 serial sends) during the
+// metrics-on leg, so metrics_on_overhead_pct doubles as the live-sampling
+// overhead referee; bench/health_sweep measures the same path in isolation.
+//
 // Output is JSON on stdout, one object per fanout, closed by a `RUN {...}`
 // metadata line; recorded snapshots live in bench/results/
 // (BENCH_packet_walk_baseline.json = the seed deep-copy walk,
@@ -38,6 +43,7 @@
 
 #include "elmo/controller.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "sim/fabric.h"
 #include "sim/flight_recorder.h"
 #include "topology/clos.h"
@@ -57,6 +63,8 @@ struct RunResult {
   std::uint64_t link_transmissions_per_send = 0;
   std::size_t hosts_reached = 0;
   bool matches_serial = true;  // batched mode: one batch vs serial reference
+  std::uint64_t sampled_windows = 0;  // --sample=1: health windows closed
+  std::size_t sampled_series = 0;     //             distinct series stored
 };
 
 bool same_send(const sim::SendResult& a, const sim::SendResult& b) {
@@ -68,7 +76,8 @@ bool same_send(const sim::SendResult& a, const sim::SendResult& b) {
 
 RunResult run_fanout(std::size_t fanout, std::size_t payload_bytes,
                      std::size_t iterations, std::size_t batch,
-                     std::size_t threads, sim::FlightRecorder* recorder) {
+                     std::size_t threads, bool sample,
+                     sim::FlightRecorder* recorder) {
   // Two-tier leaf-spine: 32 leaves x 32 hosts = 1,024 hosts, enough for the
   // widest fanout while keeping fabric construction cheap.
   const topo::ClosTopology topology{topo::ClosParams::two_tier_leaf_spine()};
@@ -112,15 +121,27 @@ RunResult run_fanout(std::size_t fanout, std::size_t payload_bytes,
 
   auto& reg = obs::MetricsRegistry::global();
   const bool metrics_requested = reg.enabled();
-  auto timed_loop = [&] {
+  // Health sampling cadence: one window per batch, or per 64 serial sends
+  // (a "wave" of the serial loop). Only the metrics-on leg samples.
+  obs::TimeSeriesStore store{64};
+  constexpr std::size_t kSerialWave = 64;
+  auto timed_loop = [&](obs::TimeSeriesStore* ts) {
     const auto start = std::chrono::steady_clock::now();
     if (batch == 0) {
       for (std::size_t i = 0; i < iterations; ++i) {
         (void)fabric.send(0, group, payload);
+        if (ts != nullptr && (i + 1) % kSerialWave == 0) {
+          fabric.sample_into(*ts);
+          ts->advance();
+        }
       }
     } else {
       for (std::size_t done = 0; done < loop_sends; done += batch) {
         (void)fabric.send_batch(std::span{requests}, options);
+        if (ts != nullptr) {
+          fabric.sample_into(*ts);
+          ts->advance();
+        }
       }
     }
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -132,16 +153,17 @@ RunResult run_fanout(std::size_t fanout, std::size_t payload_bytes,
   // by, and the metrics-off overhead reference.
   reg.set_enabled(false);
   net::reset_copy_stats();
-  const double off_elapsed = timed_loop();
+  const double off_elapsed = timed_loop(nullptr);
   const auto copies = net::copy_stats();
   const double bytes_copied =
       static_cast<double>(copies.bytes) / static_cast<double>(loop_sends);
   const double copy_count =
       static_cast<double>(copies.copies) / static_cast<double>(loop_sends);
 
-  // Leg 2: telemetry enabled — same loop, counters and spans live.
+  // Leg 2: telemetry enabled — same loop, counters and spans live, plus the
+  // per-wave health sampling tick when --sample=1.
   reg.set_enabled(true);
-  const double on_elapsed = timed_loop();
+  const double on_elapsed = timed_loop(sample ? &store : nullptr);
   if (metrics_requested) {
     accumulate_fabric_metrics(fabric, reg);
   }
@@ -163,6 +185,8 @@ RunResult run_fanout(std::size_t fanout, std::size_t payload_bytes,
   r.wire_bytes_per_send = probe.total_wire_bytes;
   r.link_transmissions_per_send = probe.total_link_transmissions;
   r.hosts_reached = probe.host_copies.size();
+  r.sampled_windows = store.window();
+  r.sampled_series = store.series_count();
   return r;
 }
 
@@ -178,6 +202,7 @@ int main(int argc, char** argv) {
       std::max<std::int64_t>(0, flags.get_int("BATCH", 0)));
   const auto threads = static_cast<std::size_t>(
       std::max<std::int64_t>(1, flags.get_int("THREADS", 1)));
+  const bool sample = flags.get_bool("SAMPLE", false);
   const auto metrics_path = flags.get_string("METRICS", "");
   const auto trace_path = flags.get_string("TRACE", "");
   const auto hardware_threads = std::thread::hardware_concurrency();
@@ -195,7 +220,7 @@ int main(int argc, char** argv) {
   bool all_match = true;
   for (std::size_t i = 0; i < 3; ++i) {
     const auto r =
-        run_fanout(fanouts[i], payload, iters[i], batch, threads,
+        run_fanout(fanouts[i], payload, iters[i], batch, threads, sample,
                    trace_path.empty() ? nullptr : &recorder);
     all_match = all_match && r.matches_serial;
     std::printf(
@@ -204,12 +229,14 @@ int main(int argc, char** argv) {
         "\"metrics_on_overhead_pct\": %.1f, "
         "\"bytes_copied_per_send\": %.1f, \"copies_per_send\": %.2f, "
         "\"wire_bytes_per_send\": %llu, \"link_transmissions_per_send\": "
-        "%llu, \"hosts_reached\": %zu, \"matches_serial\": %s}%s\n",
+        "%llu, \"hosts_reached\": %zu, \"matches_serial\": %s, "
+        "\"sampled_windows\": %llu, \"sampled_series\": %zu}%s\n",
         fanouts[i], r.sends_per_sec, r.sends_per_sec_metrics_on,
         r.metrics_on_overhead_pct, r.bytes_copied_per_send, r.copies_per_send,
         static_cast<unsigned long long>(r.wire_bytes_per_send),
         static_cast<unsigned long long>(r.link_transmissions_per_send),
         r.hosts_reached, r.matches_serial ? "true" : "false",
+        static_cast<unsigned long long>(r.sampled_windows), r.sampled_series,
         i + 1 < 3 ? "," : "");
   }
   std::printf("  ]\n}\n");

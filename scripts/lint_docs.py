@@ -38,10 +38,11 @@ FLAG_RE = re.compile(r"(?<![\w-])--([a-z][a-z0-9_-]*)")
 ENV_RE = re.compile(r"ELMO_([A-Z0-9_]+)")
 SECTION_REF_RE = re.compile(r"DESIGN\.md[^§\n]{0,10}§\s*(\d+)")
 SECTION_DEF_RE = re.compile(r"^## (\d+)\.", re.MULTILINE)
-GET_FLAG_RE = re.compile(r'get_(?:int|string|bool)\(\s*"([A-Za-z0-9_]+)"')
+GET_FLAG_RE = re.compile(r'get_(?:int|string|bool|double)\(\s*"([A-Za-z0-9_]+)"')
 
-# Flags that belong to external tools the docs legitimately invoke.
-EXTERNAL_FLAGS = {"build", "test-dir", "output-on-failure"}
+# Flags that belong to external tools the docs legitimately invoke, plus
+# repo scripts' own argparse-style flags (not routed through util::Flags).
+EXTERNAL_FLAGS = {"build", "test-dir", "output-on-failure", "incidents"}
 
 
 def iter_doc_files(root: pathlib.Path):

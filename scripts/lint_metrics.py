@@ -2,6 +2,21 @@
 """Strict linter for the Prometheus text exposition our tools emit.
 
 Usage: scripts/lint_metrics.py <file> [<file> ...]   ("-" reads stdin)
+       scripts/lint_metrics.py --incidents <file> [<file> ...]
+
+With --incidents, files are instead validated against the incident-report
+JSON schema obs::HealthMonitor::render_json() emits (DESIGN.md §14, what
+`tools/healthmon --json=<path>` writes):
+
+  * top level: window (int >= 0), open (int >= 0), incidents (array);
+  * per incident: non-empty class string; severity in info / warning /
+    critical; element and summary strings; first_window / last_window /
+    windows_active / flaps ints >= 0 with last_window >= first_window and
+    windows_active >= 1; open bool; evidence array; optional explanation
+    string;
+  * per evidence entry: series string, observed and threshold numbers,
+    note string;
+  * the top-level open count matches the incidents marked open.
 
 Validates the contract CI smoke jobs rely on (docs/BENCH_SCHEMA.md,
 DESIGN.md §9):
@@ -21,6 +36,7 @@ DESIGN.md §9):
 Exit status 0 when every file is clean, 1 otherwise.
 """
 
+import json
 import math
 import re
 import sys
@@ -166,16 +182,112 @@ def lint(path: str, text: str) -> list:
     return errors
 
 
+SEVERITIES = {"info", "warning", "critical"}
+
+
+def _is_count(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def _is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def lint_incidents(path: str, text: str) -> list:
+    """Validates a HealthMonitor::render_json() incident report."""
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+
+    if not _is_count(doc.get("window")):
+        err("window must be an int >= 0")
+    if not _is_count(doc.get("open")):
+        err("open must be an int >= 0")
+    incidents = doc.get("incidents")
+    if not isinstance(incidents, list):
+        err("incidents must be an array")
+        return errors
+
+    open_seen = 0
+    for i, inc in enumerate(incidents):
+        where = f"incidents[{i}]"
+        if not isinstance(inc, dict):
+            err(f"{where} must be an object")
+            continue
+        if not (isinstance(inc.get("class"), str) and inc["class"]):
+            err(f"{where}.class must be a non-empty string")
+        if inc.get("severity") not in SEVERITIES:
+            err(f"{where}.severity must be one of {sorted(SEVERITIES)}")
+        for key in ("element", "summary"):
+            if not isinstance(inc.get(key), str):
+                err(f"{where}.{key} must be a string")
+        for key in ("first_window", "last_window", "windows_active", "flaps"):
+            if not _is_count(inc.get(key)):
+                err(f"{where}.{key} must be an int >= 0")
+        if (_is_count(inc.get("first_window"))
+                and _is_count(inc.get("last_window"))
+                and inc["last_window"] < inc["first_window"]):
+            err(f"{where}: last_window < first_window")
+        if _is_count(inc.get("windows_active")) and inc["windows_active"] < 1:
+            err(f"{where}.windows_active must be >= 1")
+        if not isinstance(inc.get("open"), bool):
+            err(f"{where}.open must be a bool")
+        elif inc["open"]:
+            open_seen += 1
+        if "explanation" in inc and not isinstance(inc["explanation"], str):
+            err(f"{where}.explanation must be a string")
+        evidence = inc.get("evidence")
+        if not isinstance(evidence, list):
+            err(f"{where}.evidence must be an array")
+            continue
+        for e, ev in enumerate(evidence):
+            ewhere = f"{where}.evidence[{e}]"
+            if not isinstance(ev, dict):
+                err(f"{ewhere} must be an object")
+                continue
+            if not isinstance(ev.get("series"), str):
+                err(f"{ewhere}.series must be a string")
+            for key in ("observed", "threshold"):
+                if not _is_number(ev.get(key)):
+                    err(f"{ewhere}.{key} must be a number")
+            if not isinstance(ev.get("note"), str):
+                err(f"{ewhere}.note must be a string")
+
+    if _is_count(doc.get("open")) and doc["open"] != open_seen:
+        err(f"open count {doc['open']} != {open_seen} incident(s) "
+            "marked open")
+    return errors
+
+
 def main(argv):
-    paths = argv[1:] or ["-"]
+    args = argv[1:]
+    incidents_mode = bool(args) and args[0] == "--incidents"
+    if incidents_mode:
+        args = args[1:]
+    paths = args or ["-"]
     failed = False
     for path in paths:
         text = sys.stdin.read() if path == "-" else open(path).read()
-        errors = lint("<stdin>" if path == "-" else path, text)
+        label = "<stdin>" if path == "-" else path
+        if incidents_mode:
+            errors = lint_incidents(label, text)
+        else:
+            errors = lint(label, text)
         for e in errors:
             print(e, file=sys.stderr)
         if errors:
             failed = True
+        elif incidents_mode:
+            count = len(json.loads(text)["incidents"])
+            print(f"{path}: OK ({count} incident(s))")
         else:
             families = len([l for l in text.splitlines()
                             if l.startswith("# TYPE ")])

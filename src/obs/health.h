@@ -1,0 +1,177 @@
+// Gray-failure health monitoring over metric time series (DESIGN.md §14).
+//
+// A HealthMonitor runs pluggable Detectors over the consecutive per-window
+// deltas buffered in a TimeSeriesStore. Each tick(), every detector scans
+// the store and reports zero or more Findings — conditions that hold in the
+// window that just closed. The monitor folds findings into durable Incident
+// records, deduplicated by (class, element): a condition that persists for
+// ten windows is ONE incident with windows_active == 10, and a condition
+// that oscillates (fires, goes quiet, fires again) is ONE incident with a
+// flap count, not K copies. Incidents close after `close_after` quiet
+// windows and silently reopen (flap++) if the condition returns.
+//
+// The four built-in detectors read the series sim::Fabric::sample_into()
+// and the verify/healthmon drivers export:
+//
+//   loss-rate       elmo_link_<from>_<to>_tx_total vs the next layer's
+//                   arrival counters: a conservation-law asymmetry between
+//                   copies put on the wire towards a layer and packets that
+//                   layer processed localizes gray loss to "links into X".
+//   stuck-element   elmo_dp_<layer>_packets_in_total advancing while
+//                   elmo_dp_<layer>_copies_out_total is flat for N windows.
+//   fanout-anomaly  elmo_dp_host_vm_deliveries_total diverging from the
+//                   analytic expectation series the driver appends
+//                   (elmo_expect_vm_deliveries_total).
+//   churn-lag       EWMA of elmo_stream_install_lag_p99_seconds breaching
+//                   an install-lag budget.
+//
+// Incidents render as pretty text (render_text) and as a JSON document
+// (render_json) whose schema scripts/lint_metrics.py --incidents enforces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace elmo::obs {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kCritical };
+const char* to_string(Severity severity);
+
+// Classes minted by the built-in detectors. Plain strings so out-of-tree
+// detectors can add their own without touching this header.
+inline constexpr const char* kLinkLossClass = "link-loss";
+inline constexpr const char* kStuckElementClass = "stuck-element";
+inline constexpr const char* kFanoutAnomalyClass = "fanout-anomaly";
+inline constexpr const char* kChurnLagClass = "churn-lag";
+
+// One series comparison that contributed to a finding: the exact delta the
+// detector observed and the threshold it crossed.
+struct Evidence {
+  std::string series;
+  double observed = 0;
+  double threshold = 0;
+  std::string note;
+};
+
+// A condition one detector saw in the current window. Findings are
+// ephemeral; the monitor folds them into Incidents.
+struct Finding {
+  std::string klass;
+  Severity severity = Severity::kWarning;
+  std::string element;  // suspected element/layer, e.g. "layer-in:leaf"
+  std::string summary;
+  std::vector<Evidence> evidence;
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  virtual const char* name() const = 0;
+  // Reports every condition that holds NOW (newest window of `store`).
+  // Idempotent per window; the monitor handles dedup and persistence.
+  virtual void scan(const TimeSeriesStore& store,
+                    std::vector<Finding>& out) = 0;
+};
+
+// Durable record of one (class, element) condition over its lifetime.
+struct Incident {
+  std::uint64_t id = 0;
+  std::string klass;
+  Severity severity = Severity::kInfo;  // max over all reports
+  std::string element;
+  std::string summary;             // latest report's wording
+  std::vector<Evidence> evidence;  // latest report's evidence
+  std::uint64_t first_window = 0;
+  std::uint64_t last_window = 0;    // newest window the condition held in
+  std::uint64_t windows_active = 0; // windows the condition actually held
+  std::uint64_t flaps = 0;          // re-fires after >= 1 quiet window
+  bool open = true;
+  // Optional rendered verify::explain_send for an affected send, attached
+  // by the driver (tools/healthmon) when provenance is available.
+  std::string explanation;
+};
+
+struct HealthMonitorOptions {
+  // Detectors do not run before this many windows have completed — the
+  // store-wide warm-up gate (per-detector EWMA warm-ups stack on top).
+  std::uint64_t warmup_windows = 3;
+  // Open incidents close after this many consecutive quiet windows.
+  std::uint64_t close_after = 3;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(const TimeSeriesStore& store,
+                         HealthMonitorOptions opts = {});
+
+  void add_detector(std::unique_ptr<Detector> detector);
+  std::size_t detector_count() const noexcept { return detectors_.size(); }
+
+  // Runs every detector against the store's newest completed window. Call
+  // once per window, after TimeSeriesStore::advance()/ingest(). Returns the
+  // indices (into incidents()) of incidents opened OR reopened this tick.
+  std::vector<std::size_t> tick();
+
+  const std::vector<Incident>& incidents() const noexcept {
+    return incidents_;
+  }
+  std::size_t open_count() const;
+  bool has_incident(std::string_view klass) const;
+  void attach_explanation(std::size_t index, std::string text);
+
+  // Human-readable incident timeline.
+  std::string render_text() const;
+  // JSON document; schema linted by scripts/lint_metrics.py --incidents.
+  std::string render_json() const;
+
+ private:
+  const TimeSeriesStore& store_;
+  HealthMonitorOptions opts_;
+  std::vector<std::unique_ptr<Detector>> detectors_;
+  std::vector<Incident> incidents_;
+  std::map<std::pair<std::string, std::string>, std::size_t> index_;
+  std::vector<Finding> scratch_;  // reused across ticks
+};
+
+// --- built-in detectors ----------------------------------------------------
+
+struct LossRateOptions {
+  double min_rate = 0.005;      // fire at >= 0.5% per-window loss
+  double critical_rate = 0.05;  // escalate to kCritical at >= 5%
+  double min_transmissions = 50;  // ignore windows with less traffic
+};
+std::unique_ptr<Detector> make_loss_rate_detector(LossRateOptions opts = {});
+
+struct StuckElementOptions {
+  std::uint64_t windows = 2;  // consecutive in>0 / out==0 windows to fire
+  double min_ingress = 1;     // per-window ingress to count as "nonzero"
+};
+std::unique_ptr<Detector> make_stuck_element_detector(
+    StuckElementOptions opts = {});
+
+struct FanoutAnomalyOptions {
+  double tolerance = 0.002;      // |1 - delivered/expected| to fire
+  double critical_ratio = 0.05;  // deviation for kCritical
+  double min_expected = 64;      // per-window expected deliveries to judge
+};
+std::unique_ptr<Detector> make_fanout_anomaly_detector(
+    FanoutAnomalyOptions opts = {});
+
+struct ChurnLagOptions {
+  double budget_seconds = 0.050;  // install-lag p99 budget
+  double alpha = 0.5;             // EWMA smoothing over the p99 series
+  std::size_t min_samples = 3;    // EWMA warm-up before any verdict
+};
+std::unique_ptr<Detector> make_churn_lag_detector(ChurnLagOptions opts = {});
+
+// All four built-ins with default options.
+void add_default_detectors(HealthMonitor& monitor);
+
+}  // namespace elmo::obs

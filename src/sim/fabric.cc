@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "sim/flight_recorder.h"
 
 namespace elmo::sim {
@@ -276,7 +277,7 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
   }
 
   queue_.clear();
-  if (!lost(loss_rng)) {
+  if (!lost_on(loss_rng, node_index(src_node), 0)) {
     queue_.push_back(WorkItem{first_leaf, std::move(packet), 1, prov_root});
     ++walk_stats_.enqueues;
     walk_stats_.max_queue_depth = std::max<std::uint64_t>(
@@ -329,7 +330,7 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
       const auto next = neighbor_of(item.at, emission.out_port);
       account_port(from_index, emission.out_port, emission.packet.size(),
                    result);
-      if (lost(loss_rng)) {
+      if (lost_on(loss_rng, from_index, emission.out_port)) {
         ++walk_stats_.lost_copies;
         if (prov_ != nullptr) {
           prov_->lost_copy(next.layer, next.id, prov_hop);
@@ -420,7 +421,7 @@ std::vector<SendResult> Fabric::send_batch(std::span<const SendRequest> requests
           obs::make_trace(request.group.value, request.src, packet.size());
       prov_root = 0;
     }
-    if (!lost(rngs[r])) {
+    if (!lost_on(rngs[r], node_index(src_node), 0)) {
       wave_.push_back(BatchItem{first_leaf, std::move(packet), 1, prov_root,
                                 static_cast<std::uint32_t>(r)});
       ++walk_stats_.enqueues;
@@ -546,7 +547,7 @@ std::vector<SendResult> Fabric::send_batch(std::span<const SendRequest> requests
           const auto next = neighbor_of(item.at, emission.out_port);
           account_port(from_index, emission.out_port, emission.packet.size(),
                        result);
-          if (lost(loss_rng)) {
+          if (lost_on(loss_rng, from_index, emission.out_port)) {
             ++walk_stats_.lost_copies;
             if (prov_ != nullptr) {
               obs::add_lost(traces[item.send], next.layer, next.id, prov_hop);
@@ -624,8 +625,10 @@ SendResult Fabric::send_unicast(topo::HostId src, topo::HostId dst,
 
   bool delivered = true;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    account(path[i], path[i + 1], wire_bytes, result);
-    if (lost(loss_rng)) {
+    const auto from_index = node_index(path[i]);
+    const auto port = port_towards(path[i], path[i + 1]);
+    account_port(from_index, port, wire_bytes, result);
+    if (lost_on(loss_rng, from_index, port)) {
       delivered = false;
       break;
     }
@@ -637,6 +640,103 @@ SendResult Fabric::send_unicast(topo::HostId src, topo::HostId dst,
     ++walk_stats_.lost_copies;
   }
   return result;
+}
+
+void Fabric::set_link_loss(const NodeRef& from, const NodeRef& to,
+                           double rate) {
+  if (link_loss_.size() != link_stats_.size()) {
+    link_loss_.assign(link_stats_.size(), 0.0);
+  }
+  const auto from_index = node_index(from);
+  link_loss_[link_base_[from_index] + port_towards(from, to)] = rate;
+  has_link_loss_ = true;
+}
+
+void Fabric::clear_link_loss() {
+  has_link_loss_ = false;
+  link_loss_.clear();
+}
+
+void Fabric::ensure_link_classes() const {
+  if (!link_class_.empty()) return;
+  // A link slot's directed class follows from its owner's layer and port
+  // range alone — no topology walk needed.
+  link_class_.resize(link_stats_.size());
+  const std::size_t hosts = topo_->num_hosts();
+  const std::size_t leaves = topo_->num_leaves();
+  const std::size_t spines = topo_->num_spines();
+  const std::size_t cores = topo_->num_cores();
+  const std::size_t nodes = hosts + leaves + spines + cores;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const std::size_t degree = link_base_[n + 1] - link_base_[n];
+    for (std::size_t port = 0; port < degree; ++port) {
+      std::uint8_t klass;
+      if (n < hosts) {
+        klass = 0;  // host -> leaf
+      } else if (n < hosts + leaves) {
+        klass = port < topo_->leaf_down_ports() ? 1 : 2;  // ->host / ->spine
+      } else if (n < hosts + leaves + spines) {
+        klass = port < topo_->spine_down_ports() ? 3 : 4;  // ->leaf / ->core
+      } else {
+        klass = 5;  // core -> spine
+      }
+      link_class_[link_base_[n] + port] = klass;
+    }
+  }
+}
+
+void Fabric::sample_into(obs::TimeSeriesStore& store) const {
+  struct LayerSample {
+    topo::Layer layer;
+    const char* packets_in;
+    const char* copies_out;
+    const char* drops;
+  };
+  static constexpr LayerSample kLayerSamples[] = {
+      {topo::Layer::kLeaf, "elmo_dp_leaf_packets_in_total",
+       "elmo_dp_leaf_copies_out_total", "elmo_dp_leaf_drops_total"},
+      {topo::Layer::kSpine, "elmo_dp_spine_packets_in_total",
+       "elmo_dp_spine_copies_out_total", "elmo_dp_spine_drops_total"},
+      {topo::Layer::kCore, "elmo_dp_core_packets_in_total",
+       "elmo_dp_core_copies_out_total", "elmo_dp_core_drops_total"},
+  };
+  for (const auto& ls : kLayerSamples) {
+    const auto s = aggregate_switch_stats(ls.layer);
+    store.append(ls.packets_in, static_cast<double>(s.packets_in));
+    store.append(ls.copies_out, static_cast<double>(s.copies_out));
+    store.append(ls.drops, static_cast<double>(s.drops));
+  }
+
+  const auto h = aggregate_hypervisor_stats();
+  store.append("elmo_dp_host_sent_total", static_cast<double>(h.sent));
+  store.append("elmo_dp_host_received_total", static_cast<double>(h.received));
+  store.append("elmo_dp_host_vm_deliveries_total",
+               static_cast<double>(h.delivered_to_vms));
+
+  store.append("elmo_fabric_sends_total", static_cast<double>(walk_stats_.sends));
+  store.append("elmo_fabric_lost_copies_total",
+               static_cast<double>(walk_stats_.lost_copies));
+  store.append("elmo_fabric_link_transmissions_total",
+               static_cast<double>(walk_stats_.link_transmissions));
+  store.append("elmo_fabric_wire_bytes_total",
+               static_cast<double>(walk_stats_.wire_bytes));
+
+  // Directed per-layer-pair transmission sums: the "copies put on the wire
+  // towards layer X" side of the conservation law the loss-rate detector
+  // checks against layer X's own arrival counters.
+  ensure_link_classes();
+  std::uint64_t tx[6] = {0, 0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < link_stats_.size(); ++i) {
+    tx[link_class_[i]] += link_stats_[i].packets;
+  }
+  static constexpr const char* kClassSeries[6] = {
+      "elmo_link_host_leaf_tx_total",  "elmo_link_leaf_host_tx_total",
+      "elmo_link_leaf_spine_tx_total", "elmo_link_spine_leaf_tx_total",
+      "elmo_link_spine_core_tx_total", "elmo_link_core_spine_tx_total",
+  };
+  for (std::size_t k = 0; k < 6; ++k) {
+    store.append(kClassSeries[k], static_cast<double>(tx[k]));
+  }
 }
 
 dp::SwitchStats Fabric::aggregate_switch_stats(topo::Layer layer) const {

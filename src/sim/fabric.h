@@ -27,6 +27,7 @@
 // (node, out-port), so the hot walk does array arithmetic, not tree lookups.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -46,6 +47,10 @@
 #include "net/packet.h"
 #include "net/packet_view.h"
 #include "topology/clos.h"
+
+namespace elmo::obs {
+class TimeSeriesStore;
+}  // namespace elmo::obs
 
 namespace elmo::sim {
 
@@ -190,6 +195,22 @@ class Fabric {
     send_ordinal_ = 0;
   }
 
+  // Directed per-link loss override for gray-failure injection: copies
+  // transmitted from `from` towards `to` are dropped with probability
+  // max(rate, global loss rate). Draws share the global loss stream, so the
+  // serial/batched equivalence of DESIGN.md §12 still holds (the draw order
+  // is identical; only the acceptance threshold differs per link). Does NOT
+  // reset the send ordinal — injection mid-run keeps the stream aligned.
+  void set_link_loss(const NodeRef& from, const NodeRef& to, double rate);
+  void clear_link_loss();
+
+  // Appends the fabric's aggregate health series — per-layer dataplane
+  // counters, walk totals, and directed per-layer-pair link transmission
+  // sums (elmo_link_<from>_<to>_tx_total) — into `store` under its current
+  // sampling window. Does not advance the window; the driver decides when a
+  // window closes. Allocation-free after the first call (DESIGN.md §14).
+  void sample_into(obs::TimeSeriesStore& store) const;
+
   // Optional flight recorder (nullptr detaches). Not owned; must outlive the
   // sends it observes. A detached fabric pays one pointer test per work item.
   void set_recorder(FlightRecorder* recorder) noexcept {
@@ -260,8 +281,15 @@ class Fabric {
   // Fast path: the emitting node and its out-port are already known.
   void account_port(std::size_t from_index, std::size_t port,
                     std::size_t bytes, SendResult& result);
-  bool lost(util::Rng& rng) {
-    return loss_rate_ > 0.0 && rng.bernoulli(loss_rate_);
+  // Loss draw for one copy leaving `from_index` on `port`. The effective
+  // rate is max(global, per-link override); with both zero no random draw
+  // happens (the loss stream stays untouched, preserving seed stability).
+  bool lost_on(util::Rng& rng, std::size_t from_index, std::size_t port) {
+    double rate = loss_rate_;
+    if (has_link_loss_) {
+      rate = std::max(rate, link_loss_[link_base_[from_index] + port]);
+    }
+    return rate > 0.0 && rng.bernoulli(rate);
   }
   NodeRef neighbor_of(const NodeRef& node, std::size_t out_port) const;
   // Out-port of `from` that reaches the adjacent node `to`.
@@ -283,6 +311,13 @@ class Fabric {
   double loss_rate_ = 0.0;
   std::uint64_t loss_seed_ = 1;
   std::uint64_t send_ordinal_ = 0;  // per-send loss-stream counter
+  bool has_link_loss_ = false;
+  std::vector<double> link_loss_;  // per (node, out-port); lazily sized
+
+  // Directed layer-pair class of every link slot (kLinkClasses values),
+  // built lazily on the first sample_into() call.
+  void ensure_link_classes() const;
+  mutable std::vector<std::uint8_t> link_class_;
   FabricWalkStats walk_stats_;
   FlightRecorder* recorder_ = nullptr;
   obs::ProvenanceLog* prov_ = nullptr;

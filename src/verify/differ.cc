@@ -9,8 +9,10 @@
 #include "dataplane/common.h"
 #include "elmo/evaluator.h"
 #include "elmo/stream.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
+#include "obs/timeseries.h"
 #include "sim/fabric.h"
 #include "sim/flight_recorder.h"
 #include "verify/explain.h"
@@ -78,6 +80,8 @@ class Runner {
       registry_ = observability->registry;
       fabric_.set_recorder(observability->recorder);
       captures_ = observability->captures;
+      ts_ = observability->timeseries;
+      health_ = observability->health;
     }
     // The runner always walks with provenance attached: every diff it
     // reports carries the send's annotated decision tree (DESIGN.md §10).
@@ -92,6 +96,7 @@ class Runner {
         step(i, sc_.events[i]);
         ++report_.events_run;
         if (failed_) return finish();
+        sample_window();
       }
     } catch (const std::exception& ex) {
       fail(std::string{"exception: "} + ex.what());
@@ -110,6 +115,19 @@ class Runner {
       accumulate_fabric_metrics(fabric_, *registry_);
     }
     return report_;
+  }
+
+  // One health sampling window per scenario event (DESIGN.md §14).
+  void sample_window() {
+    if (ts_ == nullptr) return;
+    fabric_.sample_into(*ts_);
+    ts_->append("elmo_expect_vm_deliveries_total", expected_vm_total_);
+    if (plane_.has_value()) {
+      ts_->append("elmo_stream_install_lag_p99_seconds",
+                  plane_->stats().install_lag_seconds.percentile(0.99));
+    }
+    ts_->advance();
+    if (health_ != nullptr) health_->tick();
   }
 
   void fail(std::string message) {
@@ -256,6 +274,51 @@ class Runner {
       case EventKind::kSend:
         check_send(index, ev.group_index, ev.sender, at);
         break;
+      case EventKind::kHostFail: {
+        const auto host = ev.member.host;
+        const bool stale = mutation_ == Mutation::kSkipMirrorUpdate;
+        // Snapshot the evicted memberships from the oracle mirror first, so
+        // the controller/plane mutation and the oracle stay in lockstep.
+        std::vector<std::pair<std::size_t, std::vector<Member>>> affected;
+        for (std::size_t gi = 0; gi < ids_.size(); ++gi) {
+          std::vector<Member> on_host;
+          for (const auto& m : oracle_.members(gi)) {
+            if (m.host == host) on_host.push_back(m);
+          }
+          if (!on_host.empty()) affected.emplace_back(gi, std::move(on_host));
+        }
+        if (plane_.has_value() && !stale) {
+          plane_->host_fail(host);
+          plane_->flush();
+          apply_fabric_mutation();
+        } else {
+          for (const auto& [gi, members] : affected) {
+            const auto id = ids_.at(gi);
+            if (!stale) fabric_.uninstall_group(controller_, id);
+            for (const auto& m : members) {
+              controller_.leave(id, m.host, m.vm);
+            }
+            if (!stale) fabric_.install_group(controller_, id);
+          }
+          if (stale) {
+            applied_ = !affected.empty() || applied_;
+          } else {
+            apply_fabric_mutation();
+          }
+        }
+        for (const auto& [gi, members] : affected) {
+          for (const auto& m : members) {
+            if (!oracle_.leave(gi, m.host, m.vm)) {
+              fail(at + ": oracle mirror missing member " + describe(m));
+              return;
+            }
+          }
+        }
+        diff_membership(at);
+        if (failed_) return;
+        if (!stale) diff_fabric_state(at);
+        break;
+      }
     }
   }
 
@@ -410,6 +473,7 @@ class Runner {
     for (const auto& [host, copies] : res.host_copies) {
       want_vms += copies * oracle_.receiving_vms_on(gi, host);
     }
+    expected_vm_total_ += static_cast<double>(want_vms);
     if (res.vm_deliveries != want_vms) {
       fail(ctx + ": " + str(res.vm_deliveries) + " VM deliveries, expected " +
            str(want_vms) + " (copies x mirrored receiving VMs)");
@@ -650,6 +714,9 @@ class Runner {
   std::optional<stream::ControlPlane> plane_;
   obs::MetricsRegistry* registry_ = nullptr;
   std::vector<SendCapture>* captures_ = nullptr;
+  obs::TimeSeriesStore* ts_ = nullptr;
+  obs::HealthMonitor* health_ = nullptr;
+  double expected_vm_total_ = 0;  // oracle-side VM-delivery running total
   obs::ProvenanceLog prov_log_;
   std::string pending_explanation_;
   std::vector<bool> legacy_;

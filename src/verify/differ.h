@@ -25,7 +25,9 @@
 #include "verify/scenario.h"
 
 namespace elmo::obs {
+class HealthMonitor;
 class MetricsRegistry;
+class TimeSeriesStore;
 }
 namespace elmo::sim {
 class FlightRecorder;
@@ -104,6 +106,14 @@ struct RunObservability {
   obs::MetricsRegistry* registry = nullptr;
   sim::FlightRecorder* recorder = nullptr;
   std::vector<SendCapture>* captures = nullptr;
+  // Live health taps (DESIGN.md §14): when `timeseries` is set, the runner
+  // closes one sampling window per scenario event (fabric counters, the
+  // oracle-expected VM-delivery total, and — in delta mode — the streaming
+  // plane's install-lag p99) and, when `health` is also set, ticks the
+  // monitor after each window. A clean fuzz run thus doubles as a
+  // zero-false-positive check for the detectors.
+  obs::TimeSeriesStore* timeseries = nullptr;
+  obs::HealthMonitor* health = nullptr;
 };
 
 // Execution knobs for one run. `walk_threads == 0` checks sends through the

@@ -242,6 +242,16 @@ void append_churn_events(Scenario& scenario, std::size_t count,
   std::vector<std::uint32_t> next_vm(scenario.groups.size(), 0);
   for (const auto& g : scenario.groups) mirror.push_back(g.members);
   for (const auto& ev : scenario.events) {
+    if (ev.kind == EventKind::kHostFail) {
+      for (auto& members : mirror) {
+        members.erase(std::remove_if(members.begin(), members.end(),
+                                     [&](const Member& m) {
+                                       return m.host == ev.member.host;
+                                     }),
+                      members.end());
+      }
+      continue;
+    }
     if (ev.group_index >= mirror.size()) continue;
     auto& members = mirror[ev.group_index];
     if (ev.kind == EventKind::kJoin) {
@@ -290,13 +300,47 @@ void append_churn_events(Scenario& scenario, std::size_t count,
       ev.member = Member{host, next_vm[gi]++, random_role(rng)};
       mirror[gi].push_back(ev.member);
       scenario.events.push_back(ev);
-    } else if (roll < 0.9) {  // leave
+    } else if (roll < 0.86) {  // leave
       const std::size_t victim = rng.index(mirror[gi].size());
       Event ev;
       ev.kind = EventKind::kLeave;
       ev.group_index = gi;
       ev.member = mirror[gi][victim];
       mirror[gi].erase(mirror[gi].begin() + victim);
+      scenario.events.push_back(ev);
+    } else if (roll < 0.9) {  // host fail: every VM on one host leaves at once
+      const std::size_t victim = rng.index(mirror[gi].size());
+      const topo::HostId host = mirror[gi][victim].host;
+      // Viable only if every group with members on `host` survives it; an
+      // infeasible host-fail degrades into a plain leave of the drawn
+      // member so the script still grows to the requested length.
+      bool viable = true;
+      for (const auto& members : mirror) {
+        const auto on_host = static_cast<std::size_t>(
+            std::count_if(members.begin(), members.end(),
+                          [&](const Member& m) { return m.host == host; }));
+        if (on_host > 0 && on_host == members.size()) {
+          viable = false;
+          break;
+        }
+      }
+      Event ev;
+      ev.group_index = gi;
+      if (viable) {
+        ev.kind = EventKind::kHostFail;
+        ev.member = Member{host, 0, MemberRole::kBoth};
+        for (auto& members : mirror) {
+          members.erase(std::remove_if(members.begin(), members.end(),
+                                       [&](const Member& m) {
+                                         return m.host == host;
+                                       }),
+                        members.end());
+        }
+      } else {
+        ev.kind = EventKind::kLeave;
+        ev.member = mirror[gi][victim];
+        mirror[gi].erase(mirror[gi].begin() + victim);
+      }
       scenario.events.push_back(ev);
     } else {  // periodic send: divergences surface mid-churn, not only at end
       emit_send(gi);
@@ -384,6 +428,29 @@ void normalize(Scenario& scenario) {
             static_cast<std::uint32_t>(ev.switch_id % topo.num_cores());
         if (!core_down[ev.switch_id]) continue;
         core_down[ev.switch_id] = false;
+        break;
+      }
+      case EventKind::kHostFail: {
+        ev.member.host =
+            static_cast<topo::HostId>(ev.member.host % topo.num_hosts());
+        const topo::HostId host = ev.member.host;
+        bool touches = false;
+        bool viable = true;
+        for (const auto& members : mirror) {
+          const auto on_host = static_cast<std::size_t>(
+              std::count_if(members.begin(), members.end(),
+                            [&](const Member& m) { return m.host == host; }));
+          touches = touches || on_host > 0;
+          if (on_host > 0 && on_host == members.size()) viable = false;
+        }
+        if (!touches || !viable) continue;  // no-op or would empty a group
+        for (auto& members : mirror) {
+          members.erase(std::remove_if(members.begin(), members.end(),
+                                       [&](const Member& m) {
+                                         return m.host == host;
+                                       }),
+                        members.end());
+        }
         break;
       }
       case EventKind::kSend: {

@@ -32,6 +32,10 @@ enum class EventKind : std::uint8_t {
   kRestoreSpine,  // switch_id
   kRestoreCore,   // switch_id
   kSend,          // group_index, sender
+  // member.host names the failed host: every VM on it leaves every group at
+  // once (stream::ControlPlane::host_fail). Appended last so historical
+  // fixture files keep their numeric kind values.
+  kHostFail,
 };
 
 struct Event {

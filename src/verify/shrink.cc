@@ -169,6 +169,8 @@ const char* kind_token(EventKind kind) {
       return "elmo::verify::EventKind::kRestoreCore";
     case EventKind::kSend:
       return "elmo::verify::EventKind::kSend";
+    case EventKind::kHostFail:
+      return "elmo::verify::EventKind::kHostFail";
   }
   return "elmo::verify::EventKind::kSend";
 }

@@ -1,8 +1,9 @@
 // Pretty-printer for the Prometheus-style metrics exposition the benches and
 // tools write via --metrics=<path> (DESIGN.md §9).
 //
-//   tools/metrics_dump <file>          # or "-" / no argument for stdin
-//   tools/metrics_dump --diff <a> <b>  # per-series deltas between two runs
+//   tools/metrics_dump <file>            # or "-" / no argument for stdin
+//   tools/metrics_dump --diff <a> <b>    # per-series deltas between two runs
+//   tools/metrics_dump --watch=<secs> <file>   # repeated scrapes, live rates
 //
 // Single-file mode: counters get a right-aligned rate column (value /
 // elmo_uptime_seconds, K/M/G suffixes); histograms are folded from their
@@ -13,14 +14,29 @@
 // delta, and the ratio of *rates* — each side normalized by its own uptime,
 // so a faster run that did the same work shows ~1.0x where a raw value
 // ratio would mislead.
+//
+// Watch mode (DESIGN.md §14) re-reads the file every --watch seconds,
+// feeds each scrape into an obs::TimeSeriesStore window, and renders the
+// per-series value, per-scrape delta, and wall-clock rate computed from the
+// store's sample timestamps — a poor man's `top` for a bench writing
+// --metrics periodically. --iterations=N bounds the loop (0 = forever);
+// CI smokes it with --watch=0 --iterations=2. Both the Prometheus text and
+// the JSON exposition (a `.json` --metrics path) are accepted.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/timeseries.h"
+#include "util/flags.h"
 
 #include "util/table.h"
 
@@ -83,9 +99,77 @@ Snapshot parse(std::istream& in) {
   return snap;
 }
 
+// Parses the registry's JSON exposition (obs::Snapshot::json — what a
+// `.json` --metrics path writes). The format is machine-generated with a
+// fixed key order, so targeted scans beat a general JSON parser: each metric
+// object leads with `{"name": "..."` and, for histograms, the top-level
+// `"count"` precedes the `"buckets"` array whose per-bucket counts would
+// otherwise shadow it.
+Snapshot parse_json(const std::string& text) {
+  Snapshot snap;
+  auto number_after = [&](const std::string& obj, const char* key,
+                          double& out) {
+    const std::string needle = std::string{"\""} + key + "\": ";
+    const auto pos = obj.find(needle);
+    if (pos == std::string::npos) return false;
+    out = std::strtod(obj.c_str() + pos + needle.size(), nullptr);
+    return true;
+  };
+  auto string_after = [&](const std::string& obj, const char* key,
+                          std::string& out) {
+    const std::string needle = std::string{"\""} + key + "\": \"";
+    const auto pos = obj.find(needle);
+    if (pos == std::string::npos) return false;
+    const auto end = obj.find('"', pos + needle.size());
+    if (end == std::string::npos) return false;
+    out = obj.substr(pos + needle.size(), end - pos - needle.size());
+    return true;
+  };
+  number_after(text, "uptime_seconds", snap.uptime);
+  snap.series["elmo_uptime_seconds"] = Series{"gauge", snap.uptime, true};
+
+  const std::string open = "{\"name\": \"";
+  for (auto pos = text.find(open); pos != std::string::npos;) {
+    const auto next = text.find(open, pos + open.size());
+    const std::string obj = text.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    pos = next;
+    std::string name, kind;
+    if (!string_after(obj, "name", name) || !string_after(obj, "kind", kind)) {
+      continue;
+    }
+    auto& s = snap.series[name];
+    s.type = kind;
+    if (kind == "histogram") {
+      double sum = 0, count = 0;
+      number_after(obj, "sum", sum);
+      number_after(obj, "count", count);
+      snap.hists[name] = {sum, count};
+      continue;
+    }
+    if (double value = 0; number_after(obj, "value", value)) {
+      s.value = value;
+      s.seen = true;
+    }
+  }
+  return snap;
+}
+
+Snapshot parse_any(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '{') {
+    return parse_json(text);
+  }
+  std::istringstream stream{text};
+  return parse(stream);
+}
+
 bool load(const std::string& path, Snapshot& snap) {
   if (path == "-") {
-    snap = parse(std::cin);
+    snap = parse_any(std::cin);
     return true;
   }
   std::ifstream file{path};
@@ -93,7 +177,7 @@ bool load(const std::string& path, Snapshot& snap) {
     std::fprintf(stderr, "metrics_dump: cannot open %s\n", path.c_str());
     return false;
   }
-  snap = parse(file);
+  snap = parse_any(file);
   return true;
 }
 
@@ -215,6 +299,67 @@ int dump_diff(const std::string& path_a, const std::string& path_b) {
   return 0;
 }
 
+// Repeated-scrape mode: every `interval` seconds re-load `path`, append each
+// series scalar into the store as one sampling window, and render the
+// per-series value / delta / rate. Rates come from the store's wall-clock
+// sample timestamps, so they are live observed rates (counts per second of
+// real time between scrapes), not the uptime-normalized averages of
+// single-file mode.
+int watch(const std::string& path, std::int64_t interval,
+          std::int64_t iterations) {
+  if (path == "-") {
+    std::fprintf(stderr,
+                 "metrics_dump: --watch needs a re-readable file, not stdin\n");
+    return 1;
+  }
+  elmo::obs::TimeSeriesStore store{64};
+  std::map<std::string, std::string> types;  // name -> last-seen type
+  for (std::int64_t i = 0; iterations <= 0 || i < iterations; ++i) {
+    if (i > 0 && interval > 0) {
+      std::this_thread::sleep_for(std::chrono::seconds(interval));
+    }
+    Snapshot snap;
+    if (!load(path, snap)) return 1;
+    for (const auto& [name, series] : snap.series) {
+      std::string type;
+      double value = 0;
+      if (!scalar_of(snap, name, type, value)) continue;
+      types[name] = type;
+      store.append(name, value);
+    }
+    const auto window = store.advance();
+
+    using elmo::util::TextTable;
+    TextTable table{{"metric", "type", "value", "delta", "rate"}};
+    table.set_align(2, TextTable::Align::kRight);
+    table.set_align(3, TextTable::Align::kRight);
+    table.set_align(4, TextTable::Align::kRight);
+    for (const auto& [name, type] : types) {
+      const auto* sample = store.last(name);
+      if (sample == nullptr || sample->window != window) {
+        table.add_row({name, type, "-", "", ""});  // vanished from the file
+        continue;
+      }
+      std::string delta;
+      if (const auto d = store.delta(name)) {
+        delta = (*d >= 0 ? "+" : "-") + fmt_value(type, *d >= 0 ? *d : -*d);
+      }
+      std::string rate;
+      const bool monotonic = type == "counter" || type == "histogram";
+      if (const auto r = store.rate(name); r && monotonic && *r >= 0) {
+        rate = TextTable::fmt_rate(*r);
+      }
+      table.add_row({name, type, fmt_value(type, sample->value), delta, rate});
+    }
+    std::printf("== %s  scrape %lld  window %llu ==\n", path.c_str(),
+                static_cast<long long>(i + 1),
+                static_cast<unsigned long long>(window));
+    std::fputs(table.render().c_str(), stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,5 +370,23 @@ int main(int argc, char** argv) {
     }
     return dump_diff(argv[2], argv[3]);
   }
-  return dump_one(argc > 1 ? argv[1] : "-");
+  // Split argv into flag-shaped tokens (fed to util::Flags) and positionals
+  // (the exposition path), so `metrics_dump --watch=2 run.metrics` works
+  // without the path earning a Flags parse warning.
+  std::vector<char*> flag_argv{argv[0]};
+  std::string path = "-";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      flag_argv.push_back(argv[i]);
+    } else {
+      path = argv[i];
+    }
+  }
+  const elmo::util::Flags flags{static_cast<int>(flag_argv.size()),
+                                flag_argv.data()};
+  const auto watch_secs = flags.get_int("WATCH", -1);
+  if (watch_secs >= 0) {
+    return watch(path, watch_secs, flags.get_int("ITERATIONS", 0));
+  }
+  return dump_one(path);
 }
