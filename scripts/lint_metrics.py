@@ -13,7 +13,8 @@ JSON schema obs::HealthMonitor::render_json() emits (DESIGN.md §14, what
     critical; element and summary strings; first_window / last_window /
     windows_active / flaps ints >= 0 with last_window >= first_window and
     windows_active >= 1; open bool; evidence array; optional explanation
-    string;
+    string; optional trace_ids as a non-empty array of ints >= 1 (the
+    contributing causal-trace IDs, DESIGN.md §15);
   * per evidence entry: series string, observed and threshold numbers,
     note string;
   * the top-level open count matches the incidents marked open.
@@ -244,6 +245,15 @@ def lint_incidents(path: str, text: str) -> list:
             open_seen += 1
         if "explanation" in inc and not isinstance(inc["explanation"], str):
             err(f"{where}.explanation must be a string")
+        if "trace_ids" in inc:
+            # Optional causal-trace join (DESIGN.md §15): the install/window
+            # trace IDs that contributed to the incident, attached by the
+            # driver when an obs::Tracer was live.
+            tids = inc["trace_ids"]
+            if (not isinstance(tids, list) or not tids
+                    or not all(_is_count(t) and t >= 1 for t in tids)):
+                err(f"{where}.trace_ids must be a non-empty array of "
+                    "ints >= 1")
         evidence = inc.get("evidence")
         if not isinstance(evidence, list):
             err(f"{where}.evidence must be an array")

@@ -1,22 +1,36 @@
 #!/usr/bin/env python3
-"""Strict linter for the chrome://tracing JSON the FlightRecorder emits.
+"""Strict linter for the chrome://tracing JSON the observability stores emit.
 
 Usage: scripts/lint_trace.py <file> [<file> ...]   ("-" reads stdin)
 
-Validates the contract CI smoke jobs rely on (DESIGN.md §9):
+Validates the contract CI smoke jobs rely on (DESIGN.md §9 and §15), for
+both the FlightRecorder (pid 1), the causal Tracer (pid 2), and the merged
+unified export that carries both:
 
   * the file parses as JSON with a `traceEvents` list;
   * every event carries `name`, `ph`, and `pid`, with `ph` one of
-    M / X / C / i;
+    M / X / C / i / s / f;
   * X (duration) events carry numeric `ts`, a non-negative `dur`, and a
     `tid`; i (instant) events carry `ts` and a scope `s`; C (counter)
-    events carry `ts` and a numeric `args` payload;
+    events carry `ts` and a numeric `args` payload; f (flow end) events
+    carry `bp` == "e";
   * timestamps are monotonic (non-decreasing) within each (pid, tid) lane —
-    the walk is single-threaded per lane, so regressions mean clock misuse;
-  * the `elmo_recorder_stats` metadata event is present and consistent:
-    its `events` count equals the number of recorded (X + i) events, and
-    `dropped` > 0 is only legal when the buffer filled (events ==
-    max_events).
+    each store appends chronologically, so regressions mean clock misuse;
+  * every s/f flow pair matches exactly once by (pid, id), with the "f"
+    endpoint not earlier than its "s" source;
+  * causal structure (events with a numeric `args.span`): a closed child
+    span lies inside its closed parent span's interval (same pid, any
+    lane — installs parent under the wire-lane flush), and every non-zero
+    `parent` / `from_span` / `to_span` reference resolves to a recorded
+    span or instant unless the event is flagged `orphan`;
+  * per-pid accounting metadata is present and consistent:
+      - `elmo_recorder_stats` (the FlightRecorder): `events` equals the
+        recorded X + i count on its pid;
+      - `elmo_tracer_stats` (the Tracer): `spans` equals the X count,
+        `instants` the i count, and `flows` both the s and the f count on
+        its pid;
+      - for both, `dropped` > 0 is only legal when the buffer filled
+        (recorded events == max_events).
 
 Exit status 0 when every file is clean, 1 otherwise.
 """
@@ -24,7 +38,11 @@ Exit status 0 when every file is clean, 1 otherwise.
 import json
 import sys
 
-VALID_PHASES = {"M", "X", "C", "i"}
+VALID_PHASES = {"M", "X", "C", "i", "s", "f"}
+
+# %.3f microsecond timestamps round each endpoint independently; a closed
+# child may overhang its parent by up to one rounding step per endpoint.
+TS_EPS = 0.002
 
 
 def is_number(v):
@@ -44,9 +62,14 @@ def lint(path, text):
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
         return [f"{path}: missing traceEvents list"]
 
-    stats = None
-    recorded = 0            # X + i events actually in the buffer
+    recorder_stats = {}     # pid -> args of elmo_recorder_stats
+    tracer_stats = {}       # pid -> args of elmo_tracer_stats
+    counts = {}             # pid -> {"X": n, "i": n, "s": n, "f": n}
     last_ts = {}            # (pid, tid) -> last seen ts
+    spans = {}              # (pid, span_id) -> (index, ts, end or None)
+    flow_ends = {}          # (pid, id) -> {"s": [...], "f": [...]} of (i, ts)
+    deferred = []           # causal checks resolved after the full pass
+
     for i, ev in enumerate(doc["traceEvents"]):
         if not isinstance(ev, dict):
             err(i, "event is not an object")
@@ -58,57 +81,156 @@ def lint(path, text):
         if ph not in VALID_PHASES:
             err(i, f"unknown phase {ph!r}")
             continue
+        pid = ev.get("pid")
 
         if ph == "M":
             if ev.get("name") == "elmo_recorder_stats":
-                stats = ev.get("args")
+                recorder_stats[pid] = ev.get("args")
+            elif ev.get("name") == "elmo_tracer_stats":
+                tracer_stats[pid] = ev.get("args")
             continue
 
         if not is_number(ev.get("ts")):
             err(i, f"{ph} event lacks a numeric ts")
             continue
+        ts = ev["ts"]
+        counts.setdefault(pid, {"X": 0, "i": 0, "s": 0, "f": 0})
+        args = ev.get("args") if isinstance(ev.get("args"), dict) else {}
+
         if ph == "X":
-            recorded += 1
+            counts[pid]["X"] += 1
             if "tid" not in ev:
                 err(i, "X event lacks a tid")
             if not is_number(ev.get("dur")) or ev["dur"] < 0:
                 err(i, "X event lacks a non-negative dur")
+            elif is_number(args.get("span")):
+                end = None if args.get("open") else ts + ev["dur"]
+                spans[(pid, args["span"])] = (i, ts, end)
+                if is_number(args.get("parent")) and args["parent"] != 0:
+                    deferred.append(("enclose", i, pid, args["parent"],
+                                     ts, end, bool(args.get("orphan"))))
         elif ph == "i":
-            recorded += 1
+            counts[pid]["i"] += 1
             if ev.get("s") not in ("g", "p", "t"):
                 err(i, f"instant event has bad scope {ev.get('s')!r}")
+            if is_number(args.get("span")):
+                spans[(pid, args["span"])] = (i, ts, ts)
         elif ph == "C":
-            args = ev.get("args")
-            if not isinstance(args, dict) or not all(
-                    is_number(v) for v in args.values()):
+            if not args or not all(is_number(v) for v in args.values()):
                 err(i, "counter event args must be numeric")
+        elif ph in ("s", "f"):
+            counts[pid][ph] += 1
+            if not is_number(ev.get("id")):
+                err(i, f"{ph} flow event lacks a numeric id")
+                continue
+            if ph == "f" and ev.get("bp") != "e":
+                err(i, 'f flow event lacks bp == "e"')
+            ends = flow_ends.setdefault((pid, ev["id"]), {"s": [], "f": []})
+            ends[ph].append((i, ts))
+            if ph == "s":  # both halves carry the same args; check once
+                for field in ("from_span", "to_span"):
+                    if is_number(args.get(field)) and args[field] != 0:
+                        deferred.append(("resolve", i, pid, args[field],
+                                         field, bool(args.get("orphan"))))
 
-        lane = (ev.get("pid"), ev.get("tid"))
-        if lane in last_ts and ev["ts"] < last_ts[lane]:
+        lane = (pid, ev.get("tid"))
+        if lane in last_ts and ts < last_ts[lane]:
             err(i, f"ts regressed in lane pid={lane[0]} tid={lane[1]} "
-                   f"({last_ts[lane]} then {ev['ts']})")
-        last_ts[lane] = ev["ts"]
+                   f"({last_ts[lane]} then {ts})")
+        last_ts[lane] = ts
 
-    if stats is None:
-        errors.append(f"{path}: missing elmo_recorder_stats metadata event")
-        return errors
-    for field in ("events", "dropped", "max_events"):
-        if not is_number(stats.get(field)):
+    # --- deferred causal checks ---------------------------------------------
+    for check in deferred:
+        if check[0] == "enclose":
+            _, i, pid, parent, ts, end, orphan = check
+            hit = spans.get((pid, parent))
+            if hit is None:
+                if not orphan:
+                    err(i, f"span parent {parent} not recorded on pid {pid} "
+                           f"and event not flagged orphan")
+                continue
+            _, pts, pend = hit
+            if ts < pts - TS_EPS:
+                err(i, f"child span starts at {ts} before its parent ({pts})")
+            if end is not None and pend is not None and end > pend + TS_EPS:
+                err(i, f"child span ends at {end} after its parent ({pend})")
+        else:
+            _, i, pid, span, field, orphan = check
+            if (pid, span) not in spans and not orphan:
+                err(i, f"flow {field} {span} not recorded on pid {pid} "
+                       f"and flow not flagged orphan")
+
+    for (pid, fid), ends in flow_ends.items():
+        if len(ends["s"]) != 1 or len(ends["f"]) != 1:
             errors.append(
-                f"{path}: elmo_recorder_stats lacks numeric {field!r}")
-            return errors
-    if stats["events"] != recorded:
-        errors.append(
-            f"{path}: elmo_recorder_stats says {stats['events']} events, "
-            f"trace holds {recorded}")
-    if stats["events"] > stats["max_events"]:
-        errors.append(
-            f"{path}: {stats['events']} events exceed the declared bound "
-            f"{stats['max_events']}")
-    if stats["dropped"] > 0 and stats["events"] != stats["max_events"]:
-        errors.append(
-            f"{path}: {stats['dropped']} events dropped but the buffer "
-            f"never filled ({stats['events']}/{stats['max_events']})")
+                f"{path}: flow id {fid} on pid {pid} has {len(ends['s'])} "
+                f"source(s) and {len(ends['f'])} end(s); want exactly 1+1")
+            continue
+        if ends["f"][0][1] < ends["s"][0][1]:
+            errors.append(
+                f"{path}: flow id {fid} on pid {pid} ends at "
+                f"{ends['f'][0][1]} before its source {ends['s'][0][1]}")
+
+    # --- per-pid accounting --------------------------------------------------
+    def check_bounds(label, pid, stats, recorded):
+        ok = True
+        for field in ("dropped", "max_events"):
+            if not is_number(stats.get(field)):
+                errors.append(f"{path}: {label} lacks numeric {field!r}")
+                ok = False
+        if not ok:
+            return
+        if recorded > stats["max_events"]:
+            errors.append(
+                f"{path}: pid {pid} holds {recorded} events, exceeding the "
+                f"declared bound {stats['max_events']}")
+        if stats["dropped"] > 0 and recorded != stats["max_events"]:
+            errors.append(
+                f"{path}: pid {pid} dropped {stats['dropped']} events but "
+                f"the buffer never filled ({recorded}/{stats['max_events']})")
+
+    for pid, n in counts.items():
+        rec, trc = recorder_stats.get(pid), tracer_stats.get(pid)
+        if rec is not None:
+            if not is_number(rec.get("events")):
+                errors.append(
+                    f"{path}: elmo_recorder_stats lacks numeric 'events'")
+            else:
+                if rec["events"] != n["X"] + n["i"]:
+                    errors.append(
+                        f"{path}: elmo_recorder_stats says {rec['events']} "
+                        f"events, pid {pid} holds {n['X'] + n['i']}")
+                check_bounds("elmo_recorder_stats", pid, rec, rec["events"])
+            if n["s"] or n["f"]:
+                errors.append(
+                    f"{path}: pid {pid} is a recorder but carries flow events")
+        elif trc is not None:
+            clean = True
+            for field in ("spans", "instants", "flows", "orphans"):
+                if not is_number(trc.get(field)):
+                    errors.append(
+                        f"{path}: elmo_tracer_stats lacks numeric {field!r}")
+                    clean = False
+            if clean:
+                for field, have in (("spans", n["X"]), ("instants", n["i"])):
+                    if trc[field] != have:
+                        errors.append(
+                            f"{path}: elmo_tracer_stats says {trc[field]} "
+                            f"{field}, pid {pid} holds {have}")
+                for ph in ("s", "f"):
+                    if trc["flows"] != n[ph]:
+                        errors.append(
+                            f"{path}: elmo_tracer_stats says {trc['flows']} "
+                            f"flows, pid {pid} holds {n[ph]} {ph!r} events")
+                recorded = trc["spans"] + trc["instants"] + trc["flows"]
+                check_bounds("elmo_tracer_stats", pid, trc, recorded)
+        else:
+            errors.append(
+                f"{path}: pid {pid} carries events but no "
+                f"elmo_recorder_stats / elmo_tracer_stats metadata")
+
+    if not counts and not recorder_stats and not tracer_stats:
+        errors.append(f"{path}: trace holds no events and no accounting")
     return errors
 
 

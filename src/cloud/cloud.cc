@@ -49,10 +49,9 @@ Cloud::Cloud(const topo::ClosTopology& topology, const CloudParams& params,
                                  params.max_vms_per_host));
 
   std::optional<obs::Span> span;
-  ELMO_METRIC({
-    span.emplace(reg, cloud_metric_ids().placement_seconds);
-    reg.add(cloud_metric_ids().tenants_placed, params.tenants);
-  });
+  obs::arm_phase_span(span, "cloud:placement",
+                      cloud_metric_ids().placement_seconds);
+  ELMO_METRIC(reg.add(cloud_metric_ids().tenants_placed, params.tenants));
 
   const std::uint64_t seed = rng();
   auto parallel_for = [&](std::size_t begin, std::size_t end, auto&& body) {

@@ -106,7 +106,8 @@ LayerEncoding cluster_layer(std::span<const LayerInput> inputs,
   if (limits.kmax == 0) throw std::invalid_argument{"cluster_layer: kmax == 0"};
 
   std::optional<obs::Span> span;
-  ELMO_METRIC(span.emplace(reg, clustering_metric_ids().cluster_seconds));
+  obs::arm_phase_span(span, "encode:cluster_layer",
+                      clustering_metric_ids().cluster_seconds);
 
   // --- Phase 1: exact rules; identical bitmaps share (in kmax chunks) -----
   std::unordered_map<net::PortBitmap, std::vector<const LayerInput*>,

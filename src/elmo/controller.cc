@@ -219,7 +219,8 @@ std::vector<GroupId> Controller::create_groups(
     slot.members.assign(spec.members.begin(), spec.members.end());
     {
       std::optional<obs::Span> tree_span;
-      ELMO_METRIC(tree_span.emplace(reg, controller_metric_ids().tree_seconds));
+      obs::arm_phase_span(tree_span, "controller:tree",
+                          controller_metric_ids().tree_seconds);
       slot.tree =
           std::make_unique<MulticastTree>(*topo_, slot.receiver_hosts());
     }

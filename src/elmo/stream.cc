@@ -81,6 +81,24 @@ StreamMetricIds& stream_metric_ids() {
   return ids;
 }
 
+const char* install_span_name(p4rt::UpdateKind kind) {
+  switch (kind) {
+    case p4rt::UpdateKind::kHypervisorFlowAdd: return "install:flow_add";
+    case p4rt::UpdateKind::kHypervisorFlowDel: return "install:flow_del";
+    case p4rt::UpdateKind::kSRuleAdd: return "install:srule_add";
+    case p4rt::UpdateKind::kSRuleDel: return "install:srule_del";
+  }
+  return "install";
+}
+
+// Install target: the host for flows, the physical switch for s-rules.
+double install_target(const p4rt::Update& u) {
+  const bool is_flow = u.kind == p4rt::UpdateKind::kHypervisorFlowAdd ||
+                       u.kind == p4rt::UpdateKind::kHypervisorFlowDel;
+  return is_flow ? static_cast<double>(u.host)
+                 : static_cast<double>(u.switch_id);
+}
+
 }  // namespace
 
 ControlPlane::ControlPlane(Controller& controller, sim::Fabric& fabric,
@@ -110,12 +128,27 @@ void ControlPlane::join(GroupId group, const Member& member) {
   ++stats_.events;
   ++stats_.joins;
   ELMO_METRIC(reg.add(stream_metric_ids().events));
+  const auto root = trace_event_begin(
+      "churn:join", {{"group", static_cast<double>(group)},
+                     {"host", static_cast<double>(member.host)},
+                     {"vm", static_cast<double>(member.vm)}});
   const auto queued_before = stats_.updates_coalesced + pending_.size();
+  auto span = trace_child_begin("reencode", root);
   controller_->join(group, member);
+  trace_end(span);
+  span = trace_child_begin("delta_diff", root);
   diff_group(group, /*seed_only=*/false);
+  trace_end(span);
   if (stats_.updates_coalesced + pending_.size() == queued_before) {
     ++stats_.clean_events;
   }
+  if (tracer_ != nullptr) {
+    // Arm the time-to-effect watch: it arms for real when the flow install
+    // lands and closes at the first delivery over the fresh rule.
+    fabric_->trace_watch(net::Ipv4Address{mirror_[group].address},
+                         member.host, root, /*leave=*/false);
+  }
+  trace_event_end(root);
   maybe_auto_flush();
 }
 
@@ -124,12 +157,38 @@ Member ControlPlane::leave(GroupId group, topo::HostId host, std::uint32_t vm) {
   ++stats_.events;
   ++stats_.leaves;
   ELMO_METRIC(reg.add(stream_metric_ids().events));
+  const auto root = trace_event_begin(
+      "churn:leave", {{"group", static_cast<double>(group)},
+                      {"host", static_cast<double>(host)},
+                      {"vm", static_cast<double>(vm)}});
+  std::uint32_t addr = 0;
+  if (tracer_ != nullptr) {
+    const auto mit = mirror_.find(group);
+    if (mit != mirror_.end()) addr = mit->second.address;
+  }
   const auto queued_before = stats_.updates_coalesced + pending_.size();
+  auto span = trace_child_begin("reencode", root);
   auto removed = controller_->leave(group, host, vm);
+  trace_end(span);
+  span = trace_child_begin("delta_diff", root);
   diff_group(group, /*seed_only=*/false);
+  trace_end(span);
   if (stats_.updates_coalesced + pending_.size() == queued_before) {
     ++stats_.clean_events;
   }
+  if (tracer_ != nullptr && addr != 0) {
+    // Watch only when this leave takes the host's flow out entirely — that
+    // is the removal whose time-to-effect (stale deliveries until the
+    // FlowDel lands) is measurable at the fabric.
+    const auto mit = mirror_.find(group);
+    const bool flow_gone =
+        mit == mirror_.end() || !mit->second.flow_hash.contains(host);
+    if (flow_gone) {
+      fabric_->trace_watch(net::Ipv4Address{addr}, host, root,
+                           /*leave=*/true);
+    }
+  }
+  trace_event_end(root);
   maybe_auto_flush();
   return removed;
 }
@@ -139,6 +198,8 @@ std::size_t ControlPlane::host_fail(topo::HostId host) {
   ++stats_.events;
   ++stats_.host_fails;
   ELMO_METRIC(reg.add(stream_metric_ids().events));
+  const auto root = trace_event_begin(
+      "churn:host_fail", {{"host", static_cast<double>(host)}});
 
   std::size_t evicted = 0;
   const auto it = host_groups_.find(host);
@@ -147,20 +208,64 @@ std::size_t ControlPlane::host_fail(topo::HostId host) {
     const std::vector<GroupId> groups{it->second.begin(), it->second.end()};
     for (const auto group : groups) {
       if (!controller_->has_group(group)) continue;
+      std::uint32_t addr = 0;
+      if (tracer_ != nullptr) {
+        const auto mit = mirror_.find(group);
+        if (mit != mirror_.end()) addr = mit->second.address;
+      }
       // Collect first: Controller::leave invalidates member iteration.
       std::vector<std::uint32_t> vms;
       for (const auto& m : controller_->group(group).members) {
         if (m.host == host) vms.push_back(m.vm);
       }
+      auto span = trace_child_begin("reencode", root);
       for (const auto vm : vms) {
         controller_->leave(group, host, vm);
         ++evicted;
       }
+      trace_end(span);
+      span = trace_child_begin("delta_diff", root);
       diff_group(group, /*seed_only=*/false);
+      trace_end(span);
+      if (tracer_ != nullptr && addr != 0) {
+        const auto mit = mirror_.find(group);
+        const bool flow_gone =
+            mit == mirror_.end() || !mit->second.flow_hash.contains(host);
+        if (flow_gone) {
+          fabric_->trace_watch(net::Ipv4Address{addr}, host, root,
+                               /*leave=*/true);
+        }
+      }
     }
   }
+  trace_event_end(root);
   maybe_auto_flush();
   return evicted;
+}
+
+obs::TraceContext ControlPlane::trace_event_begin(
+    const char* name, std::initializer_list<obs::TraceAttr> attrs) {
+  if (tracer_ == nullptr) return {};
+  const auto root =
+      tracer_->begin_span(name, obs::TraceLane::kControl, {}, attrs);
+  event_ctx_ = root;
+  return root;
+}
+
+obs::TraceContext ControlPlane::trace_child_begin(
+    const char* name, const obs::TraceContext& root) {
+  if (tracer_ == nullptr) return {};
+  return tracer_->begin_span(name, obs::TraceLane::kControl, root);
+}
+
+void ControlPlane::trace_end(const obs::TraceContext& span) {
+  if (tracer_ != nullptr) tracer_->end_span(span);
+}
+
+void ControlPlane::trace_event_end(const obs::TraceContext& root) {
+  if (tracer_ == nullptr) return;
+  tracer_->end_span(root);
+  event_ctx_ = {};
 }
 
 void ControlPlane::track_group(GroupId group) {
@@ -302,6 +407,10 @@ void ControlPlane::diff_group(GroupId group, bool seed_only) {
 }
 
 void ControlPlane::queue(PendingKey key, p4rt::Update update) {
+  if (tracer_ != nullptr && event_ctx_.trace_id != 0) {
+    // Attribute the pending rule to the event that (last) produced it.
+    pending_ctx_.insert_or_assign(key, event_ctx_);
+  }
   const auto [it, inserted] = pending_.insert_or_assign(std::move(key),
                                                         std::move(update));
   (void)it;
@@ -351,17 +460,80 @@ std::size_t ControlPlane::flush() {
 
   std::size_t applied = 0;
   if (!pending_.empty()) {
+    const bool traced = tracer_ != nullptr;
     std::vector<p4rt::Update> batch;
+    std::vector<obs::TraceContext> ctxs;  // aligned with batch when traced
     batch.reserve(pending_.size());
+    if (traced) ctxs.reserve(pending_.size());
     for (auto& [key, update] : pending_) {
-      (void)key;
+      if (traced) {
+        const auto cit = pending_ctx_.find(key);
+        ctxs.push_back(cit != pending_ctx_.end() ? cit->second
+                                                 : obs::TraceContext{});
+      }
       batch.push_back(std::move(update));
     }
     pending_.clear();
+    pending_ctx_.clear();
 
+    obs::TraceContext flush_ctx{};
+    if (traced) {
+      flush_ctx = tracer_->begin_span(
+          "flush", obs::TraceLane::kWire, {},
+          {{"updates", static_cast<double>(batch.size())}});
+      // One causal edge per distinct contributing churn event.
+      std::vector<std::uint64_t> seen;
+      for (const auto& ctx : ctxs) {
+        if (ctx.trace_id == 0) continue;
+        if (std::find(seen.begin(), seen.end(), ctx.trace_id) != seen.end()) {
+          continue;
+        }
+        seen.push_back(ctx.trace_id);
+        tracer_->flow(ctx, obs::TraceLane::kControl, flush_ctx,
+                      obs::TraceLane::kWire);
+      }
+    }
+
+    obs::TraceContext span{};
+    if (traced) {
+      span = tracer_->begin_span("p4rt_encode", obs::TraceLane::kWire,
+                                 flush_ctx);
+    }
     const auto wire = p4rt::encode(batch);
+    if (traced) {
+      tracer_->end_span(span);
+      span = tracer_->begin_span("p4rt_decode", obs::TraceLane::kWire,
+                                 flush_ctx);
+    }
     const auto decoded = p4rt::decode(wire);
-    p4rt::apply_updates(*fabric_, decoded);
+    if (traced) tracer_->end_span(span);
+
+    if (!traced) {
+      p4rt::apply_updates(*fabric_, decoded);
+    } else {
+      // Per-update install spans. decode preserves batch order, so
+      // decoded[i] pairs with ctxs[i]; flow installs also poke the fabric's
+      // time-to-effect watches.
+      for (std::size_t i = 0; i < decoded.size(); ++i) {
+        const auto& u = decoded[i];
+        const auto ictx = tracer_->begin_span(
+            install_span_name(u.kind), obs::TraceLane::kInstall, flush_ctx,
+            {{"group", static_cast<double>(u.group.value)},
+             {"target", install_target(u)}});
+        p4rt::apply_update(*fabric_, u);
+        tracer_->end_span(ictx);
+        if (i < ctxs.size() && ctxs[i].trace_id != 0) {
+          tracer_->flow(ctxs[i], obs::TraceLane::kControl, ictx,
+                        obs::TraceLane::kInstall);
+        }
+        if (u.kind == p4rt::UpdateKind::kHypervisorFlowAdd ||
+            u.kind == p4rt::UpdateKind::kHypervisorFlowDel) {
+          fabric_->trace_rule_installed(
+              u.group, u.host, ictx,
+              u.kind == p4rt::UpdateKind::kHypervisorFlowDel);
+        }
+      }
+    }
 
     applied = decoded.size();
     stats_.wire_bytes += wire.size();
@@ -372,6 +544,7 @@ std::size_t ControlPlane::flush() {
       reg.add(stream_metric_ids().wire_bytes, wire.size());
       reg.add(stream_metric_ids().updates, applied);
     });
+    if (traced) tracer_->end_span(flush_ctx);
   }
 
   ++stats_.flushes;

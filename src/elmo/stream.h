@@ -29,6 +29,7 @@
 
 #include "elmo/churn.h"
 #include "elmo/controller.h"
+#include "obs/trace.h"
 #include "p4rt/runtime.h"
 #include "sim/fabric.h"
 #include "util/stats.h"
@@ -113,6 +114,20 @@ class ControlPlane final : public MembershipDriver {
   const ControlPlaneStats& stats() const noexcept { return stats_; }
   const Controller& controller() const noexcept { return *controller_; }
 
+  // --- causal tracing (DESIGN.md §15) --------------------------------------
+  // Attaches a tracer to the plane AND its fabric (nullptr detaches both; not
+  // owned). While attached, every churn event opens a trace — a root span on
+  // the control lane with "reencode" / "delta_diff" children — each flush
+  // gets a wire-lane trace with p4rt framing children and per-update install
+  // spans, cross-linked by flow events, and join/leave events arm the
+  // fabric's time-to-effect watches. Detached (the default), ingest pays one
+  // null test per event and flush keeps its single apply_updates call.
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    fabric_->set_tracer(tracer);
+  }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
  private:
   // Rule location keys; std::map keeps flush order deterministic.
   using FlowKey = std::pair<std::uint32_t, topo::HostId>;  // (group addr, host)
@@ -144,6 +159,14 @@ class ControlPlane final : public MembershipDriver {
   void maybe_auto_flush();
   void index_membership(GroupId group, topo::HostId host, bool present);
 
+  // Tracing helpers; all no-ops when tracer_ is null.
+  obs::TraceContext trace_event_begin(
+      const char* name, std::initializer_list<obs::TraceAttr> attrs);
+  obs::TraceContext trace_child_begin(const char* name,
+                                      const obs::TraceContext& root);
+  void trace_end(const obs::TraceContext& span);
+  void trace_event_end(const obs::TraceContext& root);
+
   Controller* controller_;
   sim::Fabric* fabric_;
   ControlPlaneOptions options_;
@@ -156,6 +179,14 @@ class ControlPlane final : public MembershipDriver {
   std::map<PendingKey, p4rt::Update> pending_;
   // Ingest timestamps of events awaiting their flush.
   std::vector<std::chrono::steady_clock::time_point> pending_event_times_;
+
+  // Tracing state: the in-flight event's root context (stamped onto every
+  // update the event queues) and the per-pending-rule contexts, aligned with
+  // pending_ so flush can attribute each install to its causing event even
+  // across coalescing (newest event wins, like the update itself).
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceContext event_ctx_{};
+  std::map<PendingKey, obs::TraceContext> pending_ctx_;
 };
 
 // Canonical 64-bit digest of every installed hypervisor flow and s-rule in

@@ -147,6 +147,13 @@ void HealthMonitor::attach_explanation(std::size_t index, std::string text) {
   }
 }
 
+void HealthMonitor::attach_traces(std::size_t index,
+                                  std::vector<std::uint64_t> trace_ids) {
+  if (index < incidents_.size()) {
+    incidents_[index].trace_ids = std::move(trace_ids);
+  }
+}
+
 std::string HealthMonitor::render_text() const {
   std::ostringstream out;
   out << "health: " << incidents_.size() << " incident(s), " << open_count()
@@ -201,6 +208,13 @@ std::string HealthMonitor::render_json() const {
     if (!inc.explanation.empty()) {
       out << ",\n     \"explanation\": \"" << json_escape(inc.explanation)
           << "\"";
+    }
+    if (!inc.trace_ids.empty()) {
+      out << ",\n     \"trace_ids\": [";
+      for (std::size_t t = 0; t < inc.trace_ids.size(); ++t) {
+        out << (t == 0 ? "" : ", ") << inc.trace_ids[t];
+      }
+      out << "]";
     }
     out << "}";
   }

@@ -96,6 +96,11 @@ struct Incident {
   // Optional rendered verify::explain_send for an affected send, attached
   // by the driver (tools/healthmon) when provenance is available.
   std::string explanation;
+  // Optional causal-trace IDs (DESIGN.md §15) of the sampling windows and
+  // installs that contributed to this incident, attached by the driver when
+  // an obs::Tracer is live — join them against the trace export to see what
+  // the fabric was doing when the detector fired.
+  std::vector<std::uint64_t> trace_ids;
 };
 
 struct HealthMonitorOptions {
@@ -125,6 +130,8 @@ class HealthMonitor {
   std::size_t open_count() const;
   bool has_incident(std::string_view klass) const;
   void attach_explanation(std::size_t index, std::string text);
+  // Replaces the incident's contributing-trace list (see Incident::trace_ids).
+  void attach_traces(std::size_t index, std::vector<std::uint64_t> trace_ids);
 
   // Human-readable incident timeline.
   std::string render_text() const;

@@ -335,40 +335,42 @@ std::vector<Update> decode(std::span<const std::uint8_t> wire) {
   return updates;
 }
 
-void apply_updates(sim::Fabric& fabric, std::span<const Update> updates) {
-  for (const auto& u : updates) {
-    switch (u.kind) {
-      case UpdateKind::kHypervisorFlowAdd: {
-        dp::HypervisorSwitch::GroupFlow flow;
-        flow.vni = u.vni;
-        flow.local_vms = u.local_vms;
-        flow.elmo_header = u.elmo_header;
-        fabric.hypervisor(u.host).install_flow(u.group, std::move(flow));
-        break;
-      }
-      case UpdateKind::kHypervisorFlowDel:
-        fabric.hypervisor(u.host).remove_flow(u.group);
-        break;
-      case UpdateKind::kSRuleAdd:
-        if (u.layer == topo::Layer::kLeaf) {
-          fabric.leaf(u.switch_id).install_srule(u.group, u.ports);
-        } else if (u.layer == topo::Layer::kSpine) {
-          fabric.spine(u.switch_id).install_srule(u.group, u.ports);
-        } else {
-          throw std::invalid_argument{"p4rt: s-rule at unsupported layer"};
-        }
-        break;
-      case UpdateKind::kSRuleDel:
-        if (u.layer == topo::Layer::kLeaf) {
-          fabric.leaf(u.switch_id).remove_srule(u.group);
-        } else if (u.layer == topo::Layer::kSpine) {
-          fabric.spine(u.switch_id).remove_srule(u.group);
-        } else {
-          throw std::invalid_argument{"p4rt: s-rule at unsupported layer"};
-        }
-        break;
+void apply_update(sim::Fabric& fabric, const Update& u) {
+  switch (u.kind) {
+    case UpdateKind::kHypervisorFlowAdd: {
+      dp::HypervisorSwitch::GroupFlow flow;
+      flow.vni = u.vni;
+      flow.local_vms = u.local_vms;
+      flow.elmo_header = u.elmo_header;
+      fabric.hypervisor(u.host).install_flow(u.group, std::move(flow));
+      break;
     }
+    case UpdateKind::kHypervisorFlowDel:
+      fabric.hypervisor(u.host).remove_flow(u.group);
+      break;
+    case UpdateKind::kSRuleAdd:
+      if (u.layer == topo::Layer::kLeaf) {
+        fabric.leaf(u.switch_id).install_srule(u.group, u.ports);
+      } else if (u.layer == topo::Layer::kSpine) {
+        fabric.spine(u.switch_id).install_srule(u.group, u.ports);
+      } else {
+        throw std::invalid_argument{"p4rt: s-rule at unsupported layer"};
+      }
+      break;
+    case UpdateKind::kSRuleDel:
+      if (u.layer == topo::Layer::kLeaf) {
+        fabric.leaf(u.switch_id).remove_srule(u.group);
+      } else if (u.layer == topo::Layer::kSpine) {
+        fabric.spine(u.switch_id).remove_srule(u.group);
+      } else {
+        throw std::invalid_argument{"p4rt: s-rule at unsupported layer"};
+      }
+      break;
   }
+}
+
+void apply_updates(sim::Fabric& fabric, std::span<const Update> updates) {
+  for (const auto& u : updates) apply_update(fabric, u);
 }
 
 std::size_t install_via_channel(const Controller& controller,

@@ -89,6 +89,10 @@ std::vector<Update> decode(std::span<const std::uint8_t> wire);
 // Applies a decoded batch to the fabric (the "switch side" of the channel).
 // (Named apply_updates to avoid ADL collisions with std::apply.)
 void apply_updates(sim::Fabric& fabric, std::span<const Update> updates);
+// Single-update variant, for callers that wrap each install in its own
+// trace span (stream::ControlPlane::flush, DESIGN.md §15). Semantically
+// identical to one iteration of apply_updates.
+void apply_update(sim::Fabric& fabric, const Update& update);
 
 // Convenience: controller -> wire -> fabric in one call, returning the
 // number of wire bytes that crossed the channel.

@@ -17,6 +17,8 @@ namespace {
 struct FabricMetricIds {
   obs::MetricsRegistry::Id send_seconds;
   obs::MetricsRegistry::Id batch_seconds;
+  obs::MetricsRegistry::Id tte_join_seconds;
+  obs::MetricsRegistry::Id tte_leave_seconds;
   FabricMetricIds() {
     auto& reg = obs::MetricsRegistry::global();
     send_seconds = reg.histogram(
@@ -26,6 +28,16 @@ struct FabricMetricIds {
         "elmo_fabric_batch_seconds", obs::latency_bounds(),
         "Wall-clock time of one batched fabric walk (all waves of one "
         "send_batch call)");
+    tte_join_seconds = reg.histogram(
+        "elmo_tte_join_seconds", obs::latency_bounds(),
+        "Time-to-effect of a join: churn-event ingest to the first "
+        "host-copy delivered over the freshly installed flow (DESIGN.md "
+        "S15)");
+    tte_leave_seconds = reg.histogram(
+        "elmo_tte_leave_stale_seconds", obs::latency_bounds(),
+        "Time-to-effect of a leave: churn-event ingest to the last stale "
+        "host-copy delivered before the flow removal landed (0 when no "
+        "stale copy was seen)");
   }
 };
 
@@ -106,6 +118,94 @@ Fabric::Fabric(const topo::ClosTopology& topology) : topo_{&topology} {
 void Fabric::set_provenance(obs::ProvenanceLog* log) {
   prov_ = log;
   for (auto* e : elements_) e->set_provenance(log);
+}
+
+void Fabric::trace_watch(net::Ipv4Address group, topo::HostId host,
+                         const obs::TraceContext& event_root, bool leave) {
+  if (tracer_ == nullptr) return;
+  TteWatch w;
+  w.leave = leave;
+  w.event_root = event_root;
+  w.t0_us = tracer_->now_us();
+  // Newest event for the key wins — matches the control plane's coalescing.
+  tte_watches_[{group.value, host}] = w;
+}
+
+void Fabric::trace_rule_installed(net::Ipv4Address group, topo::HostId host,
+                                  const obs::TraceContext& install_span,
+                                  bool removed) {
+  if (tracer_ == nullptr || tte_watches_.empty()) return;
+  const auto it = tte_watches_.find({group.value, host});
+  if (it == tte_watches_.end()) return;
+  auto& w = it->second;
+  if (!removed) {
+    if (w.leave) {
+      // A flow install landed while a leave watch was open: the host
+      // re-joined before the removal hit the fabric — nothing to measure.
+      tte_watches_.erase(it);
+      return;
+    }
+    w.installed = true;
+    w.install_span = install_span;
+    return;
+  }
+  if (!w.leave) {
+    // A removal landed on a join watch: the join was superseded.
+    tte_watches_.erase(it);
+    return;
+  }
+  // The flow removal is live: the leave's time-to-effect is the time the
+  // stale tree kept delivering after ingest (0 if it never did).
+  obs::TteRecord rec;
+  rec.trace_id = w.event_root.trace_id;
+  rec.leave = true;
+  rec.group = group.value;
+  rec.host = host;
+  rec.stale_seen = w.last_stale_us >= 0;
+  rec.tte_seconds =
+      rec.stale_seen ? std::max(0.0, (w.last_stale_us - w.t0_us) / 1e6) : 0.0;
+  ELMO_METRIC(
+      reg.observe(fabric_metric_ids().tte_leave_seconds, rec.tte_seconds));
+  const auto inst = tracer_->instant(
+      "tte:leave_closed", obs::TraceLane::kData, w.event_root,
+      {{"group", static_cast<double>(group.value)},
+       {"host", static_cast<double>(host)},
+       {"tte_us", rec.tte_seconds * 1e6},
+       {"stale_seen", rec.stale_seen ? 1.0 : 0.0}});
+  tracer_->flow(install_span, obs::TraceLane::kInstall, inst,
+                obs::TraceLane::kData);
+  tte_records_.push_back(rec);
+  tte_watches_.erase(it);
+}
+
+void Fabric::tte_on_delivery(std::uint32_t group, std::uint32_t host) {
+  const auto it = tte_watches_.find({group, host});
+  if (it == tte_watches_.end()) return;
+  auto& w = it->second;
+  const double now = tracer_->now_us();
+  if (w.leave) {
+    w.last_stale_us = now;  // still delivering over the stale tree
+    return;
+  }
+  if (!w.installed) return;  // pre-install tree; not the new rule's effect
+  // First delivery over the freshly installed flow: the join is live.
+  obs::TteRecord rec;
+  rec.trace_id = w.event_root.trace_id;
+  rec.leave = false;
+  rec.group = group;
+  rec.host = host;
+  rec.tte_seconds = std::max(0.0, (now - w.t0_us) / 1e6);
+  ELMO_METRIC(
+      reg.observe(fabric_metric_ids().tte_join_seconds, rec.tte_seconds));
+  const auto inst = tracer_->instant(
+      "tte:first_delivery", obs::TraceLane::kData, w.event_root,
+      {{"group", static_cast<double>(group)},
+       {"host", static_cast<double>(host)},
+       {"tte_us", rec.tte_seconds * 1e6}});
+  tracer_->flow(w.install_span, obs::TraceLane::kInstall, inst,
+                obs::TraceLane::kData);
+  tte_records_.push_back(rec);
+  tte_watches_.erase(it);
 }
 
 void Fabric::install_group(const elmo::Controller& controller,
@@ -340,6 +440,7 @@ SendResult Fabric::send(topo::HostId src, net::Ipv4Address group,
       if (next.layer == topo::Layer::kHost) {
         ++result.host_copies[next.id];
         ++walk_stats_.host_copies;
+        if (!tte_watches_.empty()) tte_on_delivery(group.value, next.id);
         queue_.push_back(
             WorkItem{next, std::move(emission.packet), item.hops, prov_hop});
       } else {
@@ -557,6 +658,9 @@ std::vector<SendResult> Fabric::send_batch(std::span<const SendRequest> requests
           if (next.layer == topo::Layer::kHost) {
             ++result.host_copies[next.id];
             ++walk_stats_.host_copies;
+            if (!tte_watches_.empty()) {
+              tte_on_delivery(requests[item.send].group.value, next.id);
+            }
             next_wave_.push_back(BatchItem{next, std::move(emission.packet),
                                            item.hops, prov_hop, item.send});
           } else {

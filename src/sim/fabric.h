@@ -33,6 +33,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "dataplane/forwarding.h"
@@ -40,6 +41,7 @@
 #include "dataplane/network_switch.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "elmo/controller.h"
@@ -224,6 +226,39 @@ class Fabric {
   void set_provenance(obs::ProvenanceLog* log);
   obs::ProvenanceLog* provenance() const noexcept { return prov_; }
 
+  // --- Causal tracing & time-to-effect (DESIGN.md §15) ---------------------
+  // Optional tracer (nullptr detaches; not owned, must outlive the fabric's
+  // use of it). The tracer itself is passive here; it powers the TTE watches
+  // below. With no watches armed the walk pays one empty() test per
+  // host-copy delivery.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  // Registers a time-to-effect watch for (group address, host) on behalf of
+  // the churn event `event_root` (ingest time = now). A join watch arms when
+  // its flow install lands (trace_rule_installed) and closes at the first
+  // host-copy delivery after that — join-to-first-delivery. A leave watch
+  // tracks stale deliveries while open and closes when the flow removal
+  // lands — leave-to-last-stale-delivery (0 if no stale copy was seen).
+  // A newer watch for the same key replaces the older one (coalescing), and
+  // an install of the opposite polarity cancels the watch. No-op without a
+  // tracer.
+  void trace_watch(net::Ipv4Address group, topo::HostId host,
+                   const obs::TraceContext& event_root, bool leave);
+  // Called by the install path when a hypervisor flow add/remove for
+  // (group, host) has been applied; `install_span` is the install's span
+  // (flow-linked from the TTE instant when the watch closes).
+  void trace_rule_installed(net::Ipv4Address group, topo::HostId host,
+                            const obs::TraceContext& install_span,
+                            bool removed);
+  std::size_t open_trace_watches() const noexcept {
+    return tte_watches_.size();
+  }
+  const std::vector<obs::TteRecord>& tte_records() const noexcept {
+    return tte_records_;
+  }
+  void clear_tte_records() { tte_records_.clear(); }
+
   const FabricWalkStats& walk_stats() const noexcept { return walk_stats_; }
   void reset_walk_stats() noexcept { walk_stats_ = FabricWalkStats{}; }
 
@@ -321,6 +356,21 @@ class Fabric {
   FabricWalkStats walk_stats_;
   FlightRecorder* recorder_ = nullptr;
   obs::ProvenanceLog* prov_ = nullptr;
+
+  // Time-to-effect watches keyed by (group address, host). Non-empty only
+  // while a tracer is attached and churn is in flight.
+  struct TteWatch {
+    bool leave = false;
+    bool installed = false;      // join: its flow install has landed
+    obs::TraceContext event_root;
+    obs::TraceContext install_span;
+    double t0_us = 0;            // churn-event ingest time
+    double last_stale_us = -1;   // leave: newest delivery while open
+  };
+  void tte_on_delivery(std::uint32_t group, std::uint32_t host);
+  obs::Tracer* tracer_ = nullptr;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TteWatch> tte_watches_;
+  std::vector<obs::TteRecord> tte_records_;
 
   // Walk state, reused across sends (capacity persists, contents do not).
   std::deque<WorkItem> queue_;

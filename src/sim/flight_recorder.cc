@@ -63,14 +63,14 @@ void FlightRecorder::clear() {
   origin_ = std::chrono::steady_clock::now();
 }
 
-std::string FlightRecorder::chrome_trace_json() const {
-  std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
-  bool first = true;
+void FlightRecorder::append_chrome_events(std::string& out, bool& first,
+                                          double ts_offset_us) const {
   auto emit = [&out, &first](const std::string& obj) {
     if (!first) out += ",\n";
     first = false;
     out += obj;
   };
+  auto ts_of = [ts_offset_us](double us) { return fmt_us(us + ts_offset_us); };
   emit(R"({"name": "process_name", "ph": "M", "pid": 1, )"
        R"("args": {"name": "elmo fabric walk"}})");
   // Recorder accounting, for consumers (scripts/lint_trace.py) to check the
@@ -91,23 +91,66 @@ std::string FlightRecorder::chrome_trace_json() const {
     if (e.type == Event::Type::kSend) {
       emit(R"({"name": "send", "ph": "i", "s": "g", "pid": 1, "tid": 0, )"
            R"("ts": )" +
-           fmt_us(e.ts_us) + R"(, "args": {"send_index": )" +
+           ts_of(e.ts_us) + R"(, "args": {"send_index": )" +
            std::to_string(e.c) + R"(, "group": )" + std::to_string(e.a) +
            R"(, "src_host": )" + std::to_string(e.b) + "}}");
       continue;
     }
     emit(R"({"name": ")" + to_string(e.node) +
          R"(", "ph": "X", "pid": 1, "tid": )" +
-         std::to_string(tid_of(e.node)) + R"(, "ts": )" + fmt_us(e.ts_us) +
+         std::to_string(tid_of(e.node)) + R"(, "ts": )" + ts_of(e.ts_us) +
          R"(, "dur": )" + fmt_us(e.dur_us) + R"(, "args": {"fanout": )" +
          std::to_string(e.a) + R"(, "queue_depth": )" + std::to_string(e.b) +
          R"(, "hop": )" + std::to_string(e.c) + "}}");
     emit(R"({"name": "queue_depth", "ph": "C", "pid": 1, "ts": )" +
-         fmt_us(e.ts_us + e.dur_us) + R"(, "args": {"depth": )" +
+         ts_of(e.ts_us + e.dur_us) + R"(, "args": {"depth": )" +
          std::to_string(e.b) + "}}");
   }
+}
+
+std::string FlightRecorder::chrome_trace_json() const {
+  std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  bool first = true;
+  append_chrome_events(out, first, 0.0);
   out += "\n]}\n";
   return out;
+}
+
+std::string unified_trace_json(const obs::Tracer& tracer,
+                               const FlightRecorder& recorder) {
+  // Align the two steady-clock origins: shift the store whose origin is
+  // younger forward so both offsets are non-negative.
+  const double delta_us =
+      std::chrono::duration<double, std::micro>(recorder.origin() -
+                                                tracer.origin())
+          .count();
+  const double recorder_offset = delta_us > 0 ? delta_us : 0.0;
+  const double tracer_offset = delta_us < 0 ? -delta_us : 0.0;
+
+  std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  bool first = true;
+  recorder.append_chrome_events(out, first, recorder_offset);
+  tracer.append_chrome_events(out, first, tracer_offset);
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_unified_trace(const std::string& path, const obs::Tracer& tracer,
+                         const FlightRecorder& recorder) {
+  const auto text = unified_trace_json(tracer, recorder);
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "write_unified_trace: cannot open %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 bool FlightRecorder::write(const std::string& path) const {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/fabric.h"
 
 namespace elmo::sim {
@@ -26,6 +27,7 @@ class FlightRecorder {
   // Microseconds since construction / last clear(). Callers sample this
   // before a unit of work and hand it back to process().
   double now_us() const;
+  std::chrono::steady_clock::time_point origin() const { return origin_; }
 
   // A new multicast send enters the fabric.
   void send_begin(std::uint64_t send_index, std::uint32_t group,
@@ -44,6 +46,11 @@ class FlightRecorder {
   // fanout/queue-depth/hop args, "C" counter track for queue depth, "i"
   // instants at send boundaries).
   std::string chrome_trace_json() const;
+  // Appends this recorder's metadata + events (pid 1) to an in-progress
+  // chrome JSON event array; `ts_offset_us` shifts every timestamp so a
+  // merged export can align this clock with an obs::Tracer's.
+  void append_chrome_events(std::string& out, bool& first,
+                            double ts_offset_us) const;
 
   bool write(const std::string& path) const;
 
@@ -70,5 +77,16 @@ class FlightRecorder {
   std::uint64_t dropped_ = 0;
   std::chrono::steady_clock::time_point origin_;
 };
+
+// Unified timeline (DESIGN.md §15): the control-plane tracer (pid 2) and the
+// data-plane flight recorder (pid 1) merged into one chrome://tracing
+// document on a shared clock. Both stores timestamp relative to their own
+// steady-clock origin; the merge shifts whichever origin is younger so every
+// exported timestamp is non-negative and per-lane order is preserved.
+// (Lives in sim because elmo_sim links elmo_obs, never the reverse.)
+std::string unified_trace_json(const obs::Tracer& tracer,
+                               const FlightRecorder& recorder);
+bool write_unified_trace(const std::string& path, const obs::Tracer& tracer,
+                         const FlightRecorder& recorder);
 
 }  // namespace elmo::sim

@@ -208,8 +208,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     reg.add(m.iterations, count);
     reg.gauge_set(m.executors, static_cast<double>(executors_));
     reg.gauge_max(m.max_pending, static_cast<double>(count));
-    span.emplace(reg, m.loop_seconds);
   });
+  obs::arm_phase_span(span, "pool:parallel_for", pool_metric_ids().loop_seconds);
   Loop loop{executors_};
   loop.body = &body;
   for (std::size_t e = 0; e < executors_; ++e) {

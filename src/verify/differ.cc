@@ -82,6 +82,8 @@ class Runner {
       captures_ = observability->captures;
       ts_ = observability->timeseries;
       health_ = observability->health;
+      tracer_ = observability->tracer;
+      fabric_.set_tracer(tracer_);
     }
     // The runner always walks with provenance attached: every diff it
     // reports carries the send's annotated decision tree (DESIGN.md §10).
@@ -162,6 +164,7 @@ class Runner {
       // oracle diff, so a divergence is pinned to the event that caused it.
       plane_.emplace(controller_, fabric_,
                      stream::ControlPlaneOptions{/*flush_threshold=*/1});
+      if (tracer_ != nullptr) plane_->set_tracer(tracer_);
       for (const auto id : ids_) plane_->track_group(id);
     }
     select_mutation_target();
@@ -716,6 +719,7 @@ class Runner {
   std::vector<SendCapture>* captures_ = nullptr;
   obs::TimeSeriesStore* ts_ = nullptr;
   obs::HealthMonitor* health_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   double expected_vm_total_ = 0;  // oracle-side VM-delivery running total
   obs::ProvenanceLog prov_log_;
   std::string pending_explanation_;

@@ -28,6 +28,7 @@ namespace elmo::obs {
 class HealthMonitor;
 class MetricsRegistry;
 class TimeSeriesStore;
+class Tracer;
 }
 namespace elmo::sim {
 class FlightRecorder;
@@ -114,6 +115,10 @@ struct RunObservability {
   // zero-false-positive check for the detectors.
   obs::TimeSeriesStore* timeseries = nullptr;
   obs::HealthMonitor* health = nullptr;
+  // Causal tracer (DESIGN.md §15): attached to the fabric and — in delta
+  // mode — to the streaming control plane, so churn events, installs, and
+  // time-to-effect closures land on the unified timeline.
+  obs::Tracer* tracer = nullptr;
 };
 
 // Execution knobs for one run. `walk_threads == 0` checks sends through the

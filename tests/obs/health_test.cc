@@ -45,6 +45,31 @@ TEST(HealthTimeSeries, RingWrapsAroundAtCapacity) {
   EXPECT_FALSE(store.delta("s", 4).has_value());
 }
 
+TEST(HealthTimeSeries, RingBoundaryAtExactlyCapacity) {
+  // Exactly `capacity` windows: nothing has fallen off yet, and the oldest
+  // sample is still addressable — the wrap must begin on window capacity+1,
+  // not capacity.
+  TimeSeriesStore store{4};
+  for (int i = 0; i < 4; ++i) {
+    store.append("s", static_cast<double>(i));
+    store.advance();
+  }
+  EXPECT_EQ(store.window(), 4u);
+  ASSERT_EQ(store.samples("s"), 4u);
+  const auto* oldest = store.at("s", 3);
+  ASSERT_NE(oldest, nullptr);
+  EXPECT_EQ(oldest->window, 0u);
+  EXPECT_EQ(oldest->value, 0.0);
+  EXPECT_EQ(store.delta("s", 3), 3.0);  // full-span delta still computable
+
+  // One more window evicts exactly the oldest sample.
+  store.append("s", 4.0);
+  store.advance();
+  ASSERT_EQ(store.samples("s"), 4u);
+  EXPECT_EQ(store.at("s", 3)->window, 1u);
+  EXPECT_EQ(store.at("s", 4), nullptr);
+}
+
 TEST(HealthTimeSeries, SameWindowReappendOverwrites) {
   TimeSeriesStore store{8};
   store.append("s", 1.0);

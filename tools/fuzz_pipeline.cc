@@ -177,13 +177,19 @@ int run_plain(std::uint64_t base, std::size_t seeds, const Options& opt) {
     registry->set_enabled(true);
   }
   elmo::sim::FlightRecorder recorder;
+  // Unified timeline export (DESIGN.md §15): single-seed replays with
+  // --trace record the data-plane flight recorder AND the causal tracer
+  // (churn spans, installs, time-to-effect closures) into one file.
+  elmo::obs::Tracer tracer;
   const bool trace_on = !opt.trace.empty() && seeds == 1;
+  if (trace_on) elmo::obs::set_global_tracer(&tracer);
 
   std::size_t sends = 0;
   for (std::size_t i = 0; i < seeds; ++i) {
     const std::uint64_t seed = base + i;
     const auto scenario = make_scenario(seed, opt);
     RunObservability observability{registry, trace_on ? &recorder : nullptr};
+    if (trace_on) observability.tracer = &tracer;
     elmo::verify::RunOptions run_options;
     run_options.walk_threads = opt.walk_threads;
     run_options.delta_installs = opt.delta_installs;
@@ -208,7 +214,10 @@ int run_plain(std::uint64_t base, std::size_t seeds, const Options& opt) {
   if (registry != nullptr) {
     elmo::obs::write_metrics(opt.metrics, registry->snapshot());
   }
-  if (trace_on) recorder.write(opt.trace);
+  if (trace_on) {
+    elmo::obs::set_global_tracer(nullptr);
+    elmo::sim::write_unified_trace(opt.trace, tracer, recorder);
+  }
   return 0;
 }
 

@@ -218,7 +218,20 @@ int main(int argc, char** argv) {
         break;  // failures / sends: not part of the membership replay
     }
   }
-  for (const auto id : ids) fabric.install_group(controller, id);
+  // Causal context for incident reports (DESIGN.md §15): the bulk install
+  // gets one trace, each sampling window gets its own, and every opened
+  // incident carries the IDs of the windows it was active in (plus the
+  // install trace) so `trace_ids` in the JSON joins back to a timeline.
+  obs::Tracer tracer;
+  std::uint64_t install_trace = 0;
+  {
+    const auto ictx = tracer.begin_span(
+        "healthmon:install", obs::TraceLane::kInstall, {},
+        {{"groups", static_cast<double>(ids.size())}});
+    install_trace = ictx.trace_id;
+    for (const auto id : ids) fabric.install_group(controller, id);
+    tracer.end_span(ictx);
+  }
 
   // Flattened (group, sender) round-robin so every window exercises every
   // group's trees.
@@ -249,6 +262,7 @@ int main(int argc, char** argv) {
   obs::add_default_detectors(monitor);
   obs::ProvenanceLog prov;
   fabric.set_provenance(&prov);
+  std::vector<std::uint64_t> window_traces;
 
   std::printf("healthmon: seed=%llu groups=%zu slots=%zu windows=%zu "
               "sends/window=%zu inject@%zu (%s)\n",
@@ -265,6 +279,10 @@ int main(int argc, char** argv) {
       injected = true;
       if (verbose) std::printf("window %zu: failure injected\n", w);
     }
+    const auto wctx = tracer.begin_span("healthmon:window",
+                                        obs::TraceLane::kControl, {},
+                                        {{"window", static_cast<double>(w)}});
+    window_traces.push_back(wctx.trace_id);
     std::string last_explanation;
     for (std::size_t s = 0; s < sends_per_window; ++s) {
       const auto& slot = slots[slot_cursor++ % slots.size()];
@@ -282,6 +300,7 @@ int main(int argc, char** argv) {
     fabric.sample_into(store);
     store.append("elmo_expect_vm_deliveries_total", expected_vm_total);
     store.advance();
+    tracer.end_span(wctx);
     const auto opened = monitor.tick();
     for (const auto idx : opened) {
       if (monitor.incidents()[idx].explanation.empty() &&
@@ -289,6 +308,19 @@ int main(int argc, char** argv) {
         monitor.attach_explanation(idx, last_explanation);
         break;  // one attachment per window is plenty
       }
+    }
+    // Contributing traces: the install plus every window the incident has
+    // been active in so far (attach_traces replaces, so flaps re-attach).
+    for (const auto idx : opened) {
+      const auto& inc = monitor.incidents()[idx];
+      std::vector<std::uint64_t> contributing{install_trace};
+      // Incident windows count COMPLETED windows (store.window() after
+      // advance()), so window W is the loop iteration W-1.
+      for (auto w2 = std::max<std::uint64_t>(inc.first_window, 1);
+           w2 <= inc.last_window && w2 - 1 < window_traces.size(); ++w2) {
+        contributing.push_back(window_traces[w2 - 1]);
+      }
+      monitor.attach_traces(idx, std::move(contributing));
     }
     if (verbose || !opened.empty()) {
       std::printf("window %zu: %zu incident(s) opened, %zu open total\n", w,
